@@ -1,0 +1,70 @@
+"""Ablation A1 — the benefit decay function under a workload shift.
+
+DeepSea weights benefits by ``DEC(t_now, t)`` so that after a shift, views
+fitting the old pattern lose value and are replaced (§1, §7.1).  We run a
+two-phase workload under a tight pool with decay on (the paper's DEC) and
+off (DEC ≡ 1) and compare the second phase: without decay the stale
+first-phase entries keep outranking the new pattern's fragments.
+"""
+
+from repro import DeepSea, Policy
+from repro.bench.harness import uniform_fixture
+from repro.bench.reporting import format_table
+from repro.costmodel.decay import NoDecay, ProportionalDecay
+from repro.workloads.generator import SyntheticSpec, phased_workload
+
+POOL_FRACTION = 0.12
+N_PER_PHASE = 60
+
+
+def run_experiment():
+    fx = uniform_fixture(500.0)
+    plans = phased_workload(
+        [
+            SyntheticSpec("q30", "M", "H", n_queries=N_PER_PHASE, center=0.25, seed=41),
+            SyntheticSpec("q30", "M", "H", n_queries=N_PER_PHASE, center=0.75, seed=42),
+        ],
+        fx.item_domain,
+    )
+    smax = fx.catalog.total_size_bytes * POOL_FRACTION
+    out = {}
+    for label, decay in (
+        ("decay", ProportionalDecay(t_max=80.0)),
+        ("no-decay", NoDecay()),
+    ):
+        system = DeepSea(
+            fx.catalog,
+            domains=fx.domains,
+            smax_bytes=smax,
+            policy=Policy(decay=decay),
+        )
+        reports = [system.execute(p) for p in plans]
+        out[label] = {
+            "total": sum(r.total_s for r in reports),
+            "phase2": sum(r.total_s for r in reports[N_PER_PHASE:]),
+            "phase2_reuse": sum(1 for r in reports[N_PER_PHASE:] if r.reused_view),
+        }
+    return out
+
+
+def test_ablation_decay(once):
+    results = once(run_experiment)
+    rows = [
+        (label, r["total"], r["phase2"], r["phase2_reuse"])
+        for label, r in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["variant", "total (s)", "phase-2 (s)", "phase-2 reuses"],
+            rows,
+            title="Ablation A1 — decay vs no decay under a workload shift "
+            f"(pool {POOL_FRACTION:.0%} of base)",
+        )
+    )
+    with_decay = results["decay"]
+    without = results["no-decay"]
+    # decay lets the pool adapt: at least as many phase-2 reuses and no
+    # worse phase-2 time
+    assert with_decay["phase2_reuse"] >= without["phase2_reuse"]
+    assert with_decay["phase2"] <= 1.05 * without["phase2"]

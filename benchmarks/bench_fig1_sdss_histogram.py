@@ -1,0 +1,42 @@
+"""Figure 1 — histogram of selection ranges on SDSS.
+
+Regenerates the per-bin hit counts over attribute ``ra`` for the synthetic
+SDSS log and asserts the properties the paper reads off the figure:
+pronounced hot spots and spatial correlation (hot bins have warm
+neighbours).
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.workloads.sdss import SDSSConfig, generate_sdss_log, range_histogram
+
+
+def build_histogram():
+    log = generate_sdss_log(SDSSConfig(n_queries=10_000))
+    edges, hits = range_histogram(log, nbins=42)
+    return edges, hits
+
+
+def test_fig1_sdss_histogram(once):
+    edges, hits = once(build_histogram)
+    rows = [
+        (f"{edges[i]:.0f}..{edges[i + 1]:.0f}", int(hits[i])) for i in range(len(hits))
+    ]
+    print()
+    print(format_table(["ra range (deg)", "hits"], rows, title="Figure 1 — SDSS hits"))
+
+    # non-uniform: the hottest bin dwarfs the median
+    assert hits.max() > 10 * max(np.median(hits), 1)
+    # two hot regions: the late phase peak (~100 deg) dominates, and the
+    # early phase region (200..300 deg) is clearly warmer than the median
+    centers = (edges[:-1] + edges[1:]) / 2
+    peak_center = centers[int(hits.argmax())]
+    assert 60 <= peak_center <= 140
+    early = hits[(centers >= 220) & (centers <= 280)]
+    assert early.max() > 3 * max(np.median(hits), 1)
+    # spatial correlation: neighbours of the peak are warm
+    peak = int(hits.argmax())
+    for n in (peak - 1, peak + 1):
+        if 0 <= n < len(hits):
+            assert hits[n] > np.median(hits)

@@ -1,0 +1,51 @@
+"""Figure 2 — evolution of selection ranges over the SDSS query sequence.
+
+The paper's figure shows the first ~3 000 queries focused on 200-300
+degrees, a later shift to ~100 degrees, and full-domain scans near query
+1 000.  We regenerate the per-window midpoint statistics of the synthetic
+log and assert those phases.
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.workloads.sdss import SDSS_RA_DOMAIN, SDSSConfig, generate_sdss_log
+
+
+def build_evolution():
+    log = generate_sdss_log(SDSSConfig(n_queries=10_000))
+    window = 1_000
+    rows = []
+    for start in range(0, 10_000, window):
+        chunk = log[start : start + window]
+        narrow = [iv.midpoint for iv in chunk if iv.width < 100]
+        full_domain = sum(1 for iv in chunk if iv == SDSS_RA_DOMAIN)
+        rows.append(
+            (
+                f"{start + 1}..{start + window}",
+                float(np.mean(narrow)),
+                float(np.std(narrow)),
+                full_domain,
+            )
+        )
+    return rows
+
+
+def test_fig2_sdss_evolution(once):
+    rows = once(build_evolution)
+    print()
+    print(
+        format_table(
+            ["queries", "mean midpoint (deg)", "stdev", "full-domain scans"],
+            rows,
+            title="Figure 2 — evolution of selection ranges",
+        )
+    )
+    # early windows focus on 200..300 degrees
+    for row in rows[:3]:
+        assert 200 <= row[1] <= 300
+    # late windows shift to around 100 degrees
+    for row in rows[5:]:
+        assert 60 <= row[1] <= 140
+    # the vertical line near query 1000: at least one full-domain scan there
+    assert rows[1][3] >= 1

@@ -1,0 +1,63 @@
+"""Table 1 — experiment parameters and their values.
+
+Validates that every cell of the paper's parameter grid is constructible:
+instance sizes (100 GB, 500 GB), pool sizes (50/125/250/500 GB, ∞),
+selectivities (1/5/25 %), and skews (uniform / light / heavy).
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.workloads.bigbench import generate_bigbench
+from repro.workloads.distributions import RangeSampler, selectivity_for, skew_for
+
+POOL_SIZES_GB = [50, 125, 250, 500, None]
+
+
+def build_grid():
+    rows = []
+    rng = np.random.default_rng(0)
+    for size_gb in (100.0, 500.0):
+        instance = generate_bigbench(size_gb, seed=1)
+        assert abs(instance.catalog.total_size_bytes - size_gb * 1e9) < 0.02 * size_gb * 1e9
+        for sel in ("S", "M", "B"):
+            for skew in ("U", "L", "H"):
+                sampler = RangeSampler(
+                    instance.item_domain, selectivity_for(sel), skew_for(skew)
+                )
+                ranges = sampler.sample_many(50, rng)
+                widths = {round(iv.width, 6) for iv in ranges}
+                assert len(widths) == 1  # fixed-selectivity widths
+                rows.append(
+                    (
+                        f"{size_gb:.0f}GB",
+                        sel,
+                        skew,
+                        ranges[0].width / instance.item_domain.width,
+                        float(np.std([iv.midpoint for iv in ranges])),
+                    )
+                )
+    return rows
+
+
+def test_table1_parameter_grid(once):
+    rows = once(build_grid)
+    print()
+    print(
+        format_table(
+            ["instance", "selectivity", "skew", "width/domain", "midpoint stdev"],
+            rows,
+            title="Table 1 — parameter grid (defaults in bold in the paper: "
+            "100GB, 250GB pool, 5%, uniform)",
+        )
+    )
+    # selectivity labels map to the paper's fractions
+    fractions = {r[1]: r[3] for r in rows}
+    assert abs(fractions["S"] - 0.01) < 1e-9
+    assert abs(fractions["M"] - 0.05) < 1e-9
+    assert abs(fractions["B"] - 0.25) < 1e-9
+    # heavier skew concentrates midpoints
+    by_skew = {}
+    for r in rows:
+        by_skew.setdefault(r[2], []).append(r[4])
+    assert np.mean(by_skew["H"]) < np.mean(by_skew["L"]) < np.mean(by_skew["U"])

@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Each benchmark reproduces one table or figure of the paper.  Experiments
+are deterministic (seeded) and report *simulated* cluster seconds; the
+pytest-benchmark timer around them measures harness wall-time only.  Every
+benchmark prints the paper-shaped rows/series it regenerates and asserts
+the paper's qualitative claims.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    return lambda fn: run_once(benchmark, fn)

@@ -1,0 +1,65 @@
+"""Pool pressure — selection strategies under a storage budget (§7, §10.1).
+
+A cluster operator gives the view pool a hard byte budget.  This example
+runs the same drifting workload under plain Nectar, Nectar+, and DeepSea
+selection at several budgets, showing how DeepSea's decayed, correlation-
+aware values keep the *useful* fragments resident while the others churn.
+
+Run:  python examples/pool_pressure.py
+"""
+
+import numpy as np
+
+from repro.baselines import deepsea, hive, nectar, nectar_plus
+from repro.partitioning.intervals import Interval
+from repro.workloads.bigbench import generate_bigbench
+from repro.workloads.generator import sdss_mapped_workload
+from repro.workloads.sdss import SDSSConfig, generate_sdss_log, sample_values_from_ranges
+
+N_QUERIES = 150
+BUDGET_FRACTIONS = (0.10, 0.25, 1.00)
+
+
+def main() -> None:
+    log = generate_sdss_log(SDSSConfig())
+    item_domain = Interval.closed(0, 40_000)
+    rng = np.random.default_rng(0)
+    values = sample_values_from_ranges(log, 50_000, item_domain, rng)
+    instance = generate_bigbench(
+        500.0, seed=1, item_domain=item_domain, item_sk_values=values
+    )
+    plans = sdss_mapped_workload(log, item_domain, n_queries=N_QUERIES, seed=2)
+    base = instance.catalog.total_size_bytes
+
+    hive_system = hive(instance.catalog, domains=instance.domains)
+    hive_total = sum(hive_system.execute(p).total_s for p in plans)
+    print(f"Hive (no materialization): {hive_total:,.0f} simulated seconds "
+          f"for {N_QUERIES} queries\n")
+
+    header = f"{'budget':>8} {'strategy':>9} {'total (s)':>12} {'vs Hive':>8} " \
+             f"{'reuses':>7} {'evictions':>10}"
+    print(header)
+    print("-" * len(header))
+    for frac in BUDGET_FRACTIONS:
+        for label, factory in (("Nectar", nectar), ("Nectar+", nectar_plus),
+                               ("DeepSea", deepsea)):
+            system = factory(
+                instance.catalog,
+                domains=instance.domains,
+                smax_bytes=base * frac,
+            )
+            reports = [system.execute(p) for p in plans]
+            total = sum(r.total_s for r in reports)
+            reuse = sum(1 for r in reports if r.reused_view)
+            evictions = sum(r.evictions for r in reports)
+            print(f"{frac:>7.0%} {label:>9} {total:>12,.0f} "
+                  f"{total / hive_total:>7.0%} {reuse:>7} {evictions:>10}")
+        print()
+
+    print("Notes: at tight budgets every strategy pays for wrong evictions "
+          "with re-created views;\nDeepSea's fragment-level decisions keep "
+          "the hot fragments and degrade most gracefully.")
+
+
+if __name__ == "__main__":
+    main()

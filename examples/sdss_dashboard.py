@@ -1,0 +1,80 @@
+"""Astronomy-portal scenario — the paper's §10.1 real-life workload.
+
+Simulates a year of SDSS-style exploration: a synthetic query log whose
+range selections are non-uniform and drift over time (Figures 1-2), mapped
+onto BigBench templates over an instance whose `item_sk` distribution
+follows the same histogram.  Compares vanilla Hive, whole-view
+materialization (NP), and DeepSea, and prints a per-phase breakdown
+showing how DeepSea follows the moving hot spot.
+
+Run:  python examples/sdss_dashboard.py  [n_queries]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.baselines import deepsea, hive, non_partitioned
+from repro.workloads.bigbench import generate_bigbench
+from repro.workloads.generator import sdss_mapped_workload
+from repro.partitioning.intervals import Interval
+from repro.workloads.sdss import (
+    SDSSConfig,
+    generate_sdss_log,
+    range_histogram,
+    sample_values_from_ranges,
+)
+
+
+def main(n_queries: int = 200) -> None:
+    print("generating the synthetic SDSS log (10 000 range selections)...")
+    log = generate_sdss_log(SDSSConfig())
+    edges, hits = range_histogram(log, nbins=14)
+    print("access histogram over ra (hits per 30-degree bin):")
+    peak = hits.max()
+    for i, h in enumerate(hits):
+        bar = "#" * max(1, int(40 * h / peak))
+        print(f"  {edges[i]:>6.0f}..{edges[i + 1]:>6.0f}  {bar} {h}")
+
+    item_domain = Interval.closed(0, 40_000)
+    rng = np.random.default_rng(0)
+    values = sample_values_from_ranges(log, 50_000, item_domain, rng)
+    instance = generate_bigbench(
+        500.0, seed=1, item_domain=item_domain, item_sk_values=values
+    )
+    plans = sdss_mapped_workload(log, item_domain, n_queries=n_queries, seed=2)
+    print(f"\nworkload: {n_queries} BigBench queries with SDSS-mapped ranges, "
+          f"500 GB instance")
+
+    results = {}
+    for label, factory in (
+        ("Hive", hive),
+        ("NP", non_partitioned),
+        ("DeepSea", deepsea),
+    ):
+        system = factory(instance.catalog, domains=instance.domains)
+        reports = [system.execute(p) for p in plans]
+        results[label] = reports
+        total = sum(r.total_s for r in reports)
+        reuse = sum(1 for r in reports if r.reused_view)
+        print(f"  {label:>8}: {total:>10,.0f} simulated seconds "
+              f"({reuse}/{n_queries} queries answered from the pool)")
+
+    hive_total = sum(r.total_s for r in results["Hive"])
+    for label in ("NP", "DeepSea"):
+        total = sum(r.total_s for r in results[label])
+        print(f"  {label} = {total / hive_total:.0%} of Hive")
+
+    quarters = max(n_queries // 4, 1)
+    print("\nper-quarter cumulative time (watch DeepSea pull ahead as the "
+          "pool warms up):")
+    print(f"{'quarter':>8} {'Hive':>12} {'NP':>12} {'DeepSea':>12}")
+    for q in range(4):
+        sl = slice(q * quarters, (q + 1) * quarters)
+        row = [sum(r.total_s for r in results[label][sl])
+               for label in ("Hive", "NP", "DeepSea")]
+        print(f"{'Q' + str(q + 1):>8} {row[0]:>12,.0f} {row[1]:>12,.0f} {row[2]:>12,.0f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200)

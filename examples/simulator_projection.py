@@ -1,0 +1,68 @@
+"""The §9 simulator — projecting long workloads from short measurements.
+
+Evaluating a selection strategy over thousands of queries is slow even on
+a simulated cluster if every query is physically executed.  The paper's
+simulator observes each query template's steady-state behaviour and then
+*predicts* repeat executions with linear regression over the selection
+width.
+
+This example measures a 12-query prefix per template, lets the simulator
+predict the rest of a 200-query mixed workload, and compares the
+projection against the ground truth of actually executing everything.
+
+Run:  python examples/simulator_projection.py
+"""
+
+import numpy as np
+
+from repro.baselines import deepsea
+from repro.core.simulator import WorkloadSimulator
+from repro.workloads.bigbench import generate_bigbench, TEMPLATES
+
+
+def build_workload(instance, n=200, seed=5):
+    rng = np.random.default_rng(seed)
+    names = ["q01", "q05", "q30"]
+    queries = []
+    for _ in range(n):
+        name = names[int(rng.integers(0, len(names)))]
+        width = int(rng.integers(400, 2_000))
+        lo = int(rng.integers(0, 40_000 - width))
+        queries.append((name, TEMPLATES[name](lo, lo + width)))
+    return queries
+
+
+def main() -> None:
+    instance = generate_bigbench(100.0, seed=5)
+    workload = build_workload(instance)
+
+    print("ground truth: executing all 200 queries ...")
+    truth_system = deepsea(instance.catalog, domains=instance.domains)
+    truth = sum(truth_system.execute(plan).total_s for _, plan in workload)
+
+    print("simulator: measuring until each template is learned, then predicting ...")
+    sim_system = deepsea(instance.catalog, domains=instance.domains)
+    simulator = WorkloadSimulator(sim_system, min_samples=12)
+    projected = simulator.run_workload(workload)
+
+    print(f"\n  ground truth : {truth:>12,.0f} simulated s (200 executions)")
+    print(f"  simulator    : {projected:>12,.0f} simulated s "
+          f"({simulator.measured_count} measured + "
+          f"{simulator.predicted_count} predicted)")
+    error = abs(projected - truth) / truth
+    print(f"  projection error: {error:.1%}")
+    speedup = 200 / max(simulator.measured_count, 1)
+    print(f"  executions saved: {simulator.predicted_count} "
+          f"(~{speedup:.1f}x fewer physical runs)")
+
+    print("\nper-template regression fits (elapsed ≈ a + b·width):")
+    for template in sorted(simulator.regression._widths):
+        fit = simulator.regression.fit(template)
+        if fit:
+            print(f"  {template}: intercept={fit.intercept:8.1f}s "
+                  f"slope={fit.slope * 1000:8.3f}s/1000-units "
+                  f"(n={fit.n_samples})")
+
+
+if __name__ == "__main__":
+    main()

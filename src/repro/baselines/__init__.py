@@ -1,0 +1,21 @@
+"""System-variant factories (H, NP, E-k, NR, Nectar, Nectar+, DS)."""
+
+from repro.baselines.systems import (
+    deepsea,
+    equidepth,
+    hive,
+    nectar,
+    nectar_plus,
+    no_repartition,
+    non_partitioned,
+)
+
+__all__ = [
+    "deepsea",
+    "equidepth",
+    "hive",
+    "nectar",
+    "nectar_plus",
+    "no_repartition",
+    "non_partitioned",
+]

@@ -1,0 +1,137 @@
+"""Factories for every system variant evaluated in the paper (§10).
+
+Each factory returns a configured :class:`~repro.core.deepsea.DeepSea`
+instance; the baselines differ only by policy, so all share the matching,
+execution, and accounting machinery — exactly how the paper's comparisons
+are meant to isolate one design decision at a time.
+"""
+
+from __future__ import annotations
+
+from repro.core.deepsea import DeepSea
+from repro.core.policies import Policy
+from repro.engine.catalog import Catalog
+from repro.engine.cost import ClusterSpec
+from repro.partitioning.bounding import SizeBounds
+from repro.partitioning.intervals import Interval
+
+
+def _make(catalog, cluster, smax_bytes, domains, policy):
+    return DeepSea(
+        catalog,
+        cluster=cluster,
+        smax_bytes=smax_bytes,
+        policy=policy,
+        domains=domains,
+    )
+
+
+def hive(
+    catalog: Catalog,
+    *,
+    cluster: ClusterSpec | None = None,
+    domains: dict[str, Interval] | None = None,
+) -> DeepSea:
+    """H — vanilla Hive: no materialization, selections pushed down."""
+    return _make(catalog, cluster, None, domains, Policy(materialize=False))
+
+
+def non_partitioned(
+    catalog: Catalog,
+    *,
+    cluster: ClusterSpec | None = None,
+    smax_bytes: float | None = None,
+    domains: dict[str, Interval] | None = None,
+    evidence_factor: float = 1.0,
+) -> DeepSea:
+    """NP — whole-view materialization with logical matching (ReStore-like)."""
+    policy = Policy(partitioning="none", evidence_factor=evidence_factor)
+    return _make(catalog, cluster, smax_bytes, domains, policy)
+
+
+def equidepth(
+    catalog: Catalog,
+    fragments: int,
+    *,
+    cluster: ClusterSpec | None = None,
+    smax_bytes: float | None = None,
+    domains: dict[str, Interval] | None = None,
+    evidence_factor: float = 1.0,
+    bounds: SizeBounds | None = SizeBounds(),
+) -> DeepSea:
+    """E-k — non-adaptive equi-depth partitioning with k fragments."""
+    policy = Policy(
+        partitioning="equidepth",
+        equidepth_fragments=fragments,
+        repartition=False,
+        evidence_factor=evidence_factor,
+        bounds=bounds,
+    )
+    return _make(catalog, cluster, smax_bytes, domains, policy)
+
+
+def no_repartition(
+    catalog: Catalog,
+    *,
+    cluster: ClusterSpec | None = None,
+    smax_bytes: float | None = None,
+    domains: dict[str, Interval] | None = None,
+    evidence_factor: float = 1.0,
+    bounds: SizeBounds | None = SizeBounds(),
+) -> DeepSea:
+    """NR — adaptive initial partitioning, never refined (§10.4)."""
+    policy = Policy(
+        repartition=False, evidence_factor=evidence_factor, bounds=bounds
+    )
+    return _make(catalog, cluster, smax_bytes, domains, policy)
+
+
+def nectar(
+    catalog: Catalog,
+    *,
+    cluster: ClusterSpec | None = None,
+    smax_bytes: float | None = None,
+    domains: dict[str, Interval] | None = None,
+    evidence_factor: float = 1.0,
+) -> DeepSea:
+    """N — Nectar's selection strategy (no benefit, no decay, no MLE)."""
+    policy = Policy(
+        value_model="nectar", use_mle=False, evidence_factor=evidence_factor
+    )
+    return _make(catalog, cluster, smax_bytes, domains, policy)
+
+
+def nectar_plus(
+    catalog: Catalog,
+    *,
+    cluster: ClusterSpec | None = None,
+    smax_bytes: float | None = None,
+    domains: dict[str, Interval] | None = None,
+    evidence_factor: float = 1.0,
+) -> DeepSea:
+    """N+ — Nectar extended with accumulated (undecayed) benefit."""
+    policy = Policy(
+        value_model="nectar+", use_mle=False, evidence_factor=evidence_factor
+    )
+    return _make(catalog, cluster, smax_bytes, domains, policy)
+
+
+def deepsea(
+    catalog: Catalog,
+    *,
+    cluster: ClusterSpec | None = None,
+    smax_bytes: float | None = None,
+    domains: dict[str, Interval] | None = None,
+    evidence_factor: float = 1.0,
+    overlapping: bool = True,
+    use_mle: bool = True,
+    bounds: SizeBounds | None = SizeBounds(),
+) -> DeepSea:
+    """DS — the full system."""
+    policy = Policy(
+        evidence_factor=evidence_factor,
+        overlapping=overlapping,
+        use_mle=use_mle,
+        bounds=bounds,
+    )
+    return _make(catalog, cluster, smax_bytes, domains, policy)

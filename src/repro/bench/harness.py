@@ -1,0 +1,170 @@
+"""Experiment harness: run system variants over workloads, collect series.
+
+Every benchmark in ``benchmarks/`` is a thin wrapper around this module:
+it builds an instance + workload, calls :func:`run_systems`, and renders
+the paper-shaped table with :mod:`repro.bench.reporting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.deepsea import DeepSea
+from repro.core.reports import QueryReport
+from repro.partitioning.intervals import Interval
+from repro.query.algebra import Plan
+from repro.workloads.bigbench import BigBenchInstance, generate_bigbench
+from repro.workloads.sdss import (
+    SDSSConfig,
+    generate_sdss_log,
+    sample_values_from_ranges,
+)
+
+SystemFactory = Callable[..., DeepSea]
+
+
+@dataclass
+class RunResult:
+    """Everything recorded from running one system over one workload."""
+
+    label: str
+    reports: list[QueryReport]
+
+    @property
+    def total_s(self) -> float:
+        return sum(r.total_s for r in self.reports)
+
+    @property
+    def execution_s(self) -> float:
+        return sum(r.execution_s for r in self.reports)
+
+    @property
+    def creation_s(self) -> float:
+        return sum(r.creation_s for r in self.reports)
+
+    @property
+    def per_query_s(self) -> list[float]:
+        return [r.total_s for r in self.reports]
+
+    @property
+    def cumulative_s(self) -> list[float]:
+        return list(np.cumsum(self.per_query_s))
+
+    @property
+    def map_tasks(self) -> int:
+        return sum(
+            r.execution_ledger.map_tasks + r.creation_ledger.map_tasks
+            for r in self.reports
+        )
+
+    @property
+    def reuse_count(self) -> int:
+        return sum(1 for r in self.reports if r.reused_view)
+
+    def recoup_point(self, baseline_per_query: list[float]) -> int | None:
+        """First query index (1-based) where cumulative time drops below the
+        baseline's — the Figure-7b "queries to recoup" metric."""
+        mine = self.cumulative_s
+        base = list(np.cumsum(baseline_per_query))
+        for i in range(min(len(mine), len(base))):
+            if mine[i] <= base[i]:
+                return i + 1
+        return None
+
+
+def run_system(label: str, system: DeepSea, plans: list[Plan]) -> RunResult:
+    """Execute a workload on one system instance."""
+    return RunResult(label, [system.execute(p) for p in plans])
+
+
+def run_systems(
+    factories: dict[str, Callable[[], DeepSea]], plans: list[Plan]
+) -> dict[str, RunResult]:
+    """Run the same workload through several freshly built systems."""
+    return {
+        label: run_system(label, make(), plans) for label, make in factories.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Shared experiment fixtures
+# ----------------------------------------------------------------------
+@dataclass
+class SDSSFixture:
+    """The §10.1 setup: SDSS log + SDSS-distributed BigBench instance."""
+
+    instance: BigBenchInstance
+    log: list[Interval]
+
+    @property
+    def catalog(self):
+        return self.instance.catalog
+
+    @property
+    def domains(self):
+        return self.instance.domains
+
+    @property
+    def item_domain(self) -> Interval:
+        return self.instance.item_domain
+
+
+_FIXTURE_CACHE: dict[tuple, SDSSFixture] = {}
+
+
+def sdss_fixture(
+    instance_gb: float = 500.0,
+    *,
+    log_queries: int = 10_000,
+    seed: int = 1,
+    item_domain: Interval = Interval.closed(0, 40_000),
+) -> SDSSFixture:
+    """Build (and cache) the SDSS-patterned BigBench instance."""
+    key = (instance_gb, log_queries, seed, item_domain)
+    if key not in _FIXTURE_CACHE:
+        log = generate_sdss_log(SDSSConfig(n_queries=log_queries))
+        rng = np.random.default_rng(seed)
+        values = sample_values_from_ranges(log, 50_000, item_domain, rng)
+        instance = generate_bigbench(
+            instance_gb, seed=seed, item_domain=item_domain, item_sk_values=values
+        )
+        _FIXTURE_CACHE[key] = SDSSFixture(instance, log)
+    return _FIXTURE_CACHE[key]
+
+
+@dataclass
+class UniformFixture:
+    """Table-1 synthetic setup: uniform item distribution."""
+
+    instance: BigBenchInstance
+
+    @property
+    def catalog(self):
+        return self.instance.catalog
+
+    @property
+    def domains(self):
+        return self.instance.domains
+
+    @property
+    def item_domain(self) -> Interval:
+        return self.instance.item_domain
+
+
+_UNIFORM_CACHE: dict[tuple, UniformFixture] = {}
+
+
+def uniform_fixture(
+    instance_gb: float = 100.0,
+    *,
+    seed: int = 1,
+    item_domain: Interval = Interval.closed(0, 40_000),
+) -> UniformFixture:
+    key = (instance_gb, seed, item_domain)
+    if key not in _UNIFORM_CACHE:
+        instance = generate_bigbench(instance_gb, seed=seed, item_domain=item_domain)
+        _UNIFORM_CACHE[key] = UniformFixture(instance)
+    return _UNIFORM_CACHE[key]

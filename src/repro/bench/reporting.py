@@ -1,0 +1,55 @@
+"""Rendering paper-shaped result tables and series.
+
+Benchmarks print their results through these helpers so every figure's
+reproduction has a uniform, diffable text form (also recorded in
+``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None
+) -> str:
+    """A fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, values: Sequence[float], every: int = 1, unit: str = "s"
+) -> str:
+    """A compact one-line rendering of a cumulative/per-query series."""
+    shown = values[::every]
+    body = ", ".join(f"{v:,.0f}" for v in shown)
+    return f"{label} [{unit}]: {body}"
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def normalize(values: Sequence[float], baseline: float) -> list[float]:
+    """Values as fractions of a baseline (the paper's "% of Hive" axes)."""
+    if baseline == 0:
+        raise ZeroDivisionError("baseline must be non-zero")
+    return [v / baseline for v in values]

@@ -1,0 +1,180 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run fig5a            # regenerate one figure
+    python -m repro run fig5a fig6       # several
+    python -m repro run all              # the whole evaluation
+    python -m repro compare --queries 200 --pool 0.25
+                                          # ad-hoc H/NP/DS comparison
+
+Each experiment prints the same paper-shaped table as its pytest
+benchmark; the CLI simply drives the ``run_experiment`` functions that the
+benchmarks define, so results are identical to
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.reporting import format_table
+
+_BENCH_DIR = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+
+EXPERIMENTS = {
+    "table1": ("bench_table1_parameters", "Table 1 — parameter grid"),
+    "fig1": ("bench_fig1_sdss_histogram", "Figure 1 — SDSS histogram"),
+    "fig2": ("bench_fig2_sdss_evolution", "Figure 2 — selection-range evolution"),
+    "fig5a": ("bench_fig5a_overall", "Figure 5a — DS vs NP vs H"),
+    "fig5b": ("bench_fig5b_selection_strategies", "Figure 5b — N / N+ / DS"),
+    "fig6": ("bench_fig6_equidepth", "Figure 6 — equi-depth vs adaptive"),
+    "fig7a": ("bench_fig7a_selectivity_skew", "Figure 7a — selectivity x skew"),
+    "fig7b": ("bench_fig7b_recoup", "Figure 7b — queries to recoup"),
+    "fig8a": ("bench_fig8a_correlation_normal", "Figure 8a — correlations (normal)"),
+    "fig8b": ("bench_fig8b_correlation_zipf", "Figure 8b — correlations (Zipf)"),
+    "fig9": ("bench_fig9_overlapping", "Figure 9 — overlapping partitioning"),
+    "fig10a": ("bench_fig10a_adaptation", "Figure 10a — workload change"),
+    "fig10b": ("bench_fig10b_ratio", "Figure 10b — DS/NR ratio"),
+    "decay": ("bench_ablation_decay", "Ablation A1 — decay"),
+    "bounding": ("bench_ablation_bounding", "Ablation A2 — size bounding"),
+    "filtertree": ("bench_ablation_filtertree", "Ablation A3 — filter tree"),
+    "mle": ("bench_ablation_mle", "Ablation A4 — MLE smoothing"),
+    "merging": ("bench_ablation_merging", "Ablation A5 — fragment merging"),
+}
+
+
+def _load_bench(module_name: str):
+    """Import a benchmark module from the benchmarks/ directory."""
+    if str(_BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(_BENCH_DIR))
+    path = _BENCH_DIR / f"{module_name}.py"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:
+        raise FileNotFoundError(path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class _PrintingBenchmark:
+    """Duck-typed pytest-benchmark fixture: run once, report wall time."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+    def __call__(self, fn, *args, **kwargs):
+        return self.pedantic(fn, args=args, kwargs=kwargs)
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1, warmup_rounds=0):
+        start = time.perf_counter()
+        result = fn(*args, **(kwargs or {}))
+        self.elapsed = time.perf_counter() - start
+        return result
+
+
+def run_experiment(key: str) -> None:
+    module_name, title = EXPERIMENTS[key]
+    module = _load_bench(module_name)
+    print(f"\n### {title} ###")
+    bench = _PrintingBenchmark()
+    once = lambda fn: bench.pedantic(fn)
+    test_fns = [
+        getattr(module, name)
+        for name in dir(module)
+        if name.startswith("test_") and callable(getattr(module, name))
+    ]
+    for fn in test_fns:
+        params = fn.__code__.co_varnames[: fn.__code__.co_argcount]
+        kwargs = {}
+        if "once" in params:
+            kwargs["once"] = once
+        if "benchmark" in params:
+            kwargs["benchmark"] = bench
+        fn(**kwargs)
+    print(f"(experiment wall time: {bench.elapsed:.1f}s; all assertions held)")
+
+
+def cmd_list() -> int:
+    rows = [(key, desc) for key, (_, desc) in EXPERIMENTS.items()]
+    print(format_table(["id", "experiment"], rows, title="Available experiments"))
+    return 0
+
+
+def cmd_run(keys: list[str]) -> int:
+    targets = list(EXPERIMENTS) if keys == ["all"] else keys
+    unknown = [k for k in targets if k not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use `python -m repro list` to see what's available", file=sys.stderr)
+        return 2
+    for key in targets:
+        run_experiment(key)
+    return 0
+
+
+def cmd_compare(queries: int, pool: float | None, instance_gb: float, seed: int) -> int:
+    from repro.baselines import deepsea, hive, non_partitioned
+    from repro.bench.harness import sdss_fixture
+    from repro.workloads.generator import sdss_mapped_workload
+
+    fx = sdss_fixture(instance_gb)
+    plans = sdss_mapped_workload(fx.log, fx.item_domain, n_queries=queries, seed=seed)
+    smax = fx.catalog.total_size_bytes * pool if pool is not None else None
+    rows = []
+    for label, factory in (
+        ("H", lambda: hive(fx.catalog, domains=fx.domains)),
+        ("NP", lambda: non_partitioned(fx.catalog, domains=fx.domains, smax_bytes=smax)),
+        ("DS", lambda: deepsea(fx.catalog, domains=fx.domains, smax_bytes=smax)),
+    ):
+        system = factory()
+        reports = [system.execute(p) for p in plans]
+        total = sum(r.total_s for r in reports)
+        reuse = sum(1 for r in reports if r.reused_view)
+        rows.append((label, total, reuse, system.pool.used_bytes / 1e9))
+    baseline = rows[0][1]
+    rows = [(l, t, t / baseline, r, p) for (l, t, r, p) in rows]
+    print(
+        format_table(
+            ["system", "total (s)", "vs H", "reuses", "pool (GB)"],
+            rows,
+            title=f"Ad-hoc comparison — {queries} SDSS-mapped queries, "
+            f"{instance_gb:.0f}GB instance, pool "
+            f"{'unlimited' if pool is None else f'{pool:.0%} of base'}",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DeepSea (EDBT 2017) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_p = sub.add_parser("run", help="run experiments by id (or 'all')")
+    run_p.add_argument("experiments", nargs="+", metavar="ID")
+    cmp_p = sub.add_parser("compare", help="ad-hoc H/NP/DS comparison")
+    cmp_p.add_argument("--queries", type=int, default=200)
+    cmp_p.add_argument("--pool", type=float, default=None,
+                       help="pool budget as a fraction of base size")
+    cmp_p.add_argument("--instance-gb", type=float, default=500.0)
+    cmp_p.add_argument("--seed", type=int, default=2)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.experiments)
+    return cmd_compare(args.queries, args.pool, args.instance_gb, args.seed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

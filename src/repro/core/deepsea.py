@@ -1,0 +1,1132 @@
+"""The DeepSea online partitioned-view manager — Algorithm 1.
+
+:class:`DeepSea` processes a workload one query at a time.  For each query
+it (numbers follow Algorithm 1 in the paper):
+
+1. computes all view matches, resident or not (``COMPUTEREWRITINGS``);
+2. records benefit events and fragment hits for every match
+   (``UPDATESTATS``);
+3. picks the cheapest executable rewriting, or direct execution
+   (``SELECTREWRITING``);
+4. registers Definition-6 view candidates and refines tentative partition
+   designs with Definition-7 splits (``COMPUTEVIEWCAND`` /
+   ``ADDCANDIDATES``);
+5. filters candidates by the §7.2 evidence test and plans refinements of
+   resident partitions (``VIEWSELECTION``);
+6. executes the chosen plan, capturing the intermediate results it needs
+   (``INSTRUMENTQUERY`` / ``EXECUTEQUERY``) — selections are pushed down
+   only when nothing is being materialized, reproducing the paper's
+   "selections are not pushed down" materialization cost;
+7. materializes the selected views as (bounded) partitions, applies
+   refinements (splits or overlapping fragments), evicting lower-value
+   entries when the pool is full, and replaces size/cost estimates with
+   actuals (``UPDATESTATS``).
+
+All baselines (H, NP, E-k, NR, Nectar, Nectar+) are the same driver under
+a different :class:`~repro.core.policies.Policy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.admission import AdmissionController
+from repro.core.merging import MergeCandidate, find_merge_candidates
+from repro.core.domains import DomainResolver
+from repro.core.policies import Policy
+from repro.core.reports import QueryReport, WorkloadSummary
+from repro.core.tentative import TentativePartitions
+from repro.costmodel.estimate import estimate_fragment_cost, estimate_fragment_size
+from repro.costmodel.mle import adjusted_hits, adjusted_hits_density
+from repro.costmodel.nectar import (
+    nectar_fragment_value,
+    nectar_plus_fragment_value,
+    nectar_plus_view_value,
+    nectar_view_value,
+)
+from repro.costmodel.stats import StatisticsStore, ViewStats
+from repro.costmodel.value import (
+    fragment_hits,
+    realizing_hits,
+    fragment_value,
+    partition_distribution,
+    view_benefit,
+    view_value,
+)
+from repro.engine.catalog import Catalog
+from repro.engine.cost import ClusterSpec, CostLedger
+from repro.engine.executor import ExecutionContext, Executor
+from repro.engine.table import Table
+from repro.matching.filter_tree import FilterTree
+from repro.matching.matcher import partition_attr_ranges
+from repro.matching.partition_match import greedy_cover
+from repro.matching.rewriter import Rewriter, Rewriting, ViewMatch
+from repro.partitioning.bounding import bound_fragment, merge_undersized
+from repro.partitioning.candidates import SplitCandidate, partition_candidates
+from repro.partitioning.equidepth import equidepth_intervals
+from repro.partitioning.fragmentation import Fragmentation
+from repro.partitioning.intervals import Interval, sort_key
+from repro.query.algebra import Plan, replace_subplan
+from repro.query.optimizer import push_down
+from repro.query.signature import view_id_for
+from repro.query.subqueries import view_candidate_subplans
+from repro.storage.hdfs import SimulatedHDFS
+from repro.storage.pool import FragmentKey, MaterializedViewPool
+
+# Cap on tentative-design fragmentation growth for views that accumulate
+# evidence over very long workloads without being materialized.
+_MAX_TENTATIVE_FRAGMENTS = 512
+
+
+@dataclass
+class ViewCreation:
+    """Decision to materialize one candidate view during this query."""
+
+    view_id: str
+    plan: Plan
+    attrs: tuple[str, ...]  # partition attributes (empty = store whole)
+
+
+@dataclass
+class Refinement:
+    """Decision to refine one resident fragment (§6.2 / Example 2)."""
+
+    view_id: str
+    attr: str
+    parent: Interval
+    split_pieces: tuple[Interval, ...] | None  # split mode: replaces parent
+    overlap_pieces: tuple[Interval, ...] | None  # overlap mode: parent kept
+
+
+class DeepSea:
+    """Online workload-aware partitioned-view manager over the simulated cluster."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        cluster: ClusterSpec | None = None,
+        smax_bytes: float | None = None,
+        policy: Policy | None = None,
+        domains: dict[str, Interval] | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.cluster = cluster or ClusterSpec()
+        self.policy = policy or Policy()
+        self.pool = MaterializedViewPool(smax_bytes, SimulatedHDFS())
+        self.stats = StatisticsStore()
+        self.filter_tree = FilterTree()
+        self.domains = DomainResolver(catalog, domains)
+        self.tentative = TentativePartitions()
+        self.schemas = {n: catalog.get(n).schema.names for n in catalog.names}
+        self.rewriter = Rewriter(
+            self.schemas, self.filter_tree, self.pool, catalog, self.cluster, self.domains
+        )
+        self.executor = Executor(ExecutionContext(catalog, self.pool, self.cluster))
+        self.clock = 0
+        self.reports: list[QueryReport] = []
+        self._dist_cache: dict[tuple[int, str, str], tuple | None] = {}
+        self._creation_cooldown: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(self, plan: Plan) -> QueryReport:
+        """Process one query (Algorithm 1) and return its report."""
+        self.clock += 1
+        t = float(self.clock)
+        exec_ledger = CostLedger(self.cluster)
+        creation_ledger = CostLedger(self.cluster)
+
+        if not self.policy.materialize:
+            return self._execute_direct(plan, exec_ledger, creation_ledger)
+
+        # 4 (early). Register candidates so the current query contributes
+        # its own evidence — the paper's final UPDATESTATS folded forward.
+        candidates = self._register_candidates(plan)
+
+        # 1-2. Matching and statistics.
+        matches = self.rewriter.find_matches(plan)
+        self._update_match_statistics(plan, matches, t)
+
+        # 3. Choose Q_best.
+        rewritings = self.rewriter.build_rewritings(plan, matches)
+        direct_est = self.rewriter.estimate_plan_cost(push_down(plan, self.schemas)).cost_s
+        chosen: Rewriting | None = None
+        if rewritings:
+            best = min(rewritings, key=lambda r: r.est_cost_s)
+            if best.est_cost_s < direct_est:
+                chosen = best
+
+        # 5. Selection: creations and refinements.
+        usable = {r.view_id for r in rewritings}
+        creations = self._plan_view_creations(candidates, usable, t)
+        refinements = (
+            self._plan_refinements(matches, t) if self.policy.repartition else []
+        )
+
+        # 6. Execute (with capture for instrumentation).
+        #
+        # The expensive "selections are not pushed down" mode (§10.2) is
+        # only needed when a *mid-plan* intermediate must be captured in
+        # its unpushed form.  A creation whose definition is the whole
+        # query (e.g. the per-range aggregate view) is satisfied by the
+        # root result, which pushdown does not change.
+        needs_unpushed = any(creation.plan != plan for creation in creations)
+        plan_to_run = chosen.plan if chosen is not None else plan
+        if chosen is None and not needs_unpushed:
+            plan_to_run = push_down(plan, self.schemas)
+        target_map: dict[str, Plan] = {}
+        for creation in creations:
+            if creation.plan == plan:
+                target_map[creation.view_id] = plan_to_run  # the root result
+                continue
+            target = creation.plan
+            if chosen is not None and chosen.replaced is not None:
+                target = replace_subplan(target, chosen.replaced, chosen.replacement)
+            target_map[creation.view_id] = target
+        result, captured = self.executor.execute_with_capture(
+            plan_to_run, list(target_map.values()), exec_ledger
+        )
+
+        # 7. Materialize and refine.
+        views_created: list[str] = []
+        evictions = 0
+        for creation in creations:
+            table = captured.get(target_map[creation.view_id])
+            if table is None:
+                continue  # the rewriting bypassed this intermediate
+            created, evicted = self._materialize_view(creation, table, t, creation_ledger)
+            evictions += evicted
+            if created:
+                views_created.append(creation.view_id)
+            else:
+                self._creation_cooldown[creation.view_id] = t + self.policy.creation_cooldown
+        applied_refinements = 0
+        for refinement in refinements:
+            done, evicted = self._apply_refinement(refinement, t, creation_ledger)
+            evictions += evicted
+            applied_refinements += int(done)
+        if self.policy.merge_fragments:
+            for merge in self._plan_merges(matches, t):
+                done, evicted = self._apply_merge(merge, t, creation_ledger)
+                evictions += evicted
+                applied_refinements += int(done)
+        if self.policy.multi_attribute:
+            done, evicted = self._extend_partitions(matches, t, creation_ledger)
+            evictions += evicted
+            applied_refinements += done
+
+        report = QueryReport(
+            index=self.clock,
+            plan=plan,
+            result=result.table,
+            execution_ledger=exec_ledger,
+            creation_ledger=creation_ledger,
+            view_used=chosen.view_id if chosen is not None else None,
+            fragments_read=len(chosen.fragment_ids) if chosen is not None else 0,
+            views_created=views_created,
+            refinements=applied_refinements,
+            evictions=evictions,
+            pool_bytes=self.pool.used_bytes,
+        )
+        self.reports.append(report)
+        return report
+
+    def run_workload(self, plans: list[Plan]) -> WorkloadSummary:
+        """Execute a sequence of queries and return the aggregate summary."""
+        return WorkloadSummary([self.execute(p) for p in plans])
+
+    @property
+    def summary(self) -> WorkloadSummary:
+        return WorkloadSummary(list(self.reports))
+
+    # ------------------------------------------------------------------
+    # Vanilla execution (H baseline)
+    # ------------------------------------------------------------------
+    def _execute_direct(
+        self, plan: Plan, exec_ledger: CostLedger, creation_ledger: CostLedger
+    ) -> QueryReport:
+        result = self.executor.execute(push_down(plan, self.schemas), exec_ledger)
+        report = QueryReport(
+            index=self.clock,
+            plan=plan,
+            result=result.table,
+            execution_ledger=exec_ledger,
+            creation_ledger=creation_ledger,
+            pool_bytes=self.pool.used_bytes,
+        )
+        self.reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Candidate registration (Definitions 6 and 7)
+    # ------------------------------------------------------------------
+    def _register_candidates(self, plan: Plan) -> list[tuple[str, Plan]]:
+        query_sig = self.rewriter.signature_of(plan)
+        registered: list[tuple[str, Plan]] = []
+        for sub in view_candidate_subplans(plan):
+            view_id = view_id_for(sub)
+            if self.stats.view(view_id) is None:
+                sub_sig = self.rewriter.signature_of(sub)
+                self.filter_tree.add(view_id, sub_sig)
+                self.pool.define_view(view_id, sub)
+                vstats = self.stats.ensure_view(view_id, sub)
+                estimate = self.rewriter.estimate_plan_cost(sub)
+                vstats.size_bytes = max(estimate.bytes_out, 1.0)
+                # COST(V) is the full recreation price: recompute the
+                # defining query and write the partitioned result (§7.1).
+                vstats.creation_cost_s = estimate.cost_s + self.cluster.write_elapsed(
+                    0.0, nfiles=4
+                )
+            self._refine_tentative_designs(view_id, query_sig)
+            registered.append((view_id, sub))
+        return registered
+
+    def _refine_tentative_designs(self, view_id: str, query_sig) -> None:
+        """Progressive partition design for a (not yet resident) view."""
+        view_sig = self.filter_tree.signature(view_id)
+        if view_sig is None:
+            return
+        ranges = partition_attr_ranges(view_sig, query_sig)
+        for attr in sorted(ranges):
+            domain = self.domains(attr)
+            if domain is None:
+                continue
+            design = self.tentative.ensure(view_id, attr, domain)
+            if self.policy.partitioning != "adaptive":
+                continue
+            if self.pool.is_resident(view_id):
+                continue  # resident partitions refine via the cost filter
+            if len(design) >= _MAX_TENTATIVE_FRAGMENTS:
+                continue
+            theta = ranges[attr].intersect(domain)
+            if theta is None:
+                continue
+            for candidate in partition_candidates(theta, list(design.intervals), domain):
+                self._inherit_fragment_stats(view_id, attr, candidate)
+                current = self.tentative.get(view_id, attr)
+                if current is not None and candidate.parent in current.intervals:
+                    self.tentative.apply_split(view_id, attr, candidate)
+
+    def _inherit_fragment_stats(
+        self, view_id: str, attr: str, candidate: SplitCandidate
+    ) -> None:
+        """Give split pieces the parent's hit history.
+
+        Each piece inherits the hits whose recorded query range touched it
+        (hits without a range are copied wholesale); decay and the MLE
+        smoothing keep any residual over-count from distorting values.
+        """
+        parent = self.stats.fragment(view_id, attr, candidate.parent)
+        for piece in candidate.pieces:
+            piece_stats = self.stats.ensure_fragment(view_id, attr, piece)
+            if parent is not None and not piece_stats.hit_times:
+                for t, theta in zip(parent.hit_times, parent.hit_ranges):
+                    if theta is None or theta.overlaps(piece):
+                        piece_stats.record_hit(t, theta)
+
+    # ------------------------------------------------------------------
+    # Statistics update (§8.4)
+    # ------------------------------------------------------------------
+    def _update_match_statistics(
+        self, plan: Plan, matches: list[ViewMatch], t: float
+    ) -> None:
+        # A view often matches several subqueries of the same query (e.g.
+        # the bare join and the selection above it).  The view's best use
+        # is the one with the largest saving; record exactly one benefit
+        # event and one round of fragment hits per view per query.
+        best: dict[str, tuple[float, ViewMatch]] = {}
+        for match in matches:
+            vstats = self.stats.view(match.view_id)
+            if vstats is None:
+                continue
+            attrs = self.tentative.attrs_of(match.view_id)
+            saving = self.rewriter.estimate_saving(
+                plan, match, vstats.size_bytes, attrs
+            )
+            current = best.get(match.view_id)
+            specificity = len(match.attr_ranges)
+            if current is None or (saving, specificity) > (
+                current[0],
+                len(current[1].attr_ranges),
+            ):
+                best[match.view_id] = (saving, match)
+        for view_id, (saving, match) in best.items():
+            vstats = self.stats.view(view_id)
+            vstats.record_benefit(t, saving)
+            for attr in self.tentative.attrs_of(view_id):
+                domain = self.domains(attr)
+                if domain is None:
+                    continue
+                theta = match.attr_ranges.get(attr)
+                theta = theta.intersect(domain) if theta is not None else domain
+                if theta is None:
+                    continue
+                # Hits are recorded over PSTAT — every tracked fragment,
+                # including unmaterialized candidate pieces — so that
+                # refinement candidates accumulate their own evidence.
+                for interval in self.tentative.intervals(view_id, attr):
+                    self.stats.ensure_fragment(view_id, attr, interval)
+                for interval in self.stats.intervals_for(view_id, attr):
+                    if interval.overlaps(theta):
+                        self.stats.fragment(view_id, attr, interval).record_hit(
+                            t, theta
+                        )
+
+    # ------------------------------------------------------------------
+    # View selection (§7.2-7.3)
+    # ------------------------------------------------------------------
+    def _plan_view_creations(
+        self,
+        candidates: list[tuple[str, Plan]],
+        usable_views: set[str],
+        t: float,
+    ) -> list[ViewCreation]:
+        creations: list[ViewCreation] = []
+        for view_id, sub in candidates:
+            if view_id in usable_views:
+                continue  # already answerable from the pool
+            if self.pool.whole_view_entry(view_id) is not None:
+                continue
+            if self._creation_cooldown.get(view_id, 0.0) > t:
+                continue  # recent attempt could not win pool space
+            vstats = self.stats.view(view_id)
+            benefit = view_benefit(vstats, t, self.policy.effective_decay)
+            if benefit < self.policy.evidence_factor * vstats.creation_cost_s:
+                continue
+            attrs = self._choose_partition_attrs(view_id)
+            # A first-ever attempt runs regardless (it establishes actual
+            # sizes; a failure triggers the cooldown).  Re-attempts only
+            # proceed when the Φ-ranked knapsack would actually admit the
+            # hottest fragment — this is what bounds the small-pool
+            # "oscillation" the paper observes at 5% (§10.1), because a
+            # doomed creation costs a full unpushed instrumented query.
+            if vstats.size_is_actual and not self._admission_feasible(
+                view_id, attrs[0] if attrs else None, t
+            ):
+                self._creation_cooldown[view_id] = t + self.policy.creation_cooldown
+                continue
+            creations.append(ViewCreation(view_id, sub, attrs))
+        return creations
+
+    def _admission_feasible(self, view_id: str, attr: str | None, t: float) -> bool:
+        """Would at least the hottest fragment win space in the pool?"""
+        if self.pool.smax_bytes is None:
+            return True
+        vstats = self.stats.view(view_id)
+        controller = AdmissionController(self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis)
+        if attr is None:
+            value = self._view_admission_value(vstats, t)
+            return controller.plan_eviction(vstats.size_bytes, value) is not None
+        domain = self.domains(attr)
+        if domain is None or domain.width <= 0:
+            return False
+        best: tuple[float, float] | None = None  # (value, est size)
+        for interval in self.tentative.intervals(view_id, attr):
+            clamped = interval.intersect(domain)
+            if clamped is None:
+                continue
+            fstats = self.stats.fragment(view_id, attr, interval)
+            if fstats is not None and fstats.size_is_actual:
+                # A previous materialization measured this fragment; the
+                # width-proportional guess badly underestimates hot ranges
+                # on skewed data.
+                size_est = fstats.size_bytes
+            else:
+                size_est = vstats.size_bytes * (clamped.width / domain.width)
+            value = self._fragment_admission_value(view_id, attr, interval, t)
+            if best is None or value > best[0]:
+                best = (value, size_est)
+        if best is None:
+            return False
+        return controller.plan_eviction(best[1], best[0]) is not None
+
+    def _choose_partition_attrs(self, view_id: str) -> tuple[str, ...]:
+        """Partition attributes for a new view.
+
+        By default only the first (sorted) attribute with workload
+        evidence is partitioned; with ``Policy.multi_attribute`` every
+        attribute the workload restricted gets its own partition — §4
+        permits several partitions of one view as long as they are on
+        different attributes, and the rewriter picks the cheapest one per
+        query.
+        """
+        if self.policy.partitioning == "none":
+            return ()
+        usable = tuple(
+            attr
+            for attr in self.tentative.attrs_of(view_id)
+            if self.domains(attr) is not None
+        )
+        if not usable:
+            return ()
+        if self.policy.multi_attribute:
+            return usable
+        return usable[:1]
+
+    # ------------------------------------------------------------------
+    # Refinement planning (§7.2 filter with adjusted hits)
+    # ------------------------------------------------------------------
+    def _plan_refinements(self, matches: list[ViewMatch], t: float) -> list[Refinement]:
+        if self.policy.partitioning != "adaptive":
+            return []
+        refinements: list[Refinement] = []
+        seen: set[tuple[str, str, Interval]] = set()
+        for match in matches:
+            view_id = match.view_id
+            if not self.pool.is_resident(view_id):
+                continue
+            for attr in self.pool.partition_attrs(view_id):
+                theta = match.attr_ranges.get(attr)
+                domain = self.domains(attr)
+                if theta is None or domain is None:
+                    continue
+                theta = theta.intersect(domain)
+                if theta is None:
+                    continue
+                design = self.tentative.ensure(view_id, attr, domain)
+                for candidate in partition_candidates(
+                    theta, list(design.intervals), domain
+                ):
+                    key = (view_id, attr, candidate.parent)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    refinement = self._evaluate_refinement(
+                        view_id, attr, candidate, theta, domain, t
+                    )
+                    if refinement is not None:
+                        refinements.append(refinement)
+        return refinements
+
+    def _evaluate_refinement(
+        self,
+        view_id: str,
+        attr: str,
+        candidate: SplitCandidate,
+        theta: Interval,
+        domain: Interval,
+        t: float,
+    ) -> Refinement | None:
+        vstats = self.stats.view(view_id)
+        if vstats is None:
+            return None
+        resident = [
+            (e.key.interval, e.size_bytes)
+            for e in self.pool.fragments_of(view_id, attr)
+        ]
+        hot = [p for p in candidate.pieces if theta.contains(p)]
+        if not hot:
+            return None
+        # Track the candidate pieces in PSTAT immediately (ADDCANDIDATES):
+        # even if the §7.2 filter rejects them now, they accumulate hit
+        # evidence and may pass on a later query.
+        self._inherit_fragment_stats(view_id, attr, candidate)
+        if self.policy.overlapping:
+            # Widen before filtering: the filter's realizing-hits test asks
+            # which past queries the new fragment would have served, and
+            # that must be judged against the fragment actually created.
+            jitter = self._observed_jitter(view_id, attr, candidate.parent, theta)
+            hot = [
+                self._widen_piece(p, theta, candidate.parent, domain, jitter)
+                for p in hot
+            ]
+        if not self._refinement_passes(
+            view_id, attr, candidate.parent, hot, resident, domain, vstats, t
+        ):
+            return None
+        if self.policy.overlapping:
+            pieces = tuple(
+                p
+                for p in hot
+                if self.pool.find_fragment(FragmentKey(view_id, attr, p)) is None
+                and p not in self.tentative.intervals(view_id, attr)
+            )
+            if not pieces:
+                return None
+            for piece in pieces:
+                self.tentative.add_overlapping(view_id, attr, piece)
+            return Refinement(view_id, attr, candidate.parent, None, pieces)
+        self.tentative.apply_split(view_id, attr, candidate)
+        return Refinement(view_id, attr, candidate.parent, candidate.pieces, None)
+
+    def _observed_jitter(
+        self, view_id: str, attr: str, parent: Interval, theta: Interval
+    ) -> float:
+        """Standard deviation of recent query midpoints around ``theta``.
+
+        Measured from the parent fragment's recorded hit ranges, so the
+        widening below can cover the workload's actual endpoint jitter
+        (heavy skew keeps ranges near one spot but their midpoints still
+        wander by the distribution's sigma).
+        """
+        parent_stats = self.stats.fragment(view_id, attr, parent)
+        if parent_stats is None:
+            return 0.0
+        mids = [
+            rng.midpoint
+            for rng in parent_stats.hit_ranges[-30:]
+            if rng is not None
+            and rng.is_bounded()
+            and rng.overlaps(theta)
+            # same template family: comparable selection widths only
+            and abs(rng.width - theta.width) <= 0.5 * theta.width
+        ]
+        if len(mids) < 2:
+            return 0.0
+        mean = sum(mids) / len(mids)
+        return (sum((m - mean) ** 2 for m in mids) / len(mids)) ** 0.5
+
+    def _widen_piece(
+        self,
+        piece: Interval,
+        theta: Interval,
+        parent: Interval,
+        domain: Interval,
+        jitter: float = 0.0,
+    ) -> Interval:
+        """Widen an overlapping piece to absorb endpoint jitter.
+
+        The margin scales with the *query* width (endpoint jitter between
+        instances of a template is proportional to the selection range,
+        not to the possibly sliver-thin piece being carved) and with the
+        jitter actually observed on the parent, whichever is larger.
+        """
+        margin = max(self.policy.refinement_margin * theta.width, 2.0 * jitter)
+        if margin <= 0:
+            return piece
+        widened = Interval(
+            piece.lo - margin, piece.hi + margin, False, False
+        ).intersect(parent)
+        widened = widened.intersect(domain) if widened is not None else None
+        return widened if widened is not None else piece
+
+    def _refinement_passes(
+        self,
+        view_id: str,
+        attr: str,
+        parent: Interval,
+        hot: list[Interval],
+        resident: list[tuple[Interval, float]],
+        domain: Interval,
+        vstats: ViewStats,
+        t: float,
+    ) -> bool:
+        """§7.2: create the fragment only when its benefit covers its cost.
+
+        The benefit of a refinement is *marginal*: it is what queries that
+        hit the piece would save by reading the new small fragment instead
+        of the cheapest resident cover of its range.  A range already
+        served by tight fragments yields no benefit, which is what stops
+        the system from re-carving the same hot spot query after query.
+        """
+        decay = self.policy.effective_decay
+        dist = None
+        if self.policy.smoothing_enabled:
+            dist = self._partition_distribution(view_id, attr, domain, t)
+        resident_sizes = {iv: s for iv, s in resident}
+        for piece in hot:
+            size_est = estimate_fragment_size(piece, resident, domain)
+            cost_est = estimate_fragment_cost(piece, resident, domain, self.cluster)
+            cover = greedy_cover(piece, list(resident_sizes))
+            if cover is None:
+                continue  # hole in the partition: nothing to refine from
+            cover_bytes = sum(resident_sizes[c.interval] for c in cover)
+            if size_est > 0.5 * cover_bytes:
+                # The range is already served by a reasonably tight cover;
+                # shaving a sliver off it would recur forever under
+                # endpoint jitter without a matching payoff.
+                continue
+            saving_per_hit = max(
+                self.cluster.read_elapsed(cover_bytes, nfiles=len(cover))
+                - self.cluster.read_elapsed(size_est, nfiles=1),
+                0.0,
+            )
+            parent_stats = self.stats.fragment(view_id, attr, parent)
+            # Only queries whose need from this parent fits inside the
+            # piece realize the per-hit margin; MLE smoothing tops this up
+            # (capped, so the fitted tail cannot manufacture evidence).
+            hits = (
+                realizing_hits(parent_stats, parent, piece, t, decay)
+                if parent_stats is not None
+                else 0.0
+            )
+            if dist is not None and hits > 0:
+                fitted, total = dist
+                smoothed = adjusted_hits(piece, fitted, total, domain)
+                hits = max(hits, min(smoothed, 2.0 * hits))
+            if hits * saving_per_hit >= self.policy.refinement_safety * cost_est:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Materialization (instrumented execution aftermath)
+    # ------------------------------------------------------------------
+    def _materialize_view(
+        self,
+        creation: ViewCreation,
+        table: Table,
+        t: float,
+        ledger: CostLedger,
+    ) -> tuple[bool, int]:
+        vstats = self.stats.view(creation.view_id)
+        vstats.set_actual_size(max(table.size_bytes, 1.0))
+        controller = AdmissionController(self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis)
+
+        if not creation.attrs:
+            candidate_value = self._view_admission_value(vstats, t)
+            result = controller.admit_whole_view(creation.view_id, table, candidate_value)
+            if result.admitted:
+                # whole-view payload: already written at the job boundary;
+                # keeping it costs one extra file creation.
+                ledger.charge_write(0.0, nfiles=1)
+                if not vstats.cost_is_actual:
+                    vstats.set_actual_cost(
+                        self.rewriter.estimate_plan_cost(creation.plan).cost_s
+                    )
+            return result.admitted, len(result.evicted)
+
+        admitted_any = False
+        evicted = 0
+        total_files = 0
+        for index, attr in enumerate(creation.attrs):
+            domain = self.domains(attr)
+            intervals = self._creation_intervals(creation, attr, table, domain)
+            column = table.column(attr)
+            written_bytes = 0.0
+            written_files = 0
+            for interval in intervals:
+                if self.pool.find_fragment(
+                    FragmentKey(creation.view_id, attr, interval)
+                ) is not None:
+                    continue  # re-creation: only write missing fragments
+                piece = table.filter(interval.mask(column))
+                fstats = self.stats.ensure_fragment(creation.view_id, attr, interval)
+                fstats.set_actual_size(piece.size_bytes)
+                result = controller.admit_fragment(
+                    creation.view_id,
+                    attr,
+                    interval,
+                    piece,
+                    self._fragment_admission_value(
+                        creation.view_id, attr, interval, t
+                    ),
+                )
+                evicted += len(result.evicted)
+                if result.admitted:
+                    admitted_any = True
+                    written_bytes += piece.size_bytes
+                    written_files += 1
+            if written_files:
+                if index == 0:
+                    # The view's bytes were already written at the job
+                    # boundary during execution (MapReduce materializes
+                    # them anyway, §2); the primary partition only adds
+                    # per-fragment file overheads.
+                    ledger.charge_write(0.0, nfiles=written_files)
+                else:
+                    # A secondary partition on another attribute is a full
+                    # re-sort and re-write of the view's bytes.
+                    ledger.charge_write(written_bytes, nfiles=written_files)
+            total_files += written_files
+        if admitted_any and not vstats.cost_is_actual:
+            vstats.set_actual_cost(
+                self.rewriter.estimate_plan_cost(creation.plan).cost_s
+                + self.cluster.write_elapsed(0.0, nfiles=max(total_files, 1))
+            )
+        return admitted_any, evicted
+
+    def _creation_intervals(
+        self, creation: ViewCreation, attr: str, table: Table, domain: Interval | None
+    ) -> list[Interval]:
+        if domain is None:
+            return []
+        if self.policy.partitioning == "equidepth":
+            intervals = equidepth_intervals(
+                table.column(attr), self.policy.equidepth_fragments, domain
+            )
+            self.tentative.replace_design(
+                creation.view_id, attr, Fragmentation(attr, domain, tuple(intervals))
+            )
+            return intervals
+        design = self.tentative.ensure(creation.view_id, attr, domain)
+        intervals = list(design.intervals)
+        if self.policy.bounds is None:
+            return intervals
+        column = table.column(attr)
+        sizes = [
+            table.filter(iv.mask(column)).size_bytes for iv in intervals
+        ]
+        if design.is_disjoint():
+            intervals = merge_undersized(intervals, sizes, self.policy.bounds.min_bytes)
+            sizes = [table.filter(iv.mask(column)).size_bytes for iv in intervals]
+        bounded: list[Interval] = []
+        for interval, size in zip(intervals, sizes):
+            bounded.extend(
+                bound_fragment(interval, size, table.size_bytes, self.policy.bounds)
+            )
+        bounded = sorted(set(bounded), key=sort_key)
+        self.tentative.replace_design(
+            creation.view_id, attr, Fragmentation(attr, domain, tuple(bounded))
+        )
+        return bounded
+
+    # ------------------------------------------------------------------
+    # Secondary partitions (§4: multiple partitions on different attributes)
+    # ------------------------------------------------------------------
+    def _extend_partitions(
+        self, matches: list[ViewMatch], t: float, ledger: CostLedger
+    ) -> tuple[int, int]:
+        """Add a partition on a newly restricted attribute to a resident view.
+
+        Unlike creation, no recomputation is needed: the view's rows are
+        reconstructed from an existing partition (or the whole-view entry)
+        and re-written sorted by the new attribute — a full read + write
+        of the view, charged as such.
+        """
+        extended = 0
+        evictions = 0
+        seen: set[tuple[str, str]] = set()
+        for match in matches:
+            view_id = match.view_id
+            if not self.pool.is_resident(view_id):
+                continue
+            resident_attrs = set(self.pool.partition_attrs(view_id))
+            if not resident_attrs and self.pool.whole_view_entry(view_id) is None:
+                continue
+            for attr in match.attr_ranges:
+                if attr in resident_attrs or (view_id, attr) in seen:
+                    continue
+                if attr not in self.tentative.attrs_of(view_id):
+                    continue
+                domain = self.domains(attr)
+                if domain is None:
+                    continue
+                seen.add((view_id, attr))
+                table = self._reconstruct_view(view_id, ledger)
+                if table is None or attr not in table.schema:
+                    continue
+                creation = ViewCreation(
+                    view_id, self.pool.definition(view_id).plan, (attr,)
+                )
+                intervals = self._creation_intervals(creation, attr, table, domain)
+                column = table.column(attr)
+                controller = AdmissionController(
+                    self.pool,
+                    lambda e: self._entry_value(e, t),
+                    self.policy.admission_hysteresis,
+                )
+                written_bytes = 0.0
+                written_files = 0
+                for interval in intervals:
+                    if self.pool.find_fragment(
+                        FragmentKey(view_id, attr, interval)
+                    ) is not None:
+                        continue
+                    piece = table.filter(interval.mask(column))
+                    fstats = self.stats.ensure_fragment(view_id, attr, interval)
+                    fstats.set_actual_size(piece.size_bytes)
+                    result = controller.admit_fragment(
+                        view_id,
+                        attr,
+                        interval,
+                        piece,
+                        self._fragment_admission_value(view_id, attr, interval, t),
+                    )
+                    evictions += len(result.evicted)
+                    if result.admitted:
+                        written_bytes += piece.size_bytes
+                        written_files += 1
+                if written_files:
+                    ledger.charge_write(written_bytes, nfiles=written_files)
+                    extended += 1
+        return extended, evictions
+
+    def _reconstruct_view(self, view_id: str, ledger: CostLedger):
+        """The view's full content from resident entries, or ``None``."""
+        whole = self.pool.whole_view_entry(view_id)
+        if whole is not None:
+            ledger.charge_read(whole.size_bytes, nfiles=1)
+            return self.pool.read_entry(whole.fragment_id)
+        for attr in self.pool.partition_attrs(view_id):
+            domain = self.domains(attr)
+            if domain is None:
+                continue
+            entries = self.pool.fragments_of(view_id, attr)
+            cover = greedy_cover(domain, [e.key.interval for e in entries])
+            if cover is None:
+                continue
+            by_interval = {e.key.interval: e for e in entries}
+            pieces = []
+            total = 0.0
+            for covered in cover:
+                entry = by_interval[covered.interval]
+                total += entry.size_bytes
+                piece = self.pool.read_entry(entry.fragment_id)
+                if covered.clip is not None:
+                    piece = piece.filter(covered.clip.mask(piece.column(attr)))
+                pieces.append(piece)
+            ledger.charge_read(total, nfiles=len(cover))
+            table = pieces[0]
+            for piece in pieces[1:]:
+                table = table.concat(piece)
+            return table
+        return None
+
+    # ------------------------------------------------------------------
+    # Fragment merging (§11 extension)
+    # ------------------------------------------------------------------
+    def _plan_merges(self, matches: list[ViewMatch], t: float) -> list[MergeCandidate]:
+        """Coalescing candidates for partitions the current query touched."""
+        merges: list[MergeCandidate] = []
+        seen: set[tuple[str, str]] = set()
+        max_bytes = None
+        for match in matches:
+            view_id = match.view_id
+            if not self.pool.is_resident(view_id):
+                continue
+            vstats = self.stats.view(view_id)
+            for attr in self.pool.partition_attrs(view_id):
+                if (view_id, attr) in seen:
+                    continue
+                seen.add((view_id, attr))
+                entries = self.pool.fragments_of(view_id, attr)
+                stats_for = {
+                    e.key.interval: self.stats.fragment(view_id, attr, e.key.interval)
+                    for e in entries
+                }
+                stats_for = {k: v for k, v in stats_for.items() if v is not None}
+                if self.policy.bounds is not None and vstats is not None:
+                    max_bytes = self.policy.bounds.max_bytes(vstats.size_bytes)
+                merges.extend(
+                    find_merge_candidates(
+                        entries,
+                        stats_for,
+                        t,
+                        self.policy.effective_decay,
+                        self.cluster,
+                        threshold=self.policy.merge_threshold,
+                        max_merged_bytes=max_bytes,
+                        safety=self.policy.refinement_safety,
+                    )
+                )
+        return merges
+
+    def _apply_merge(
+        self, merge: MergeCandidate, t: float, ledger: CostLedger
+    ) -> tuple[bool, int]:
+        left = self.pool.find_fragment(
+            FragmentKey(merge.view_id, merge.attr, merge.left)
+        )
+        right = self.pool.find_fragment(
+            FragmentKey(merge.view_id, merge.attr, merge.right)
+        )
+        if left is None or right is None:
+            return False, 0
+        if self.pool.find_fragment(
+            FragmentKey(merge.view_id, merge.attr, merge.merged)
+        ) is not None:
+            return False, 0
+        left_table = self.pool.read_entry(left.fragment_id)
+        right_table = self.pool.read_entry(right.fragment_id)
+        ledger.charge_read(left.size_bytes, nfiles=1)
+        ledger.charge_read(right.size_bytes, nfiles=1)
+        merged_table = left_table.concat(right_table)
+        # union the pair's hit history into the merged fragment's stats
+        merged_stats = self.stats.ensure_fragment(
+            merge.view_id, merge.attr, merge.merged
+        )
+        if not merged_stats.hit_times:
+            events = set()
+            for interval in (merge.left, merge.right):
+                source = self.stats.fragment(merge.view_id, merge.attr, interval)
+                if source is not None:
+                    events.update(zip(source.hit_times, source.hit_ranges))
+            for time, theta in sorted(events, key=lambda e: e[0]):
+                merged_stats.record_hit(time, theta)
+        merged_stats.set_actual_size(merged_table.size_bytes)
+        self.pool.evict(left.fragment_id)
+        self.pool.evict(right.fragment_id)
+        controller = AdmissionController(
+            self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis
+        )
+        result = controller.admit_fragment(
+            merge.view_id,
+            merge.attr,
+            merge.merged,
+            merged_table,
+            self._fragment_admission_value(merge.view_id, merge.attr, merge.merged, t),
+        )
+        if result.admitted:
+            ledger.charge_write(merged_table.size_bytes, nfiles=1)
+        # reflect the coalescing in the tentative design when it is disjoint
+        domain = self.domains(merge.attr)
+        design = self.tentative.get(merge.view_id, merge.attr)
+        if domain is not None and design is not None:
+            remaining = tuple(
+                iv for iv in design.intervals if iv not in (merge.left, merge.right)
+            ) + (merge.merged,)
+            self.tentative.replace_design(
+                merge.view_id, merge.attr, Fragmentation(merge.attr, domain, remaining)
+            )
+        return result.admitted, len(result.evicted)
+
+    # ------------------------------------------------------------------
+    # Refinement execution
+    # ------------------------------------------------------------------
+    def _apply_refinement(
+        self, refinement: Refinement, t: float, ledger: CostLedger
+    ) -> tuple[bool, int]:
+        parent_entry = self.pool.find_fragment(
+            FragmentKey(refinement.view_id, refinement.attr, refinement.parent)
+        )
+        if parent_entry is None:
+            return False, 0  # parent evicted meanwhile: design-only refinement
+        parent_table = self.pool.read_entry(parent_entry.fragment_id)
+        ledger.charge_read(parent_entry.size_bytes, nfiles=1)
+        column_name = refinement.attr
+        controller = AdmissionController(self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis)
+
+        if refinement.overlap_pieces is not None:
+            new_intervals = refinement.overlap_pieces
+        else:
+            self.pool.evict(parent_entry.fragment_id)
+            new_intervals = refinement.split_pieces
+
+        evicted = 0
+        written_bytes = 0.0
+        written_files = 0
+        column = parent_table.column(column_name)
+        for interval in new_intervals:
+            if self.pool.find_fragment(
+                FragmentKey(refinement.view_id, refinement.attr, interval)
+            ) is not None:
+                continue
+            piece = parent_table.filter(interval.mask(column))
+            fstats = self.stats.ensure_fragment(
+                refinement.view_id, refinement.attr, interval
+            )
+            fstats.set_actual_size(piece.size_bytes)
+            result = controller.admit_fragment(
+                refinement.view_id,
+                refinement.attr,
+                interval,
+                piece,
+                self._fragment_admission_value(
+                    refinement.view_id, refinement.attr, interval, t
+                ),
+            )
+            evicted += len(result.evicted)
+            if result.admitted:
+                written_bytes += piece.size_bytes
+                written_files += 1
+        if written_files:
+            ledger.charge_write(written_bytes, nfiles=written_files)
+        return written_files > 0, evicted
+
+    # ------------------------------------------------------------------
+    # Entry values (admission and eviction ranking, §7.3 / §10.1)
+    # ------------------------------------------------------------------
+    def _partition_distribution(
+        self, view_id: str, attr: str, domain: Interval, t: float
+    ):
+        key = (self.clock, view_id, attr)
+        if key not in self._dist_cache:
+            self._dist_cache[key] = partition_distribution(
+                self.stats,
+                view_id,
+                attr,
+                domain,
+                t,
+                self.policy.effective_decay,
+                self.policy.mle_parts,
+            )
+        return self._dist_cache[key]
+
+    def _mean_fragment_width(self, view_id: str, attr: str, domain: Interval) -> float:
+        """Mean resident fragment width — the density-normalization scale."""
+        intervals = self.pool.intervals_of(view_id, attr) or self.tentative.intervals(
+            view_id, attr
+        )
+        widths = [iv.intersect(domain).width for iv in intervals if iv.intersect(domain)]
+        positive = [w for w in widths if w > 0]
+        if not positive:
+            return domain.width
+        return sum(positive) / len(positive)
+
+    def _view_admission_value(self, vstats: ViewStats, t: float) -> float:
+        model = self.policy.value_model
+        if model == "nectar":
+            return nectar_view_value(vstats, t)
+        if model == "nectar+":
+            return nectar_plus_view_value(vstats, t)
+        return view_value(vstats, t, self.policy.effective_decay)
+
+    def _fragment_admission_value(
+        self, view_id: str, attr: str, interval: Interval, t: float
+    ) -> float:
+        """Per-fragment value Φ(I) — the same metric eviction ranks by.
+
+        Admission and eviction must speak the same currency (§7.3 ranks
+        ALLCAND and resident fragments together): a cold fragment of a
+        valuable view must not evict a hot fragment of another view.
+        """
+        vstats = self.stats.view(view_id)
+        if vstats is None:
+            return 0.0
+        fstats = self.stats.ensure_fragment(view_id, attr, interval)
+        model = self.policy.value_model
+        if model == "nectar":
+            return nectar_fragment_value(fstats, vstats, t)
+        if model == "nectar+":
+            return nectar_plus_fragment_value(fstats, vstats, t)
+        hits_override = None
+        if self.policy.smoothing_enabled:
+            domain = self.domains(attr)
+            if domain is not None:
+                dist = self._partition_distribution(view_id, attr, domain, t)
+                if dist is not None:
+                    fitted, total = dist
+                    hits_override = adjusted_hits_density(
+                        interval, fitted, total, domain,
+                        self._mean_fragment_width(view_id, attr, domain),
+                    )
+        return fragment_value(
+            fstats, vstats, t, self.policy.effective_decay, hits_override
+        )
+
+    def _entry_value(self, entry, t: float) -> float:
+        vstats = self.stats.view(entry.key.view_id)
+        if vstats is None:
+            return 0.0
+        if entry.key.attr is None:
+            return self._view_admission_value(vstats, t)
+        fstats = self.stats.ensure_fragment(
+            entry.key.view_id, entry.key.attr, entry.key.interval
+        )
+        if not fstats.size_is_actual:
+            fstats.set_actual_size(entry.size_bytes)
+        model = self.policy.value_model
+        if model == "nectar":
+            return nectar_fragment_value(fstats, vstats, t)
+        if model == "nectar+":
+            return nectar_plus_fragment_value(fstats, vstats, t)
+        hits_override = None
+        if self.policy.smoothing_enabled:
+            domain = self.domains(entry.key.attr)
+            if domain is not None:
+                dist = self._partition_distribution(
+                    entry.key.view_id, entry.key.attr, domain, t
+                )
+                if dist is not None:
+                    fitted, total = dist
+                    hits_override = adjusted_hits_density(
+                        entry.key.interval, fitted, total, domain,
+                        self._mean_fragment_width(
+                            entry.key.view_id, entry.key.attr, domain
+                        ),
+                    )
+        return fragment_value(
+            fstats, vstats, t, self.policy.effective_decay, hits_override
+        )

@@ -1,0 +1,120 @@
+"""System policies — the knob set that defines DeepSea and every baseline.
+
+A :class:`Policy` configures one run of the online view manager.  The
+paper's systems map onto policies as follows (factories for each live in
+``repro.baselines``):
+
+========  =========================================================
+System    Policy
+========  =========================================================
+H         ``materialize=False`` (vanilla Hive: no views, pushdown)
+NP        ``partitioning="none"`` (ReStore-like, logical matching)
+E-k       ``partitioning="equidepth"``, ``equidepth_fragments=k``
+NR        adaptive initial partition, ``repartition=False``
+N         ``value_model="nectar"`` (no benefit, no decay, no MLE)
+N+        ``value_model="nectar+"`` (benefit, no decay, no MLE)
+DS        the defaults
+========  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel.decay import Decay, NoDecay, ProportionalDecay
+from repro.errors import ReproError
+from repro.partitioning.bounding import SizeBounds
+
+PARTITIONING_MODES = ("adaptive", "equidepth", "none")
+VALUE_MODELS = ("deepsea", "nectar", "nectar+")
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Configuration of the online partitioned-view manager.
+
+    Attributes:
+        materialize: Master switch; ``False`` reproduces vanilla Hive.
+        partitioning: How views are partitioned at creation —
+            workload-``adaptive`` (Def 7 boundaries), ``equidepth``
+            (non-adaptive baseline), or ``none`` (whole views, NP).
+        equidepth_fragments: Fragment count for the equi-depth mode.
+        overlapping: Refine resident partitions with overlapping
+            fragments (§3, Example 2) instead of physical splits.
+        repartition: Allow refinement of resident partitions at all;
+            ``False`` reproduces the NR baseline (§10.4).
+        value_model: Ranking function for admission/eviction — DeepSea's
+            Φ, plain Nectar, or Nectar+ (§10.1).
+        use_mle: Smooth fragment hits with the fitted normal (§7.1);
+            ignored by the Nectar models.
+        decay: Benefit decay ``DEC``; the Nectar models force NoDecay.
+        bounds: Fragment size bounds (§9); ``None`` disables both bounds
+            (the Fig-6 experiments run unbounded).
+        evidence_factor: Materialize a view once its accumulated benefit
+            reaches ``evidence_factor × COST(V)`` (§7.2).  ``0`` is the
+            eager mode used by experiments that materialize at query 1.
+        mle_parts: Grid resolution of the MLE part quantization.
+        admission_hysteresis: A resident entry is evicted only for a
+            candidate at least this factor more valuable — damps the
+            small-pool oscillation of §10.1.
+        creation_cooldown: Queries to wait before re-attempting to
+            materialize a view whose fragments lost the pool knapsack.
+        refinement_margin: Widening applied to overlapping refinement
+            pieces (fraction of piece width per side).
+        refinement_safety: Benefit-over-cost factor required by the
+            refinement filter.
+        merge_fragments: Enable the §11 extension that coalesces adjacent
+            co-accessed fragments.
+        merge_threshold: Minimum decayed co-access fraction for a merge.
+        multi_attribute: Materialize a partition for every restricted
+            attribute instead of just the first (§4 / §11).
+    """
+
+    materialize: bool = True
+    partitioning: str = "adaptive"
+    equidepth_fragments: int = 6
+    overlapping: bool = True
+    repartition: bool = True
+    value_model: str = "deepsea"
+    use_mle: bool = True
+    decay: Decay = field(default_factory=ProportionalDecay)
+    bounds: SizeBounds | None = field(default_factory=SizeBounds)
+    evidence_factor: float = 1.0
+    mle_parts: int = 128
+    admission_hysteresis: float = 2.0
+    creation_cooldown: float = 100.0
+    # Overlapping refinement pieces are widened by this fraction of their
+    # width on each side (clamped to the parent), so small query-to-query
+    # jitter in range endpoints stays inside the new fragment instead of
+    # forcing another refinement.
+    refinement_margin: float = 0.05
+    # Safety factor on the §7.2 refinement filter: estimated benefit must
+    # exceed cost by this much, absorbing estimate error from drift.
+    refinement_safety: float = 1.5
+    # §11 extension: coalesce adjacent fragments that are almost always
+    # read together.  Off by default (future work in the paper).
+    merge_fragments: bool = False
+    merge_threshold: float = 0.8
+    # §4 permits multiple partitions of one view on different attributes;
+    # when enabled, creation materializes a partition for every attribute
+    # the workload restricted (secondary partitions pay a full re-write).
+    multi_attribute: bool = False
+
+    def __post_init__(self) -> None:
+        if self.partitioning not in PARTITIONING_MODES:
+            raise ReproError(f"unknown partitioning mode: {self.partitioning!r}")
+        if self.value_model not in VALUE_MODELS:
+            raise ReproError(f"unknown value model: {self.value_model!r}")
+        if self.evidence_factor < 0:
+            raise ReproError("evidence_factor must be non-negative")
+
+    @property
+    def effective_decay(self) -> Decay:
+        """Nectar models never decay benefits (§10.1)."""
+        if self.value_model in ("nectar", "nectar+"):
+            return NoDecay()
+        return self.decay
+
+    @property
+    def smoothing_enabled(self) -> bool:
+        return self.use_mle and self.value_model == "deepsea"

@@ -1,0 +1,83 @@
+"""Per-query execution reports and workload summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.cost import CostLedger
+from repro.engine.table import Table
+from repro.query.algebra import Plan
+
+
+@dataclass
+class QueryReport:
+    """Everything observed while processing one query."""
+
+    index: int
+    plan: Plan
+    result: Table
+    execution_ledger: CostLedger
+    creation_ledger: CostLedger
+    view_used: str | None = None
+    fragments_read: int = 0
+    views_created: list[str] = field(default_factory=list)
+    refinements: int = 0
+    evictions: int = 0
+    pool_bytes: float = 0.0
+
+    @property
+    def execution_s(self) -> float:
+        """Simulated time answering the query (including view reads)."""
+        return self.execution_ledger.total_seconds
+
+    @property
+    def creation_s(self) -> float:
+        """Simulated overhead materializing / repartitioning this round."""
+        return self.creation_ledger.total_seconds
+
+    @property
+    def total_s(self) -> float:
+        return self.execution_s + self.creation_s
+
+    @property
+    def reused_view(self) -> bool:
+        return self.view_used is not None
+
+
+@dataclass
+class WorkloadSummary:
+    """Aggregates over a sequence of reports."""
+
+    reports: list[QueryReport]
+
+    @property
+    def total_s(self) -> float:
+        return sum(r.total_s for r in self.reports)
+
+    @property
+    def execution_s(self) -> float:
+        return sum(r.execution_s for r in self.reports)
+
+    @property
+    def creation_s(self) -> float:
+        return sum(r.creation_s for r in self.reports)
+
+    @property
+    def cumulative_s(self) -> list[float]:
+        out: list[float] = []
+        acc = 0.0
+        for r in self.reports:
+            acc += r.total_s
+            out.append(acc)
+        return out
+
+    @property
+    def reuse_count(self) -> int:
+        return sum(1 for r in self.reports if r.reused_view)
+
+    @property
+    def map_tasks(self) -> int:
+        return sum(
+            r.execution_ledger.map_tasks + r.creation_ledger.map_tasks
+            for r in self.reports
+        )

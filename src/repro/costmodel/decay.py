@@ -1,0 +1,52 @@
+"""Benefit decay functions (§7.1).
+
+The paper weights past cost savings by their age with a monotonically
+decreasing function ``DEC(t_now, t) ∈ [0, 1]`` and times benefits out
+entirely past a threshold ``t_max``:
+
+    DEC(t_now, t) = 0            if t_now − t > t_max
+                    t / t_now    otherwise
+
+Time is the logical query sequence number (1-based), so ``t / t_now`` is
+well defined and in (0, 1].  ``NoDecay`` (DEC ≡ 1) is used by the Nectar
+and Nectar+ baselines, which do not decay benefits (§10.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class Decay:
+    """Interface: callable mapping (t_now, t) to a weight in [0, 1]."""
+
+    def __call__(self, t_now: float, t: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ProportionalDecay(Decay):
+    """The paper's decay: times out after ``t_max``, else weight ``t/t_now``."""
+
+    t_max: float = 500.0
+
+    def __call__(self, t_now: float, t: float) -> float:
+        if t > t_now:
+            raise ReproError(f"event time {t} is in the future of {t_now}")
+        if t_now - t > self.t_max:
+            return 0.0
+        if t_now <= 0:
+            return 1.0
+        return max(0.0, t / t_now)
+
+
+@dataclass(frozen=True)
+class NoDecay(Decay):
+    """DEC ≡ 1 — benefits never age (Nectar / Nectar+ behaviour)."""
+
+    def __call__(self, t_now: float, t: float) -> float:
+        if t > t_now:
+            raise ReproError(f"event time {t} is in the future of {t_now}")
+        return 1.0

@@ -1,0 +1,73 @@
+"""Size and creation-cost estimates for unmaterialized fragment candidates (§7.2).
+
+Before a candidate fragment exists we estimate:
+
+* its size, assuming values are uniformly distributed *within* each
+  resident fragment it overlaps:
+
+      S(I_cand) = Σ_{I ∩ I_cand ≠ ∅} (‖I_cand ∩ I‖ / ‖I‖) · S(I)
+
+* its creation cost — to build it we must read every overlapping resident
+  fragment, extract the matching rows, and write the new fragment:
+
+      COST(I_cand) = w_write · S(I_cand) + Σ_{I ∩ I_cand ≠ ∅} w_read · S(I)
+
+The read/write weights come from the simulated cluster, so estimates are
+commensurable with the simulated elapsed times charged at execution.
+"""
+
+from __future__ import annotations
+
+from repro.engine.cost import ClusterSpec
+from repro.partitioning.intervals import Interval
+
+
+def _overlap_fraction(candidate: Interval, resident: Interval, domain: Interval) -> float:
+    """‖I_cand ∩ I‖ / ‖I‖, with intervals clamped to the (bounded) domain."""
+    res = resident.intersect(domain)
+    if res is None:
+        return 0.0
+    inter = candidate.intersect(res)
+    if inter is None:
+        return 0.0
+    if res.width == 0:
+        return 1.0  # point fragment entirely inside the candidate
+    return min(1.0, inter.width / res.width)
+
+
+def estimate_fragment_size(
+    candidate: Interval,
+    resident: list[tuple[Interval, float]],
+    domain: Interval,
+) -> float:
+    """Estimated ``S(I_cand)`` from overlapping resident fragment sizes."""
+    return sum(
+        _overlap_fraction(candidate, interval, domain) * size
+        for interval, size in resident
+        if candidate.overlaps(interval)
+    )
+
+
+def estimate_fragment_cost(
+    candidate: Interval,
+    resident: list[tuple[Interval, float]],
+    domain: Interval,
+    cluster: ClusterSpec,
+) -> float:
+    """Estimated ``COST(I_cand)`` in simulated seconds."""
+    size = estimate_fragment_size(candidate, resident, domain)
+    read_s = sum(
+        cluster.read_elapsed(s, nfiles=1)
+        for interval, s in resident
+        if candidate.overlaps(interval)
+    )
+    return cluster.write_elapsed(size, nfiles=1) + read_s
+
+
+def estimate_view_size(input_bytes: float, output_ratio: float = 1.0) -> float:
+    """Rough pre-materialization size estimate for a view candidate.
+
+    Used only until the first instrumented execution replaces it with the
+    actual size (§7.1: "initially estimated when we first see this view").
+    """
+    return input_bytes * output_ratio

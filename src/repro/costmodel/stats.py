@@ -1,0 +1,156 @@
+"""View and fragment statistics — the ``STAT`` structure of Definition 5.
+
+``STAT = (VSTAT, PSTAT, Σ)``: a set of views, a mapping from (view,
+attribute) to fragment intervals, and per-view / per-fragment bookkeeping.
+Statistics are kept for every candidate *whether or not it is resident in
+the pool* — that is what lets DeepSea estimate the value of re-admitting
+an evicted fragment, and lets partition candidates accumulate evidence
+before being materialized.
+
+Per view (§7.1): size ``S(V)``, creation cost ``COST(V)``, the timestamped
+benefit events ``(T, B)``, and the last access time (used by the Nectar
+baselines' ``ΔT``).  Sizes and costs start as estimates and are replaced
+with actuals after the first materialization.
+
+Per fragment: size ``S(I)`` and hit timestamps ``T(I)``; cost and benefit
+derive from the owning view (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.partitioning.intervals import Interval, sort_key
+from repro.query.algebra import Plan
+
+
+@dataclass(frozen=True)
+class BenefitEvent:
+    """One potential use of a view: at time ``t`` it would have saved ``saving_s``."""
+
+    t: float
+    saving_s: float
+
+
+@dataclass
+class ViewStats:
+    """Σ entry for one view (candidate or resident)."""
+
+    view_id: str
+    plan: Plan
+    size_bytes: float = 0.0
+    creation_cost_s: float = 0.0
+    size_is_actual: bool = False
+    cost_is_actual: bool = False
+    benefit_events: list[BenefitEvent] = field(default_factory=list)
+    last_access_t: float = 0.0
+
+    def record_benefit(self, t: float, saving_s: float) -> None:
+        self.benefit_events.append(BenefitEvent(t, saving_s))
+        self.last_access_t = max(self.last_access_t, t)
+
+    def set_actual_size(self, size_bytes: float) -> None:
+        self.size_bytes = size_bytes
+        self.size_is_actual = True
+
+    def set_actual_cost(self, cost_s: float) -> None:
+        self.creation_cost_s = cost_s
+        self.cost_is_actual = True
+
+
+@dataclass
+class FragmentStats:
+    """Σ entry for one fragment (candidate or resident).
+
+    ``hit_ranges`` parallels ``hit_times``: the selection interval of the
+    query that produced the hit (``None`` when the query had no range on
+    the partition attribute).  The refinement filter uses it to count only
+    the queries a candidate piece would fully serve.
+    """
+
+    view_id: str
+    attr: str
+    interval: Interval
+    size_bytes: float = 0.0
+    size_is_actual: bool = False
+    hit_times: list[float] = field(default_factory=list)
+    hit_ranges: list["Interval | None"] = field(default_factory=list)
+    last_access_t: float = 0.0
+
+    def record_hit(self, t: float, theta: "Interval | None" = None) -> None:
+        self.hit_times.append(t)
+        self.hit_ranges.append(theta)
+        self.last_access_t = max(self.last_access_t, t)
+
+    def set_actual_size(self, size_bytes: float) -> None:
+        self.size_bytes = size_bytes
+        self.size_is_actual = True
+
+
+FragmentStatsKey = tuple[str, str, Interval]
+
+
+class StatisticsStore:
+    """In-memory STAT: keyed views and fragments, resident or not."""
+
+    def __init__(self) -> None:
+        self._views: dict[str, ViewStats] = {}
+        self._fragments: dict[FragmentStatsKey, FragmentStats] = {}
+        # (view_id, attr) -> set of intervals with stats (PSTAT(V, A))
+        self._partitions: dict[tuple[str, str], list[Interval]] = {}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def view(self, view_id: str) -> ViewStats | None:
+        return self._views.get(view_id)
+
+    def ensure_view(self, view_id: str, plan: Plan) -> ViewStats:
+        stats = self._views.get(view_id)
+        if stats is None:
+            stats = ViewStats(view_id, plan)
+            self._views[view_id] = stats
+        return stats
+
+    def all_views(self) -> list[ViewStats]:
+        return list(self._views.values())
+
+    # ------------------------------------------------------------------
+    # Fragments
+    # ------------------------------------------------------------------
+    def fragment(self, view_id: str, attr: str, interval: Interval) -> FragmentStats | None:
+        return self._fragments.get((view_id, attr, interval))
+
+    def ensure_fragment(self, view_id: str, attr: str, interval: Interval) -> FragmentStats:
+        key = (view_id, attr, interval)
+        stats = self._fragments.get(key)
+        if stats is None:
+            stats = FragmentStats(view_id, attr, interval)
+            self._fragments[key] = stats
+            ivs = self._partitions.setdefault((view_id, attr), [])
+            ivs.append(interval)
+            ivs.sort(key=sort_key)
+        return stats
+
+    def drop_fragment(self, view_id: str, attr: str, interval: Interval) -> None:
+        """Forget a fragment's statistics (used when a split retires a parent)."""
+        key = (view_id, attr, interval)
+        if key in self._fragments:
+            del self._fragments[key]
+            self._partitions[(view_id, attr)].remove(interval)
+
+    def intervals_for(self, view_id: str, attr: str) -> list[Interval]:
+        """PSTAT(V, A): all fragment intervals tracked for this partition."""
+        return list(self._partitions.get((view_id, attr), []))
+
+    def fragments_for(self, view_id: str, attr: str) -> list[FragmentStats]:
+        return [
+            self._fragments[(view_id, attr, iv)]
+            for iv in self.intervals_for(view_id, attr)
+        ]
+
+    def partition_attrs(self, view_id: str) -> list[str]:
+        return sorted(a for (v, a) in self._partitions if v == view_id)
+
+    def all_fragments(self) -> list[FragmentStats]:
+        return list(self._fragments.values())

@@ -1,0 +1,168 @@
+"""Accumulated benefit ``B`` and value ``Φ`` for views and fragments (§7.1).
+
+View value:
+
+    B(V, t_now) = Σ_{Q used V at t} (COST(Q) − COST(Q/V)) · DEC(t_now, t)
+    Φ(V, t_now) = COST(V) · B(V, t_now) / S(V)
+
+Fragment value (benefit derives from the owning view):
+
+    H(I)        = Σ_{Q used I at t} DEC(t_now, t)            (decayed hits)
+    B(I, t_now) = H(I) · (S(I)/S(V)) · COST(V)
+    Φ(I, t_now) = COST(V) · B(I, t_now) / S(I)
+
+The *smoothed* fragment value replaces H(I) with the adjusted hits
+``H_A(I)`` from the MLE model, which is what lets DeepSea keep
+low-hit-count neighbours of hot fragments resident (§10.3).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.decay import Decay
+from repro.costmodel.mle import FittedNormal, adjusted_hits, fit_partition_distribution
+from repro.costmodel.stats import FragmentStats, StatisticsStore, ViewStats
+from repro.partitioning.intervals import Interval
+
+_EPS_BYTES = 1.0
+
+
+def view_benefit(view: ViewStats, t_now: float, decay: Decay) -> float:
+    """Accumulated, decayed benefit ``B(V, t_now)``."""
+    return sum(ev.saving_s * decay(t_now, ev.t) for ev in view.benefit_events)
+
+
+def view_value(view: ViewStats, t_now: float, decay: Decay) -> float:
+    """``Φ(V, t_now)`` — the cost-benefit ratio used for ranking."""
+    size = max(view.size_bytes, _EPS_BYTES)
+    return view.creation_cost_s * view_benefit(view, t_now, decay) / size
+
+
+def fragment_hits(fragment: FragmentStats, t_now: float, decay: Decay) -> float:
+    """Decayed hit count ``H(I)``."""
+    return sum(decay(t_now, t) for t in fragment.hit_times)
+
+
+def fragment_weighted_hits(
+    fragment: FragmentStats, piece: Interval, t_now: float, decay: Decay
+) -> float:
+    """Decayed hits weighted by how much of the ``piece`` each query wanted.
+
+    General-purpose smoothing helper: a query with ``θ ⊇ piece`` counts
+    fully, a partial overlap counts as ``‖θ ∩ piece‖ / ‖piece‖``.  Hits
+    recorded without a range (domain-wide use) count fully.
+    """
+    total = 0.0
+    width = piece.width
+    for t, theta in zip(fragment.hit_times, fragment.hit_ranges):
+        if theta is None:
+            total += decay(t_now, t)
+            continue
+        overlap = theta.intersect(piece)
+        if overlap is None:
+            continue
+        weight = 1.0 if width <= 0 else min(overlap.width / width, 1.0)
+        total += weight * decay(t_now, t)
+    return total
+
+
+def realizing_hits(
+    parent: FragmentStats,
+    parent_interval: Interval,
+    piece: Interval,
+    t_now: float,
+    decay: Decay,
+) -> float:
+    """Decayed hits that would *realize* a refinement's saving (§7.2).
+
+    Splitting ``piece`` out of ``parent_interval`` saves a query the
+    parent read only when everything the query needs from that parent
+    fits inside the piece: ``θ ∩ parent ⊆ piece``.  A query needing more
+    of the parent still reads it (or other siblings), so its hit must not
+    back the piece's creation cost.  This is what keeps jittering range
+    endpoints from carving an endless stream of boundary slivers.
+    """
+    total = 0.0
+    for t, theta in zip(parent.hit_times, parent.hit_ranges):
+        if theta is None:
+            continue
+        needed = theta.intersect(parent_interval)
+        if needed is not None and piece.contains(needed):
+            total += decay(t_now, t)
+    return total
+
+
+def fragment_benefit(
+    fragment: FragmentStats,
+    view: ViewStats,
+    t_now: float,
+    decay: Decay,
+    hits_override: float | None = None,
+) -> float:
+    """``B(I, t_now)`` — optionally with MLE-adjusted hits."""
+    hits = fragment_hits(fragment, t_now, decay) if hits_override is None else hits_override
+    view_size = max(view.size_bytes, _EPS_BYTES)
+    return hits * (fragment.size_bytes / view_size) * view.creation_cost_s
+
+
+def fragment_value(
+    fragment: FragmentStats,
+    view: ViewStats,
+    t_now: float,
+    decay: Decay,
+    hits_override: float | None = None,
+) -> float:
+    """``Φ(I, t_now)``."""
+    benefit = fragment_benefit(fragment, view, t_now, decay, hits_override)
+    size = max(fragment.size_bytes, _EPS_BYTES)
+    return view.creation_cost_s * benefit / size
+
+
+def partition_distribution(
+    stats: StatisticsStore,
+    view_id: str,
+    attr: str,
+    domain: Interval,
+    t_now: float,
+    decay: Decay,
+    n_parts: int = 256,
+) -> tuple[FittedNormal, float] | None:
+    """The MLE-fitted access distribution of a partition and its H_total.
+
+    Returns ``None`` when the partition has no hit mass yet (nothing to
+    fit), in which case callers fall back to raw hits.
+    """
+    fragments = stats.fragments_for(view_id, attr)
+    if not fragments:
+        return None
+    raw = [(f.interval, fragment_hits(f, t_now, decay)) for f in fragments]
+    # H_total is "the total number of queries that used at least one
+    # fragment" (§7.1): count each hit timestamp once even when it touched
+    # several (possibly overlapping) fragments.
+    distinct_times = {t for f in fragments for t in f.hit_times}
+    total = sum(decay(t_now, t) for t in distinct_times)
+    if total <= 0:
+        return None
+    fitted: FittedNormal | None = fit_partition_distribution(domain, raw, n_parts)
+    if fitted is None:
+        return None
+    return fitted, total
+
+
+def partition_adjusted_hits(
+    stats: StatisticsStore,
+    view_id: str,
+    attr: str,
+    domain: Interval,
+    t_now: float,
+    decay: Decay,
+    n_parts: int = 256,
+) -> dict[Interval, float] | None:
+    """MLE-smoothed hit counts for every tracked fragment of a partition."""
+    fit = partition_distribution(stats, view_id, attr, domain, t_now, decay, n_parts)
+    if fit is None:
+        return None
+    fitted, total = fit
+    return {
+        interval: adjusted_hits(interval, fitted, total, domain)
+        for interval in stats.intervals_for(view_id, attr)
+    }

@@ -1,0 +1,46 @@
+"""Named table catalog.
+
+The catalog maps base-relation names to :class:`~repro.engine.table.Table`
+instances.  Materialized views live in the pool (``repro.storage.pool``),
+not here; the executor resolves ``Relation`` leaves against the catalog and
+``MaterializedScan`` leaves against the pool.
+"""
+
+from __future__ import annotations
+
+from repro.engine.table import Table
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """A registry of base tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def register(self, name: str, table: Table) -> None:
+        if name in self._tables:
+            raise CatalogError(f"table already registered: {name!r}")
+        self._tables[name] = table
+
+    def replace(self, name: str, table: Table) -> None:
+        """Register or overwrite (used by tests and workload rescaling)."""
+        self._tables[name] = table
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._tables)
+
+    @property
+    def total_size_bytes(self) -> float:
+        """Combined nominal size of all base tables."""
+        return sum(t.size_bytes for t in self._tables.values())

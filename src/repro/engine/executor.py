@@ -1,0 +1,278 @@
+"""Plan execution.
+
+The executor evaluates a logical plan against the catalog (base tables)
+and the materialized-view pool (``MaterializedScan`` leaves), returning the
+result :class:`~repro.engine.table.Table` and charging simulated time to a
+:class:`~repro.engine.cost.CostLedger`:
+
+* base-table and fragment scans charge read time (one map task per file /
+  HDFS block);
+* every join and aggregation charges one MapReduce job overhead plus a
+  shuffle of its output;
+* every *job boundary* writes its output to HDFS — MapReduce materializes
+  intermediate results between jobs, which is exactly what DeepSea
+  harvests as free view payloads (§2).  A job boundary is a join or
+  aggregate, folded together with the projection chain directly above it
+  (Hive applies projections inside the producing job);
+* plans with no join/aggregate still cost one job (a map-only job).
+
+All operators are numpy-vectorized; queries over the few-hundred-thousand
+row scaled instances used in the benchmarks execute in milliseconds of
+real time while reporting simulated cluster seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.catalog import Catalog
+from repro.engine.cost import ClusterSpec, CostLedger
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.engine.types import ColumnKind
+from repro.errors import PlanError, SchemaError
+from repro.query.algebra import (
+    Aggregate,
+    AggSpec,
+    Join,
+    MaterializedScan,
+    Plan,
+    Project,
+    Relation,
+    Select,
+    walk,
+)
+from repro.query.analysis import job_boundaries
+from repro.query.predicates import conjunction_mask
+from repro.storage.pool import MaterializedViewPool
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a plan needs to run."""
+
+    catalog: Catalog
+    pool: MaterializedViewPool | None = None
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+
+
+@dataclass
+class ExecutionResult:
+    """A query answer plus its simulated cost."""
+
+    table: Table
+    ledger: CostLedger
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.ledger.total_seconds
+
+
+class Executor:
+    """Evaluates logical plans."""
+
+    def __init__(self, context: ExecutionContext):
+        self.context = context
+        self._capture_targets: set[Plan] = set()
+        self._captured: dict[Plan, Table] = {}
+        self._boundaries: set[Plan] = set()
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: Plan, ledger: CostLedger | None = None) -> ExecutionResult:
+        """Run ``plan`` and return its result table and cost ledger."""
+        ledger = ledger if ledger is not None else CostLedger(self.context.cluster)
+        self._boundaries = job_boundaries(plan)
+        table = self._eval(plan, ledger)
+        job_ops = sum(1 for n in walk(plan) if isinstance(n, (Join, Aggregate)))
+        if job_ops == 0:
+            ledger.charge_jobs(1)
+        return ExecutionResult(table, ledger)
+
+    def execute_with_capture(
+        self,
+        plan: Plan,
+        targets: list[Plan],
+        ledger: CostLedger | None = None,
+    ) -> tuple[ExecutionResult, dict[Plan, Table]]:
+        """Run ``plan``, also capturing the results of target subplans.
+
+        This is DeepSea's instrumentation hook (§9): intermediate results
+        that the query computes anyway are snapshotted as they are
+        produced, so materializing them as views costs only the write.  A
+        target that the (possibly rewritten) plan never computes is simply
+        absent from the returned mapping.
+        """
+        self._capture_targets = set(targets)
+        self._captured = {}
+        try:
+            result = self.execute(plan, ledger)
+            return result, dict(self._captured)
+        finally:
+            self._capture_targets = set()
+            self._captured = {}
+
+    # ------------------------------------------------------------------
+    def _eval(self, plan: Plan, ledger: CostLedger) -> Table:
+        table = self._eval_node(plan, ledger)
+        if plan in self._boundaries:
+            ledger.charge_write(table.size_bytes, nfiles=1)
+        if self._capture_targets and plan in self._capture_targets:
+            self._captured[plan] = table
+        return table
+
+    def _eval_node(self, plan: Plan, ledger: CostLedger) -> Table:
+        if isinstance(plan, Relation):
+            return self._eval_relation(plan, ledger)
+        if isinstance(plan, MaterializedScan):
+            return self._eval_materialized(plan, ledger)
+        if isinstance(plan, Select):
+            child = self._eval(plan.child, ledger)
+            return child.filter(conjunction_mask(plan.predicates, child))
+        if isinstance(plan, Project):
+            child = self._eval(plan.child, ledger)
+            return child.project(plan.columns)
+        if isinstance(plan, Join):
+            left = self._eval(plan.left, ledger)
+            right = self._eval(plan.right, ledger)
+            out = hash_join(left, right, plan.left_attr, plan.right_attr)
+            ledger.charge_jobs(1)
+            ledger.charge_shuffle(out.size_bytes)
+            return out
+        if isinstance(plan, Aggregate):
+            child = self._eval(plan.child, ledger)
+            out = aggregate(child, plan.group_by, plan.aggregates)
+            ledger.charge_jobs(1)
+            ledger.charge_shuffle(out.size_bytes)
+            return out
+        raise PlanError(f"cannot execute node of type {type(plan).__name__}")
+
+    def _eval_relation(self, plan: Relation, ledger: CostLedger) -> Table:
+        table = self.context.catalog.get(plan.name)
+        ledger.charge_read(table.size_bytes, nfiles=1)
+        return table
+
+    def _eval_materialized(self, plan: MaterializedScan, ledger: CostLedger) -> Table:
+        pool = self.context.pool
+        if pool is None:
+            raise PlanError("MaterializedScan requires a pool")
+        if not plan.fragment_ids:
+            entry = pool.whole_view_entry(plan.view_id)
+            if entry is None:
+                raise PlanError(f"whole view not resident: {plan.view_id!r}")
+            ledger.charge_read(entry.size_bytes, nfiles=1)
+            return pool.read_entry(entry.fragment_id)
+        total_bytes = 0.0
+        pieces: list[Table] = []
+        clips = plan.clips or (None,) * len(plan.fragment_ids)
+        if len(clips) != len(plan.fragment_ids):
+            raise PlanError("clips must parallel fragment_ids")
+        for fid, clip in zip(plan.fragment_ids, clips):
+            entry = pool.get_fragment(fid)
+            total_bytes += entry.size_bytes
+            piece = pool.read_entry(fid)
+            if clip is not None:
+                if plan.attr is None:
+                    raise PlanError("clipped scan requires the partition attr")
+                piece = piece.filter(clip.mask(piece.column(plan.attr)))
+            pieces.append(piece)
+        ledger.charge_read(total_bytes, nfiles=len(plan.fragment_ids))
+        result = pieces[0]
+        for piece in pieces[1:]:
+            result = result.concat(piece)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Physical operators
+# ----------------------------------------------------------------------
+def hash_join(left: Table, right: Table, left_attr: str, right_attr: str) -> Table:
+    """Equi-join, fully vectorized, preserving bag semantics.
+
+    When the two key columns share a name, the right copy is dropped; any
+    other name collision is an error (workload schemas use unique names).
+    """
+    collisions = (set(left.schema.names) & set(right.schema.names)) - {right_attr}
+    if collisions:
+        raise SchemaError(f"join would duplicate columns: {sorted(collisions)}")
+    drop_right = {right_attr} if right_attr == left_attr else set()
+
+    lkeys = left.column(left_attr)
+    rkeys = right.column(right_attr)
+    order = np.argsort(rkeys, kind="stable")
+    sorted_rkeys = rkeys[order]
+    starts = np.searchsorted(sorted_rkeys, lkeys, side="left")
+    ends = np.searchsorted(sorted_rkeys, lkeys, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    schema = left.schema.concat(right.schema, drop=drop_right)
+    if total == 0:
+        return Table.empty(schema, max(left.scale, right.scale))
+
+    left_idx = np.repeat(np.arange(left.nrows), counts)
+    offsets = np.zeros(left.nrows, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    right_idx = order[np.repeat(starts, counts) + within]
+
+    cols: dict[str, np.ndarray] = {}
+    for name in left.schema.names:
+        cols[name] = left.columns[name][left_idx]
+    for name in right.schema.names:
+        if name in drop_right:
+            continue
+        cols[name] = right.columns[name][right_idx]
+    return Table(schema, cols, max(left.scale, right.scale))
+
+
+def _agg_output_column(table: Table, spec: AggSpec) -> Column:
+    if spec.func == "count":
+        return Column(spec.alias, ColumnKind.INT64)
+    if spec.func == "avg":
+        return Column(spec.alias, ColumnKind.FLOAT64)
+    return Column(spec.alias, table.schema.column(spec.attr).kind)
+
+
+def aggregate(table: Table, group_by: tuple[str, ...], aggregates: tuple[AggSpec, ...]) -> Table:
+    """Group-by aggregation via sort + ``reduceat``."""
+    out_schema = Schema(
+        tuple(table.schema.column(g) for g in group_by)
+        + tuple(_agg_output_column(table, spec) for spec in aggregates)
+    )
+    if table.nrows == 0:
+        return Table.empty(out_schema, table.scale)
+
+    if group_by:
+        keys = [table.column(g) for g in group_by]
+        order = np.lexsort(keys[::-1])
+        sorted_keys = [k[order] for k in keys]
+        is_new = np.zeros(table.nrows, dtype=bool)
+        is_new[0] = True
+        for k in sorted_keys:
+            is_new[1:] |= k[1:] != k[:-1]
+        starts = np.flatnonzero(is_new)
+    else:
+        order = np.arange(table.nrows)
+        starts = np.array([0])
+
+    group_sizes = np.diff(np.append(starts, table.nrows))
+    cols: dict[str, np.ndarray] = {}
+    if group_by:
+        for name, k in zip(group_by, sorted_keys):
+            cols[name] = k[starts]
+
+    for spec in aggregates:
+        if spec.func == "count":
+            cols[spec.alias] = group_sizes.astype(np.int64)
+            continue
+        values = table.column(spec.attr)[order]
+        if spec.func == "sum":
+            cols[spec.alias] = np.add.reduceat(values, starts)
+        elif spec.func == "avg":
+            cols[spec.alias] = np.add.reduceat(values.astype(np.float64), starts) / group_sizes
+        elif spec.func == "min":
+            cols[spec.alias] = np.minimum.reduceat(values, starts)
+        elif spec.func == "max":
+            cols[spec.alias] = np.maximum.reduceat(values, starts)
+    return Table(out_schema, cols, table.scale)

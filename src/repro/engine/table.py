@@ -1,0 +1,140 @@
+"""Columnar, numpy-backed tables.
+
+A :class:`Table` holds one numpy array per column plus a *scale factor*.
+The scale factor maps in-memory rows to the nominal dataset size the table
+represents: the paper evaluates on 100 GB / 500 GB BigBench instances,
+which this reproduction models with a few hundred thousand rows.  A table
+generated to stand in for a 100 GB instance carries ``scale`` such that
+``size_bytes`` reports the nominal (simulated) size.  All cost-model
+accounting uses ``size_bytes``; all query answers use the actual rows.
+
+Tables are immutable by convention: operators return new tables and never
+mutate column arrays in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.schema import Schema
+from repro.engine.types import coerce_array
+from repro.errors import SchemaError
+
+
+@dataclass
+class Table:
+    """An immutable columnar table.
+
+    Attributes:
+        schema: Column definitions; order defines row layout.
+        columns: Mapping from column name to a numpy array. All arrays
+            must have equal length.
+        scale: Multiplier applied when converting actual in-memory bytes
+            to nominal (simulated) bytes.
+    """
+
+    schema: Schema
+    columns: dict[str, np.ndarray]
+    scale: float = 1.0
+    _nrows: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        names = set(self.schema.names)
+        if set(self.columns) != names:
+            raise SchemaError(
+                f"columns {sorted(self.columns)} do not match schema {sorted(names)}"
+            )
+        lengths = {len(arr) for arr in self.columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        self._nrows = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, schema: Schema, data: dict, scale: float = 1.0) -> "Table":
+        """Build a table from plain Python sequences, coercing dtypes."""
+        cols = {
+            col.name: coerce_array(col.kind, data[col.name]) for col in schema.columns
+        }
+        return cls(schema, cols, scale)
+
+    @classmethod
+    def empty(cls, schema: Schema, scale: float = 1.0) -> "Table":
+        cols = {col.name: coerce_array(col.kind, []) for col in schema.columns}
+        return cls(schema, cols, scale)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return self._nrows
+
+    @property
+    def size_bytes(self) -> float:
+        """Nominal (simulated) size of this table in bytes."""
+        return self._nrows * self.schema.row_bytes * self.scale
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SchemaError(f"no such column: {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Row-level operations (all return new tables)
+    # ------------------------------------------------------------------
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Rows where ``mask`` is true."""
+        cols = {name: arr[mask] for name, arr in self.columns.items()}
+        return Table(self.schema, cols, self.scale)
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Rows at ``indices`` (with repetition allowed)."""
+        cols = {name: arr[indices] for name, arr in self.columns.items()}
+        return Table(self.schema, cols, self.scale)
+
+    def project(self, names: tuple[str, ...] | list[str]) -> "Table":
+        """Restrict to the given columns, in order."""
+        schema = self.schema.subset(tuple(names))
+        cols = {name: self.columns[name] for name in names}
+        return Table(schema, cols, self.scale)
+
+    def concat(self, other: "Table") -> "Table":
+        """Vertical concatenation; schemas must have identical names."""
+        if self.schema.names != other.schema.names:
+            raise SchemaError("cannot concat tables with different schemas")
+        cols = {
+            name: np.concatenate([self.columns[name], other.columns[name]])
+            for name in self.schema.names
+        }
+        return Table(self.schema, cols, max(self.scale, other.scale))
+
+    def distinct(self) -> "Table":
+        """Remove duplicate rows (used for overlapping-fragment unions)."""
+        if self._nrows == 0:
+            return self
+        order = np.lexsort([self.columns[n] for n in reversed(self.schema.names)])
+        keep = np.ones(self._nrows, dtype=bool)
+        sorted_cols = [self.columns[n][order] for n in self.schema.names]
+        same_as_prev = np.ones(self._nrows - 1, dtype=bool)
+        for arr in sorted_cols:
+            same_as_prev &= arr[1:] == arr[:-1]
+        keep[1:] = ~same_as_prev
+        return self.take(order[keep])
+
+    # ------------------------------------------------------------------
+    # Test helpers
+    # ------------------------------------------------------------------
+    def to_rows(self) -> list[tuple]:
+        """Materialize as a list of row tuples (tests only)."""
+        arrays = [self.columns[name] for name in self.schema.names]
+        return list(zip(*(arr.tolist() for arr in arrays))) if arrays else []
+
+    def sorted_rows(self) -> list[tuple]:
+        """Rows sorted canonically, for multiset comparison in tests."""
+        return sorted(self.to_rows(), key=repr)

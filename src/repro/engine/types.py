@@ -1,0 +1,44 @@
+"""Column types for the simulated analytical engine.
+
+The engine is columnar and numpy-backed.  Each column has a logical kind
+that determines its numpy dtype and its *accounting width* — the number of
+bytes one value contributes to the simulated on-disk size of a table.  The
+accounting width is what the DeepSea cost model sees; it is deliberately
+decoupled from the in-memory representation so that string columns can be
+stored as object arrays while still being charged a fixed width.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class ColumnKind(enum.Enum):
+    """Logical type of a column."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+
+    @property
+    def default_width(self) -> int:
+        """Accounting width in bytes for one value of this kind."""
+        if self is ColumnKind.STRING:
+            return 32
+        return 8
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The numpy dtype used to store values of this kind."""
+        if self is ColumnKind.INT64:
+            return np.dtype(np.int64)
+        if self is ColumnKind.FLOAT64:
+            return np.dtype(np.float64)
+        return np.dtype(object)
+
+
+def coerce_array(kind: ColumnKind, values) -> np.ndarray:
+    """Coerce ``values`` into a numpy array of the dtype for ``kind``."""
+    return np.asarray(values, dtype=kind.dtype)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the DeepSea reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema construction or column lookup."""
+
+
+class CatalogError(ReproError):
+    """Unknown table or duplicate registration."""
+
+
+class PlanError(ReproError):
+    """Malformed logical plan or unexecutable operator."""
+
+
+class IntervalError(ReproError):
+    """Invalid interval construction or operation."""
+
+
+class PartitionError(ReproError):
+    """Invalid fragmentation or partitioning operation."""
+
+
+class MatchError(ReproError):
+    """View/partition matching failure that should not occur."""
+
+
+class PoolError(ReproError):
+    """Materialized-view pool invariant violation."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification."""

@@ -1,0 +1,107 @@
+"""Sufficient-condition view matching (§8.1, after Goldstein & Larson).
+
+A view ``V`` can answer a query subexpression ``Q'`` when:
+
+1. they reference the same multiset of base relations;
+2. they induce the same join equivalence classes;
+3. they have the same aggregation shape (group-by set and aggregate list),
+   or neither aggregates;
+4. for every attribute, the query's selection range is contained in the
+   view's (the view did not filter out rows the query needs) — where the
+   containment is strict, a *compensating selection* re-applies the
+   query's range on top of the view;
+5. the view's output contains every column the query outputs, plus a
+   usable column for each compensating selection (any member of the
+   attribute's equivalence class that survived projection).
+
+This is a sufficient condition: failing it never produces a wrong
+rewriting; passing it guarantees the compensated view scan is equivalent
+to ``Q'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.partitioning.intervals import Interval
+from repro.query.analysis import class_members
+from repro.query.predicates import RangePredicate
+from repro.query.signature import Signature
+
+
+@dataclass(frozen=True)
+class Compensation:
+    """What must be applied on top of a view scan to answer the query."""
+
+    selections: tuple[RangePredicate, ...]
+    projection: tuple[str, ...] | None  # None: view output already matches
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.selections and self.projection is None
+
+
+def _resolve_output_attr(attr: str, signature: Signature) -> str | None:
+    """A column of the view's output usable to filter on ``attr``.
+
+    ``attr`` is an equivalence-class representative; any class member that
+    survived the view's projection carries the same values.
+    """
+    if attr in signature.output_set:
+        return attr
+    members = class_members(attr, signature.join_classes)
+    usable = sorted(members & signature.output_set)
+    return usable[0] if usable else None
+
+
+def match_view(view_sig: Signature, query_sig: Signature) -> Compensation | None:
+    """Check the sufficient condition; return the compensation or ``None``."""
+    if view_sig.relations != query_sig.relations:
+        return None
+    if view_sig.join_classes != query_sig.join_classes:
+        return None
+    if (view_sig.group_by, view_sig.aggregates) != (
+        query_sig.group_by,
+        query_sig.aggregates,
+    ):
+        return None
+
+    view_ranges = view_sig.range_map
+    query_ranges = query_sig.range_map
+    selections: list[RangePredicate] = []
+    for attr in set(view_ranges) | set(query_ranges):
+        v_iv = view_ranges.get(attr, Interval.unbounded())
+        q_iv = query_ranges.get(attr, Interval.unbounded())
+        if not v_iv.contains(q_iv):
+            return None  # the view lacks rows the query needs
+        if q_iv != v_iv:
+            out_attr = _resolve_output_attr(attr, view_sig)
+            if out_attr is None:
+                return None  # cannot compensate: column projected away
+            selections.append(RangePredicate(out_attr, q_iv))
+
+    if not query_sig.output_set <= view_sig.output_set:
+        return None
+
+    projection = None
+    if query_sig.output != view_sig.output:
+        projection = query_sig.output
+    return Compensation(tuple(sorted(selections, key=repr)), projection)
+
+
+def partition_attr_ranges(
+    view_sig: Signature, query_sig: Signature
+) -> dict[str, Interval]:
+    """Query selection ranges expressed per *view output column*.
+
+    Used to (a) decide which fragments of a partition a query hits and
+    (b) generate partition candidates.  Every query range whose attribute
+    (or an equivalence-class sibling) survives in the view's output is
+    reported under that output column.
+    """
+    out: dict[str, Interval] = {}
+    for attr, interval in query_sig.range_map.items():
+        resolved = _resolve_output_attr(attr, view_sig)
+        if resolved is not None:
+            out[resolved] = interval
+    return out

@@ -1,0 +1,72 @@
+"""Partition matching — Algorithm 2 with overlap disjointification (§8.2).
+
+Given a query's selection range θ on a view's partition attribute, find a
+set of fragments whose union covers θ.  With overlapping fragments this is
+a set-cover instance, so the paper matches greedily: starting at θ's lower
+bound, repeatedly pick — among the fragments that cover the next uncovered
+point — the one with the largest lower bound, until θ is covered.
+
+Because chosen fragments may overlap, scanning them naively would emit
+duplicate rows.  Each fragment after the first therefore carries a *clip*:
+rows at or below the previously covered upper bound are discarded when the
+fragment is read.  Every clipped-away row inside θ is guaranteed to be
+present in an earlier selected fragment (the earlier union covers the
+region up to the clip), so the clipped union is exactly θ's content, each
+row once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.partitioning.intervals import Interval
+
+
+@dataclass(frozen=True)
+class CoveredFragment:
+    """One fragment chosen by the greedy cover, with its dedup clip."""
+
+    interval: Interval
+    clip: Interval | None  # None: read the whole fragment
+
+
+def greedy_cover(theta: Interval, fragments: list[Interval]) -> list[CoveredFragment] | None:
+    """Algorithm 2.  Returns ``None`` when no cover of θ exists.
+
+    A fragment qualifies while the next uncovered point of θ lies inside
+    it; among qualifying fragments the one with the largest lower bound is
+    chosen (it wastes the least already-covered data).  Ties are broken
+    toward the larger upper bound, which covers more of θ per fragment.
+    """
+    target_hi = theta._upper_key()
+    lo_key = theta._lower_key()
+    # Coverage state mirrors Fragmentation.union_covers: an upper key
+    # (v, flag) with flag 0 = v covered, -1 = v excluded.
+    covered = (lo_key[0], -1 if lo_key[1] == 0 else 0)
+    chosen: list[CoveredFragment] = []
+    remaining = list(fragments)
+
+    while covered < target_hi:
+        v, flag = covered
+        threshold = (v, 1 + flag)
+        qualifying = [
+            f
+            for f in remaining
+            if f._lower_key() <= threshold and f._upper_key() > covered
+        ]
+        if not qualifying:
+            return None
+        best = max(qualifying, key=lambda f: (f._lower_key(), f._upper_key()))
+        clip = None
+        if chosen:
+            # exclude everything at or below the covered upper bound
+            clip = Interval(low=v, high=None, low_open=(flag == 0))
+        chosen.append(CoveredFragment(best, clip))
+        covered = max(covered, best._upper_key())
+        remaining.remove(best)
+    return chosen
+
+
+def covered_bytes(cover: list[CoveredFragment], sizes: dict[Interval, float]) -> float:
+    """Total bytes that must be read to scan a cover."""
+    return sum(sizes[c.interval] for c in cover)

@@ -1,0 +1,127 @@
+"""Fragment-size bounding (§9).
+
+Two guards on fragment sizes when materializing a partition:
+
+* **Upper bound** — a fragment larger than ``phi × S(V)`` is split into
+  equal-width pieces, so that infrequently accessed cold ranges do not end
+  up as one enormous fragment whose later split would be very expensive.
+* **Lower bound** — fragments should not be smaller than the file system's
+  block size (HDFS favours large blocks); splitting never produces pieces
+  below the block size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PartitionError
+from repro.partitioning.intervals import Interval
+
+
+@dataclass(frozen=True)
+class SizeBounds:
+    """Bounding policy for fragments of one view.
+
+    Attributes:
+        phi: Max fragment size as a fraction of the view size (§9); ``None``
+            disables the upper bound (used by the Fig-6 experiments, which
+            explicitly unbound fragment size).
+        min_bytes: Lower bound, normally the HDFS block size.
+    """
+
+    phi: float | None = 0.10
+    min_bytes: float = 128 * 1024 * 1024
+
+    def max_bytes(self, view_size_bytes: float) -> float | None:
+        if self.phi is None:
+            return None
+        return self.phi * view_size_bytes
+
+
+def split_count(fragment_bytes: float, max_bytes: float | None, min_bytes: float) -> int:
+    """How many equal pieces an oversized fragment should become.
+
+    Honours both bounds: enough pieces that each is ≤ ``max_bytes``, but
+    never so many that pieces drop below ``min_bytes``.
+    """
+    if fragment_bytes <= 0:
+        return 1
+    want = 1 if max_bytes is None else max(1, math.ceil(fragment_bytes / max_bytes))
+    cap = max(1, math.floor(fragment_bytes / min_bytes)) if min_bytes > 0 else want
+    return max(1, min(want, cap))
+
+
+def split_equal_width(interval: Interval, pieces: int) -> list[Interval]:
+    """Split ``interval`` into ``pieces`` equal-width sub-intervals.
+
+    The first piece keeps the original lower bound/openness, the last keeps
+    the upper; interior boundaries follow the ``(lo, hi]`` convention so
+    the pieces form a disjoint cover of the original interval.
+    """
+    if pieces < 1:
+        raise PartitionError(f"piece count must be positive, got {pieces}")
+    if pieces == 1:
+        return [interval]
+    if not interval.is_bounded():
+        raise PartitionError("cannot equal-width split an unbounded interval")
+    width = interval.width / pieces
+    out: list[Interval] = []
+    lo = interval.lo
+    lo_open = interval.low_open
+    for i in range(pieces):
+        hi = interval.hi if i == pieces - 1 else interval.lo + (i + 1) * width
+        hi_open = interval.high_open if i == pieces - 1 else False
+        out.append(Interval(lo, hi, lo_open, hi_open))
+        lo, lo_open = hi, True  # next piece starts just after
+    return out
+
+
+def bound_fragment(
+    interval: Interval,
+    fragment_bytes: float,
+    view_bytes: float,
+    bounds: SizeBounds,
+) -> list[Interval]:
+    """Apply both size bounds to one fragment, returning its replacement(s)."""
+    n = split_count(fragment_bytes, bounds.max_bytes(view_bytes), bounds.min_bytes)
+    if n == 1 or not interval.is_bounded() or interval.width == 0:
+        return [interval]
+    return split_equal_width(interval, n)
+
+
+def merge_undersized(
+    intervals: list[Interval],
+    sizes: list[float],
+    min_bytes: float,
+) -> list[Interval]:
+    """Greedily merge *adjacent* undersized fragments (the §9 lower bound).
+
+    Takes intervals in partition order with their byte sizes; any fragment
+    smaller than ``min_bytes`` is merged with its successor (or, at the
+    tail, its predecessor) until every surviving fragment meets the bound
+    or only one fragment remains.  Only adjacent (touching, non-
+    overlapping) intervals are merged, so a horizontal partition stays
+    one.
+    """
+    if len(intervals) != len(sizes):
+        raise PartitionError("intervals and sizes must parallel each other")
+    merged: list[tuple[Interval, float]] = []
+    for interval, size in zip(intervals, sizes):
+        if merged and merged[-1][1] < min_bytes and (
+            merged[-1][0].adjacent_to(interval)
+        ):
+            prev_iv, prev_size = merged[-1]
+            merged[-1] = (prev_iv.hull(interval), prev_size + size)
+        else:
+            merged.append((interval, size))
+    # Tail fragment may still be undersized: fold it into its predecessor.
+    while (
+        len(merged) > 1
+        and merged[-1][1] < min_bytes
+        and merged[-2][0].adjacent_to(merged[-1][0])
+    ):
+        prev_iv, prev_size = merged[-2]
+        last_iv, last_size = merged[-1]
+        merged[-2:] = [(prev_iv.hull(last_iv), prev_size + last_size)]
+    return [iv for iv, _ in merged]

@@ -1,0 +1,51 @@
+"""Equi-depth partitioning — the paper's non-adaptive baseline (§10.2).
+
+Fragment boundaries are chosen at value quantiles of the partition column
+so every fragment holds roughly the same number of rows, independent of
+the workload's access pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.partitioning.intervals import Interval
+
+
+def equidepth_boundaries(values: np.ndarray, k: int) -> list[float]:
+    """Interior boundaries that split ``values`` into ``k`` equal-count runs.
+
+    Duplicate quantiles (heavy skew in the column) are collapsed, so the
+    result may contain fewer than ``k - 1`` boundaries.
+    """
+    if k < 1:
+        raise PartitionError(f"fragment count must be positive, got {k}")
+    if len(values) == 0 or k == 1:
+        return []
+    qs = np.quantile(values, np.linspace(0, 1, k + 1)[1:-1])
+    boundaries: list[float] = []
+    for q in np.atleast_1d(qs):
+        q = float(q)
+        if not boundaries or q > boundaries[-1]:
+            boundaries.append(q)
+    return boundaries
+
+
+def equidepth_intervals(values: np.ndarray, k: int, domain: Interval) -> list[Interval]:
+    """An equi-depth horizontal partition of ``domain`` with ≤ ``k`` fragments.
+
+    Fragments are ``[d_lo, b1]``, ``(b1, b2]``, …, ``(b_last, d_hi]`` — a
+    disjoint cover of the domain (Definition 1).
+    """
+    if not domain.is_bounded():
+        raise PartitionError("equi-depth partitioning requires a bounded domain")
+    boundaries = [b for b in equidepth_boundaries(values, k)
+                  if domain.lo < b < domain.hi]
+    if not boundaries:
+        return [domain]
+    intervals = [Interval(domain.low, boundaries[0], domain.low_open, False)]
+    for prev, cur in zip(boundaries, boundaries[1:]):
+        intervals.append(Interval.open_closed(prev, cur))
+    intervals.append(Interval(boundaries[-1], domain.high, True, domain.high_open))
+    return intervals

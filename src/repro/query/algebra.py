@@ -1,0 +1,220 @@
+"""Logical query algebra.
+
+Plans are immutable trees of frozen dataclasses, so they can be hashed and
+used as dictionary keys — the statistics store keys view candidates by
+their defining plan.  Supported operators mirror what DeepSea needs:
+
+* ``Relation`` — base-table scan.
+* ``MaterializedScan`` — scan of a materialized view (whole or a set of
+  fragments); produced only by the rewriter.
+* ``Select`` — conjunction of range predicates.
+* ``Project`` — column subset.
+* ``Join`` — equi-join on one attribute pair.
+* ``Aggregate`` — group-by with ``sum``/``count``/``avg``/``min``/``max``.
+
+Join order is normalized by the signature machinery, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.query.predicates import RangePredicate
+
+AGG_FUNCS = ("sum", "count", "avg", "min", "max")
+
+
+class Plan:
+    """Marker base class for all logical plan nodes."""
+
+    @property
+    def children(self) -> tuple["Plan", ...]:
+        raise NotImplementedError
+
+    def with_children(self, children: tuple["Plan", ...]) -> "Plan":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Relation(Plan):
+    """Scan of a base table registered in the catalog."""
+
+    name: str
+
+    @property
+    def children(self) -> tuple[Plan, ...]:
+        return ()
+
+    def with_children(self, children: tuple[Plan, ...]) -> Plan:
+        if children:
+            raise PlanError("Relation takes no children")
+        return self
+
+
+@dataclass(frozen=True)
+class MaterializedScan(Plan):
+    """Scan of a materialized view, possibly restricted to fragments.
+
+    ``fragment_ids`` empty means the whole (unpartitioned) view is read.
+    The executor resolves both against the materialized-view pool.
+
+    ``clips`` holds one interval per fragment (or ``None``): rows outside
+    the clip are discarded after the fragment file is read.  The rewriter
+    uses clips to disjointify a cover of *overlapping* fragments so no row
+    is produced twice, while the cost model still charges the full
+    fragment read — exactly the physical behaviour of fragment predicates
+    in DeepSea's partition operator (§9).
+    """
+
+    view_id: str
+    fragment_ids: tuple[str, ...] = ()
+    attr: str | None = None
+    clips: tuple = ()
+
+    @property
+    def children(self) -> tuple[Plan, ...]:
+        return ()
+
+    def with_children(self, children: tuple[Plan, ...]) -> Plan:
+        if children:
+            raise PlanError("MaterializedScan takes no children")
+        return self
+
+
+@dataclass(frozen=True)
+class Select(Plan):
+    """Conjunctive range selection."""
+
+    child: Plan
+    predicates: tuple[RangePredicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise PlanError("Select requires at least one predicate")
+
+    @property
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[Plan, ...]) -> Plan:
+        (child,) = children
+        return Select(child, self.predicates)
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """Column-subset projection (no expressions, as in the paper)."""
+
+    child: Plan
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise PlanError("Project requires at least one column")
+
+    @property
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[Plan, ...]) -> Plan:
+        (child,) = children
+        return Project(child, self.columns)
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """Equi-join ``left.left_attr = right.right_attr``.
+
+    The join keeps both key columns when their names differ (TPC-style
+    unique naming), so downstream selections on either side still work.
+    """
+
+    left: Plan
+    right: Plan
+    left_attr: str
+    right_attr: str
+
+    @property
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: tuple[Plan, ...]) -> Plan:
+        left, right = children
+        return Join(left, right, self.left_attr, self.right_attr)
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate expression: ``func(attr) AS alias``."""
+
+    func: str
+    attr: str | None
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.func not in AGG_FUNCS:
+            raise PlanError(f"unknown aggregate function: {self.func!r}")
+        if self.attr is None and self.func != "count":
+            raise PlanError(f"{self.func} requires an attribute")
+
+
+@dataclass(frozen=True)
+class Aggregate(Plan):
+    """Group-by aggregation."""
+
+    child: Plan
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise PlanError("Aggregate requires at least one aggregate")
+
+    @property
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[Plan, ...]) -> Plan:
+        (child,) = children
+        return Aggregate(child, self.group_by, self.aggregates)
+
+
+# ----------------------------------------------------------------------
+# Tree utilities
+# ----------------------------------------------------------------------
+def walk(plan: Plan):
+    """Yield every node of the plan, root first."""
+    yield plan
+    for child in plan.children:
+        yield from walk(child)
+
+
+def replace_subplan(plan: Plan, target: Plan, replacement: Plan) -> Plan:
+    """Return ``plan`` with every occurrence of ``target`` replaced.
+
+    Matching is structural (dataclass equality), which is exactly what the
+    rewriter needs: a subquery that equals a view definition is swapped for
+    a scan of that view.
+    """
+    if plan == target:
+        return replacement
+    if not plan.children:
+        return plan
+    new_children = tuple(
+        replace_subplan(child, target, replacement) for child in plan.children
+    )
+    if new_children == plan.children:
+        return plan
+    return plan.with_children(new_children)
+
+
+def count_jobs(plan: Plan) -> int:
+    """Number of MapReduce jobs the plan maps to (joins + aggregates, min 1)."""
+    jobs = sum(1 for node in walk(plan) if isinstance(node, (Join, Aggregate)))
+    return max(jobs, 1)
+
+
+def base_relations(plan: Plan) -> tuple[str, ...]:
+    """Sorted multiset of base-relation names referenced by the plan."""
+    return tuple(sorted(n.name for n in walk(plan) if isinstance(n, Relation)))

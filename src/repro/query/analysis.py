@@ -1,0 +1,151 @@
+"""Static plan analysis: output schemas, range collection, join classes.
+
+These helpers underpin signature computation (§8.1), selection pushdown
+(the vanilla-Hive baseline's optimizer behaviour), and candidate
+generation.  They need to know base-table schemas, supplied as a mapping
+``relation name -> ordered column names``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.partitioning.intervals import Interval
+from repro.query.algebra import (
+    Aggregate,
+    Join,
+    MaterializedScan,
+    Plan,
+    Project,
+    Relation,
+    Select,
+    walk,
+)
+
+SchemaMap = dict[str, tuple[str, ...]]
+
+
+def output_columns(plan: Plan, schemas: SchemaMap) -> tuple[str, ...]:
+    """Ordered output column names of a plan (mirrors executor semantics)."""
+    if isinstance(plan, Relation):
+        try:
+            return schemas[plan.name]
+        except KeyError:
+            raise PlanError(f"unknown relation in schema map: {plan.name!r}") from None
+    if isinstance(plan, (Select,)):
+        return output_columns(plan.child, schemas)
+    if isinstance(plan, Project):
+        return plan.columns
+    if isinstance(plan, Join):
+        left = output_columns(plan.left, schemas)
+        right = output_columns(plan.right, schemas)
+        drop = {plan.right_attr} if plan.right_attr == plan.left_attr else set()
+        return left + tuple(c for c in right if c not in drop)
+    if isinstance(plan, Aggregate):
+        return plan.group_by + tuple(a.alias for a in plan.aggregates)
+    if isinstance(plan, MaterializedScan):
+        raise PlanError("output_columns over MaterializedScan requires the pool")
+    raise PlanError(f"cannot infer schema of {type(plan).__name__}")
+
+
+def collect_ranges(plan: Plan) -> dict[str, Interval]:
+    """Per-attribute intersection of every range predicate in the plan.
+
+    An unsatisfiable conjunction collapses to a point interval at +inf,
+    which no finite value matches — semantically an empty selection, and
+    (unlike NaN) equal to itself so signatures remain comparable.
+    """
+    ranges: dict[str, Interval] = {}
+    for node in walk(plan):
+        if not isinstance(node, Select):
+            continue
+        for pred in node.predicates:
+            if pred.attr in ranges:
+                merged = ranges[pred.attr].intersect(pred.interval)
+                if merged is None:
+                    merged = Interval.point(float("inf"))
+                ranges[pred.attr] = merged
+            else:
+                ranges[pred.attr] = pred.interval
+    return ranges
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def find(self, x: str) -> str:
+        self._parent.setdefault(x, x)
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[max(ra, rb)] = min(ra, rb)
+
+    def classes(self) -> frozenset[frozenset[str]]:
+        groups: dict[str, set[str]] = {}
+        for member in self._parent:
+            groups.setdefault(self.find(member), set()).add(member)
+        return frozenset(
+            frozenset(g) for g in groups.values() if len(g) > 1
+        )
+
+
+def join_equivalence_classes(plan: Plan) -> frozenset[frozenset[str]]:
+    """Attribute equivalence classes induced by the plan's equi-joins."""
+    uf = _UnionFind()
+    for node in walk(plan):
+        if isinstance(node, Join):
+            uf.union(node.left_attr, node.right_attr)
+    return uf.classes()
+
+
+def class_representative(attr: str, classes: frozenset[frozenset[str]]) -> str:
+    """Canonical member (sorted-first) of the class containing ``attr``."""
+    for cls in classes:
+        if attr in cls:
+            return min(cls)
+    return attr
+
+
+def class_members(attr: str, classes: frozenset[frozenset[str]]) -> frozenset[str]:
+    for cls in classes:
+        if attr in cls:
+            return cls
+    return frozenset({attr})
+
+
+def job_boundaries(plan: Plan) -> set[Plan]:
+    """Nodes whose output a MapReduce engine writes to the file system.
+
+    Every join and aggregation is its own MR job, and Hive folds a chain
+    of projections directly above the operator into the same job — so the
+    written output is the *projected* result.  These are exactly the
+    intermediate results DeepSea can keep as views for free (§2), and the
+    cost model charges an HDFS write for each of them, including the root
+    (the final query result is written too).
+
+    A selection between the projection and the operator is *not* folded:
+    DeepSea deliberately keeps the query's range selection out of the
+    materialized intermediate (§10.2), so the boundary payload is the
+    pre-selection result.
+    """
+    projected = {node.child for node in walk(plan) if isinstance(node, Project)}
+    boundaries: set[Plan] = set()
+    for node in walk(plan):
+        if node in projected:
+            continue  # folded into the enclosing projection's job
+        if isinstance(node, (Join, Aggregate)):
+            boundaries.add(node)
+        elif isinstance(node, Project):
+            base = node.child
+            while isinstance(base, Project):
+                base = base.child
+            if isinstance(base, (Join, Aggregate)):
+                boundaries.add(node)
+    return boundaries

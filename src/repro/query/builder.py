@@ -1,0 +1,73 @@
+"""Fluent query builder — the library's ergonomic entry point.
+
+Example::
+
+    from repro.query.builder import Q
+
+    plan = (
+        Q("store_sales")
+        .join("item", on=("ss_item_sk", "i_item_sk"))
+        .where_between("i_item_sk", 1000, 2000)
+        .group_by("i_category", agg=[("sum", "ss_quantity", "total_qty")])
+        .plan
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.algebra import Aggregate, AggSpec, Join, Plan, Project, Relation, Select
+from repro.query.predicates import RangePredicate, at_least, at_most, between, eq
+
+
+@dataclass(frozen=True)
+class Q:
+    """Immutable builder; every method returns a new builder."""
+
+    _plan: Plan
+
+    def __init__(self, source: str | Plan):
+        plan = Relation(source) if isinstance(source, str) else source
+        object.__setattr__(self, "_plan", plan)
+
+    @property
+    def plan(self) -> Plan:
+        return self._plan
+
+    # ------------------------------------------------------------------
+    def join(self, other: "str | Plan | Q", on: tuple[str, str]) -> "Q":
+        if isinstance(other, Q):
+            right = other.plan
+        elif isinstance(other, str):
+            right = Relation(other)
+        else:
+            right = other
+        return Q(Join(self._plan, right, on[0], on[1]))
+
+    def where(self, *predicates: RangePredicate) -> "Q":
+        return Q(Select(self._plan, tuple(predicates)))
+
+    def where_between(self, attr: str, low: float, high: float) -> "Q":
+        return self.where(between(attr, low, high))
+
+    def where_eq(self, attr: str, value: float) -> "Q":
+        return self.where(eq(attr, value))
+
+    def where_at_least(self, attr: str, low: float) -> "Q":
+        return self.where(at_least(attr, low))
+
+    def where_at_most(self, attr: str, high: float) -> "Q":
+        return self.where(at_most(attr, high))
+
+    def select(self, *columns: str) -> "Q":
+        return Q(Project(self._plan, columns))
+
+    def group_by(self, *columns: str, agg: list[tuple[str, str | None, str]]) -> "Q":
+        specs = tuple(AggSpec(f, a, alias) for f, a, alias in agg)
+        return Q(Aggregate(self._plan, columns, specs))
+
+    def aggregate(self, agg: list[tuple[str, str | None, str]]) -> "Q":
+        """Global aggregation (no grouping)."""
+        specs = tuple(AggSpec(f, a, alias) for f, a, alias in agg)
+        return Q(Aggregate(self._plan, (), specs))

@@ -1,0 +1,100 @@
+"""Query signatures in the style of Goldstein and Larson (§8.1).
+
+A signature abstracts a plan away from its syntax: it records the multiset
+of base relations, the attribute equivalence classes induced by the
+equi-joins, per-attribute selection ranges (normalized onto each
+equivalence class's representative), the ordered output columns, and the
+aggregation shape.  Two plans that differ only in join order or in where
+commuting selections sit produce the same signature, which is what makes
+DeepSea's matching *logical* rather than physical (§2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.partitioning.intervals import Interval
+from repro.query.algebra import Aggregate, AggSpec, MaterializedScan, Plan, walk
+from repro.query.analysis import (
+    SchemaMap,
+    class_representative,
+    collect_ranges,
+    join_equivalence_classes,
+    output_columns,
+)
+from repro.query.algebra import base_relations
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Syntax-independent description of a query or view."""
+
+    relations: tuple[str, ...]
+    join_classes: frozenset[frozenset[str]]
+    ranges: tuple[tuple[str, Interval], ...]
+    output: tuple[str, ...]
+    group_by: tuple[str, ...] | None
+    aggregates: tuple[AggSpec, ...] | None
+
+    @property
+    def output_set(self) -> frozenset[str]:
+        return frozenset(self.output)
+
+    @property
+    def range_map(self) -> dict[str, Interval]:
+        return dict(self.ranges)
+
+    @property
+    def agg_key(self) -> tuple:
+        """Hashable aggregation shape, used as a filter-tree level."""
+        if self.group_by is None:
+            return ("none",)
+        return (tuple(sorted(self.group_by)), tuple(sorted(self.aggregates, key=repr)))
+
+
+def compute_signature(plan: Plan, schemas: SchemaMap) -> Signature:
+    """Build the signature of a plan over base relations.
+
+    Plans containing ``MaterializedScan`` are rejected: signatures are
+    only computed over *definitions* (queries and candidate views), never
+    over already-rewritten plans.
+    """
+    if any(isinstance(n, MaterializedScan) for n in walk(plan)):
+        raise PlanError("signatures are computed over base-relation plans only")
+
+    aggregates = [n for n in walk(plan) if isinstance(n, Aggregate)]
+    if len(aggregates) > 1:
+        raise PlanError("at most one aggregation level is supported")
+    agg = aggregates[0] if aggregates else None
+
+    classes = join_equivalence_classes(plan)
+    raw_ranges = collect_ranges(plan)
+    normalized: dict[str, Interval] = {}
+    for attr, interval in raw_ranges.items():
+        rep = class_representative(attr, classes)
+        if rep in normalized:
+            merged = normalized[rep].intersect(interval)
+            normalized[rep] = merged if merged is not None else Interval.point(float("inf"))
+        else:
+            normalized[rep] = interval
+
+    return Signature(
+        relations=base_relations(plan),
+        join_classes=classes,
+        ranges=tuple(sorted(normalized.items())),
+        output=output_columns(plan, schemas),
+        group_by=agg.group_by if agg else None,
+        aggregates=agg.aggregates if agg else None,
+    )
+
+
+def view_id_for(plan: Plan) -> str:
+    """Deterministic short identifier for a view defined by ``plan``.
+
+    Uses the structural repr of the frozen plan dataclasses, which is
+    stable across processes.
+    """
+    digest = hashlib.blake2b(repr(plan).encode(), digest_size=6).hexdigest()
+    return f"v_{digest}"

@@ -1,0 +1,64 @@
+"""Subquery enumeration and view-candidate shapes (Definition 6).
+
+View candidates are subqueries of the form ``γ(Q1)``, ``Q1 ⋈ Q2``, or
+``π(Q1)`` — joins because they are expensive and reusable, aggregations
+and projections because they shrink their input.  Selections are *not*
+candidates: partitioning the selection's input on the selection attribute
+is more effective (§6.1).
+
+One refinement over the bare definition reflects how Hive actually
+materializes intermediates (§2: "we use intermediate results that are
+materialized anyways by the MapReduce engine"): a projection is applied
+in the same map/reduce stage as the operator beneath it, so the job
+boundary writes the *projected* join/aggregate output, never the
+unprojected one.  A join or aggregate directly under a projection is
+therefore represented by the ``π(...)`` candidate alone.
+"""
+
+from __future__ import annotations
+
+from repro.query.algebra import Aggregate, Join, MaterializedScan, Plan, Project, walk
+
+
+def unique_subplans(plan: Plan) -> list[Plan]:
+    """All distinct subplans, outermost first."""
+    seen: list[Plan] = []
+    for node in walk(plan):
+        if node not in seen:
+            seen.append(node)
+    return seen
+
+
+def is_view_candidate_shape(plan: Plan) -> bool:
+    """Definition 6's shape condition: join, aggregate, or project root."""
+    return isinstance(plan, (Join, Aggregate, Project))
+
+
+def _projected_children(plan: Plan) -> set[Plan]:
+    """Nodes that sit directly under a projection (same job stage)."""
+    covered: set[Plan] = set()
+    for node in walk(plan):
+        if isinstance(node, Project):
+            covered.add(node.child)
+    return covered
+
+
+def view_candidate_subplans(plan: Plan) -> list[Plan]:
+    """Definition-6 candidate subqueries of ``plan``, outermost first.
+
+    Subplans that touch a ``MaterializedScan`` are excluded: candidate
+    definitions must be expressed over base relations so that logical
+    matching can find them later.  Joins/aggregates immediately under a
+    projection are folded into the projected candidate (see module doc).
+    """
+    projected = _projected_children(plan)
+    candidates = []
+    for sub in unique_subplans(plan):
+        if not is_view_candidate_shape(sub):
+            continue
+        if sub in projected:
+            continue  # the enclosing π(...) candidate covers this stage
+        if any(isinstance(n, MaterializedScan) for n in walk(sub)):
+            continue
+        candidates.append(sub)
+    return candidates

@@ -1,0 +1,75 @@
+"""Simulated distributed file system.
+
+Stores the payload (a :class:`~repro.engine.table.Table`) for every
+materialized view and fragment under a path, tracks per-file nominal byte
+sizes, and lets callers charge read/write time against a
+:class:`~repro.engine.cost.CostLedger`.  This stands in for HDFS in the
+original DeepSea deployment: files are immutable, writes are expensive,
+and each file is scanned by at least one map task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.cost import CostLedger
+from repro.engine.table import Table
+from repro.errors import PoolError
+
+
+@dataclass
+class StoredFile:
+    """One immutable file: its payload and nominal size."""
+
+    path: str
+    table: Table
+    size_bytes: float
+
+
+class SimulatedHDFS:
+    """An in-memory stand-in for HDFS."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, StoredFile] = {}
+
+    def write(self, path: str, table: Table, ledger: CostLedger | None = None) -> StoredFile:
+        """Store ``table`` at ``path``, charging write cost if a ledger is given."""
+        if path in self._files:
+            raise PoolError(f"file already exists: {path!r}")
+        stored = StoredFile(path, table, table.size_bytes)
+        self._files[path] = stored
+        if ledger is not None:
+            ledger.charge_write(stored.size_bytes, nfiles=1)
+        return stored
+
+    def read(self, path: str, ledger: CostLedger | None = None) -> Table:
+        """Fetch the payload at ``path``, charging read cost if asked."""
+        stored = self._get(path)
+        if ledger is not None:
+            ledger.charge_read(stored.size_bytes, nfiles=1)
+        return stored.table
+
+    def delete(self, path: str) -> None:
+        if path not in self._files:
+            raise PoolError(f"no such file: {path!r}")
+        del self._files[path]
+
+    def size_of(self, path: str) -> float:
+        return self._get(path).size_bytes
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    @property
+    def used_bytes(self) -> float:
+        return sum(f.size_bytes for f in self._files.values())
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    def _get(self, path: str) -> StoredFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise PoolError(f"no such file: {path!r}") from None

@@ -1,0 +1,251 @@
+"""The materialized-view pool — DeepSea's *configuration* (Definition 3).
+
+The pool holds the set of views ``V`` currently materialized and, for each
+view and partition attribute, the set of fragment intervals ``P(V, A)``.
+Pool entries are managed at fragment granularity, which is what enables
+DeepSea's fine-grained eviction: a single fragment of a partitioned view
+can be dropped while its siblings stay resident.  An unpartitioned view
+(the NP baseline, or a view the selector chose not to partition) is stored
+as a single *whole-view* entry.
+
+The pool enforces the storage bound ``S(C) ≤ S_max`` as a hard invariant:
+additions that would exceed the limit raise, because the selection step
+(§7.3) must have made room first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.engine.table import Table
+from repro.errors import PoolError
+from repro.partitioning.intervals import Interval, sort_key
+from repro.query.algebra import Plan
+from repro.storage.hdfs import SimulatedHDFS
+
+WHOLE_VIEW_ATTR = None
+
+
+@dataclass(frozen=True)
+class FragmentKey:
+    """Stable identity of a pool entry: (view, partition attribute, interval).
+
+    ``attr=None`` identifies the whole-view entry of an unpartitioned view.
+    """
+
+    view_id: str
+    attr: str | None
+    interval: Interval | None
+
+    def __post_init__(self) -> None:
+        if (self.attr is None) != (self.interval is None):
+            raise PoolError("attr and interval must both be set or both be None")
+
+
+@dataclass
+class FragmentEntry:
+    """A resident pool entry (fragment or whole view)."""
+
+    fragment_id: str
+    key: FragmentKey
+    path: str
+    size_bytes: float
+
+
+@dataclass
+class ViewDefinition:
+    """Registered definition of a (potential) view: its defining plan."""
+
+    view_id: str
+    plan: Plan
+    creation_cost_s: float = 0.0
+    size_bytes: float = 0.0
+
+
+@dataclass
+class _PooledView:
+    definition: ViewDefinition
+    # attr -> list of fragment_ids, kept sorted by interval
+    partitions: dict[str, list[str]] = field(default_factory=dict)
+    whole_id: str | None = None
+
+
+class MaterializedViewPool:
+    """Pool of partitioned materialized views with a storage budget."""
+
+    def __init__(self, smax_bytes: float | None = None, hdfs: SimulatedHDFS | None = None):
+        self.smax_bytes = smax_bytes
+        self.hdfs = hdfs or SimulatedHDFS()
+        self._views: dict[str, _PooledView] = {}
+        self._definitions: dict[str, ViewDefinition] = {}
+        self._fragments: dict[str, FragmentEntry] = {}
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # View definitions (exist independently of residency)
+    # ------------------------------------------------------------------
+    def define_view(self, view_id: str, plan: Plan) -> ViewDefinition:
+        """Register a view definition (idempotent for identical plans)."""
+        existing = self._definitions.get(view_id)
+        if existing is not None:
+            if existing.plan != plan:
+                raise PoolError(f"view id collision: {view_id!r}")
+            return existing
+        definition = ViewDefinition(view_id, plan)
+        self._definitions[view_id] = definition
+        return definition
+
+    def definition(self, view_id: str) -> ViewDefinition:
+        try:
+            return self._definitions[view_id]
+        except KeyError:
+            raise PoolError(f"unknown view: {view_id!r}") from None
+
+    def has_definition(self, view_id: str) -> bool:
+        return view_id in self._definitions
+
+    # ------------------------------------------------------------------
+    # Residency queries
+    # ------------------------------------------------------------------
+    def is_resident(self, view_id: str) -> bool:
+        """True iff any entry of the view (whole or fragment) is in the pool."""
+        return view_id in self._views
+
+    def resident_view_ids(self) -> list[str]:
+        return sorted(self._views)
+
+    def whole_view_entry(self, view_id: str) -> FragmentEntry | None:
+        view = self._views.get(view_id)
+        if view is None or view.whole_id is None:
+            return None
+        return self._fragments[view.whole_id]
+
+    def partition_attrs(self, view_id: str) -> list[str]:
+        view = self._views.get(view_id)
+        return sorted(view.partitions) if view else []
+
+    def fragments_of(self, view_id: str, attr: str) -> list[FragmentEntry]:
+        """Resident fragments of ``P(view, attr)``, sorted by interval."""
+        view = self._views.get(view_id)
+        if view is None or attr not in view.partitions:
+            return []
+        return [self._fragments[fid] for fid in view.partitions[attr]]
+
+    def intervals_of(self, view_id: str, attr: str) -> list[Interval]:
+        return [f.key.interval for f in self.fragments_of(view_id, attr)]
+
+    def get_fragment(self, fragment_id: str) -> FragmentEntry:
+        try:
+            return self._fragments[fragment_id]
+        except KeyError:
+            raise PoolError(f"unknown fragment: {fragment_id!r}") from None
+
+    def find_fragment(self, key: FragmentKey) -> FragmentEntry | None:
+        """Locate a resident entry by its stable key."""
+        view = self._views.get(key.view_id)
+        if view is None:
+            return None
+        if key.attr is None:
+            return self.whole_view_entry(key.view_id)
+        for fid in view.partitions.get(key.attr, []):
+            entry = self._fragments[fid]
+            if entry.key.interval == key.interval:
+                return entry
+        return None
+
+    def all_entries(self) -> list[FragmentEntry]:
+        return list(self._fragments.values())
+
+    @property
+    def used_bytes(self) -> float:
+        return sum(f.size_bytes for f in self._fragments.values())
+
+    def fits(self, extra_bytes: float) -> bool:
+        if self.smax_bytes is None:
+            return True
+        return self.used_bytes + extra_bytes <= self.smax_bytes + 1e-6
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_whole_view(self, view_id: str, table: Table) -> FragmentEntry:
+        """Admit an unpartitioned view as a single pool entry."""
+        self._require_definition(view_id)
+        key = FragmentKey(view_id, None, None)
+        return self._admit(key, table)
+
+    def add_fragment(
+        self, view_id: str, attr: str, interval: Interval, table: Table
+    ) -> FragmentEntry:
+        """Admit one fragment of ``P(view_id, attr)``."""
+        self._require_definition(view_id)
+        key = FragmentKey(view_id, attr, interval)
+        if self.find_fragment(key) is not None:
+            raise PoolError(f"fragment already resident: {key}")
+        return self._admit(key, table)
+
+    def evict(self, fragment_id: str) -> None:
+        """Remove one entry (fragment or whole view) from the pool."""
+        entry = self.get_fragment(fragment_id)
+        view = self._views[entry.key.view_id]
+        if entry.key.attr is None:
+            view.whole_id = None
+        else:
+            view.partitions[entry.key.attr].remove(fragment_id)
+            if not view.partitions[entry.key.attr]:
+                del view.partitions[entry.key.attr]
+        if view.whole_id is None and not view.partitions:
+            del self._views[entry.key.view_id]
+        self.hdfs.delete(entry.path)
+        del self._fragments[fragment_id]
+
+    def read_entry(self, fragment_id: str) -> Table:
+        """Payload of an entry, without charging cost (executor charges)."""
+        entry = self.get_fragment(fragment_id)
+        return self.hdfs.read(entry.path)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_definition(self, view_id: str) -> None:
+        if view_id not in self._definitions:
+            raise PoolError(f"view {view_id!r} has no registered definition")
+
+    def _admit(self, key: FragmentKey, table: Table) -> FragmentEntry:
+        size = table.size_bytes
+        if not self.fits(size):
+            raise PoolError(
+                f"admitting {size:.0f} bytes would exceed S_max={self.smax_bytes}"
+            )
+        fid = f"frag-{next(self._counter)}"
+        path = f"/pool/{key.view_id}/{key.attr or '_whole'}/{fid}"
+        self.hdfs.write(path, table)
+        entry = FragmentEntry(fid, key, path, size)
+        self._fragments[fid] = entry
+        view = self._views.setdefault(key.view_id, _PooledView(self.definition(key.view_id)))
+        if key.attr is None:
+            if view.whole_id is not None:
+                raise PoolError(f"whole view already resident: {key.view_id!r}")
+            view.whole_id = fid
+        else:
+            ids = view.partitions.setdefault(key.attr, [])
+            ids.append(fid)
+            ids.sort(key=lambda f: sort_key(self._fragments[f].key.interval))
+        return entry
+
+    # ------------------------------------------------------------------
+    # Inspection (Definition 3 snapshot)
+    # ------------------------------------------------------------------
+    def configuration(self) -> dict:
+        """A ``(V, P)`` snapshot of the pool, for tests and reporting."""
+        snapshot: dict = {}
+        for view_id, view in self._views.items():
+            snapshot[view_id] = {
+                "whole": view.whole_id is not None,
+                "partitions": {
+                    attr: [self._fragments[fid].key.interval for fid in fids]
+                    for attr, fids in view.partitions.items()
+                },
+            }
+        return snapshot

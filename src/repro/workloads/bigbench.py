@@ -1,0 +1,392 @@
+"""BigBench-like substrate: schema, data generation, and query templates.
+
+The paper evaluates on BigBench [Ghazal et al., SIGMOD'13] instances of
+100 GB and 500 GB, with a workload built from ten join templates (Q1, Q5,
+Q7, Q9, Q12, Q16, Q20, Q26, Q29, Q30) extended with a range selection on
+``item_sk`` (§10.1).  This module provides a scaled-down synthetic
+equivalent: a retail star schema whose fact tables all carry an
+``*_item_sk`` column, a generator that sizes tables proportionally to a
+nominal instance size (rows are scaled down, ``Table.scale`` restores the
+nominal bytes the cost model sees), and ten analogous join(+aggregate)
+templates parameterized by the selection range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.catalog import Catalog
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.errors import WorkloadError
+from repro.partitioning.intervals import Interval
+from repro.query.algebra import Plan
+from repro.query.builder import Q
+
+GB = 1.0e9
+
+# Relative share of the instance each table occupies (BigBench-ish mix:
+# clickstream and store_sales dominate).
+TABLE_WEIGHTS = {
+    "store_sales": 0.32,
+    "web_clickstream": 0.28,
+    "web_sales": 0.14,
+    "store_returns": 0.08,
+    "product_reviews": 0.07,
+    "customer": 0.06,
+    "item": 0.05,
+}
+
+# Rows per nominal GB for fact tables at the default fidelity.  200 rows/GB
+# keeps a 500 GB instance around 10^5 fact rows — large enough for honest
+# selectivities, small enough to run thousand-query workloads quickly.
+DEFAULT_ROWS_PER_GB = 200.0
+
+# Each fact table carries a wide ``*_payload`` column standing in for the
+# many BigBench columns the templates never touch (real store_sales has 23
+# columns at ~150 bytes/row).  The payload has a large *accounting* width
+# but is stored as a single int64, so memory stays small while projected
+# views are ~15-20% of their fact table — the ratio that makes the
+# paper's pool-size experiments meaningful.
+SCHEMAS = {
+    "item": Schema.of(
+        Column("i_item_sk"),
+        Column("i_category_id"),
+        Column("i_price"),
+    ),
+    "store_sales": Schema.of(
+        Column("ss_id"),
+        Column("ss_item_sk"),
+        Column("ss_customer_sk"),
+        Column("ss_quantity"),
+        Column("ss_sales_price"),
+        Column("ss_payload", width=120),
+    ),
+    "web_sales": Schema.of(
+        Column("ws_id"),
+        Column("ws_item_sk"),
+        Column("ws_customer_sk"),
+        Column("ws_quantity"),
+        Column("ws_sales_price"),
+        Column("ws_payload", width=120),
+    ),
+    "web_clickstream": Schema.of(
+        Column("wcs_id"),
+        Column("wcs_item_sk"),
+        Column("wcs_user_sk"),
+        Column("wcs_clicks"),
+        Column("wcs_payload", width=96),
+    ),
+    "store_returns": Schema.of(
+        Column("sr_id"),
+        Column("sr_item_sk"),
+        Column("sr_return_quantity"),
+        Column("sr_payload", width=104),
+    ),
+    "product_reviews": Schema.of(
+        Column("pr_id"),
+        Column("pr_item_sk"),
+        Column("pr_rating"),
+        Column("pr_payload", width=232),  # review text
+    ),
+    "customer": Schema.of(
+        Column("c_customer_sk"),
+        Column("c_region"),
+        Column("c_payload", width=112),
+    ),
+}
+
+ITEM_SK_COLUMNS = {
+    "store_sales": "ss_item_sk",
+    "web_sales": "ws_item_sk",
+    "web_clickstream": "wcs_item_sk",
+    "store_returns": "sr_item_sk",
+    "product_reviews": "pr_item_sk",
+}
+
+N_CATEGORIES = 24
+N_REGIONS = 8
+
+
+@dataclass(frozen=True)
+class BigBenchInstance:
+    """A generated instance: catalog plus partition-attribute domains."""
+
+    catalog: Catalog
+    domains: dict[str, Interval]
+    instance_gb: float
+    item_domain: Interval
+
+
+def generate_bigbench(
+    instance_gb: float = 100.0,
+    *,
+    seed: int = 0,
+    item_domain: Interval = Interval.closed(0, 40_000),
+    rows_per_gb: float = DEFAULT_ROWS_PER_GB,
+    item_sk_values: "np.ndarray | None" = None,
+) -> BigBenchInstance:
+    """Generate a BigBench-like instance of the given nominal size.
+
+    ``item_sk_values`` (optional) supplies the item-key distribution for
+    the fact tables — pass SDSS-histogram samples (§10.1) to reproduce the
+    real-life experiment, omit for the synthetic uniform instances.
+    The array is resampled to each fact table's row count.
+    """
+    if instance_gb <= 0:
+        raise WorkloadError("instance_gb must be positive")
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+    n_items = int(item_domain.width) + 1
+
+    def fact_item_sks(n: int) -> np.ndarray:
+        if item_sk_values is not None and len(item_sk_values) > 0:
+            return rng.choice(item_sk_values, size=n)
+        return rng.integers(int(item_domain.lo), int(item_domain.hi) + 1, n)
+
+    def register(name: str, data: dict, nrows: int) -> None:
+        schema = SCHEMAS[name]
+        actual_bytes = nrows * schema.row_bytes
+        nominal = instance_gb * GB * TABLE_WEIGHTS[name]
+        scale = nominal / actual_bytes if actual_bytes else 1.0
+        catalog.register(name, Table.from_dict(schema, data, scale=scale))
+
+    n_customers = max(int(instance_gb * rows_per_gb * 0.2), 50)
+
+    # --- dimension tables -------------------------------------------------
+    item_rows = min(n_items, max(int(instance_gb * rows_per_gb * 0.5), 200))
+    item_sks = np.sort(rng.choice(n_items, size=item_rows, replace=False)) + int(
+        item_domain.lo
+    )
+    register(
+        "item",
+        {
+            "i_item_sk": item_sks,
+            "i_category_id": rng.integers(0, N_CATEGORIES, item_rows),
+            "i_price": rng.integers(1, 1_000, item_rows),
+        },
+        item_rows,
+    )
+    register(
+        "customer",
+        {
+            "c_customer_sk": np.arange(n_customers),
+            "c_region": rng.integers(0, N_REGIONS, n_customers),
+            "c_payload": np.zeros(n_customers, dtype=np.int64),
+        },
+        n_customers,
+    )
+
+    # --- fact tables ------------------------------------------------------
+    def fact_rows(weight: float) -> int:
+        return max(int(instance_gb * rows_per_gb * weight / TABLE_WEIGHTS["store_sales"]), 100)
+
+    n_ss = fact_rows(TABLE_WEIGHTS["store_sales"])
+    register(
+        "store_sales",
+        {
+            "ss_id": np.arange(n_ss),
+            "ss_item_sk": fact_item_sks(n_ss),
+            "ss_customer_sk": rng.integers(0, n_customers, n_ss),
+            "ss_quantity": rng.integers(1, 12, n_ss),
+            "ss_sales_price": rng.integers(1, 1_000, n_ss),
+            "ss_payload": np.zeros(n_ss, dtype=np.int64),
+        },
+        n_ss,
+    )
+    n_wcs = fact_rows(TABLE_WEIGHTS["web_clickstream"])
+    register(
+        "web_clickstream",
+        {
+            "wcs_id": np.arange(n_wcs),
+            "wcs_item_sk": fact_item_sks(n_wcs),
+            "wcs_user_sk": rng.integers(0, n_customers, n_wcs),
+            "wcs_clicks": rng.integers(1, 50, n_wcs),
+            "wcs_payload": np.zeros(n_wcs, dtype=np.int64),
+        },
+        n_wcs,
+    )
+    n_ws = fact_rows(TABLE_WEIGHTS["web_sales"])
+    register(
+        "web_sales",
+        {
+            "ws_id": np.arange(n_ws),
+            "ws_item_sk": fact_item_sks(n_ws),
+            "ws_customer_sk": rng.integers(0, n_customers, n_ws),
+            "ws_quantity": rng.integers(1, 12, n_ws),
+            "ws_sales_price": rng.integers(1, 1_000, n_ws),
+            "ws_payload": np.zeros(n_ws, dtype=np.int64),
+        },
+        n_ws,
+    )
+    n_sr = fact_rows(TABLE_WEIGHTS["store_returns"])
+    register(
+        "store_returns",
+        {
+            "sr_id": np.arange(n_sr),
+            "sr_item_sk": fact_item_sks(n_sr),
+            "sr_return_quantity": rng.integers(1, 6, n_sr),
+            "sr_payload": np.zeros(n_sr, dtype=np.int64),
+        },
+        n_sr,
+    )
+    n_pr = fact_rows(TABLE_WEIGHTS["product_reviews"])
+    register(
+        "product_reviews",
+        {
+            "pr_id": np.arange(n_pr),
+            "pr_item_sk": fact_item_sks(n_pr),
+            "pr_rating": rng.integers(1, 6, n_pr),
+            "pr_payload": np.zeros(n_pr, dtype=np.int64),
+        },
+        n_pr,
+    )
+
+    domains = {"i_item_sk": item_domain}
+    for column in ITEM_SK_COLUMNS.values():
+        domains[column] = item_domain
+    return BigBenchInstance(catalog, domains, instance_gb, item_domain)
+
+
+# ----------------------------------------------------------------------
+# Query templates (§10.1): ten join templates with a selection on item_sk
+# ----------------------------------------------------------------------
+def q01(lo: float, hi: float) -> Plan:
+    """Store sales per category (quantity) in an item range."""
+    return (
+        Q("store_sales")
+        .join("item", on=("ss_item_sk", "i_item_sk"))
+        .select("i_item_sk", "i_category_id", "ss_quantity")
+        .where_between("i_item_sk", lo, hi)
+        .group_by("i_category_id", agg=[("sum", "ss_quantity", "q01_total_qty")])
+        .plan
+    )
+
+
+def q05(lo: float, hi: float) -> Plan:
+    """Click counts per category in an item range."""
+    return (
+        Q("web_clickstream")
+        .join("item", on=("wcs_item_sk", "i_item_sk"))
+        .select("i_item_sk", "i_category_id", "wcs_clicks")
+        .where_between("i_item_sk", lo, hi)
+        .group_by("i_category_id", agg=[("sum", "wcs_clicks", "q05_clicks")])
+        .plan
+    )
+
+
+def q07(lo: float, hi: float) -> Plan:
+    """Store sales revenue per customer region in an item range."""
+    return (
+        Q("store_sales")
+        .join("customer", on=("ss_customer_sk", "c_customer_sk"))
+        .select("ss_item_sk", "c_region", "ss_sales_price")
+        .where_between("ss_item_sk", lo, hi)
+        .group_by("c_region", agg=[("sum", "ss_sales_price", "q07_revenue")])
+        .plan
+    )
+
+
+def q09(lo: float, hi: float) -> Plan:
+    """Average store sales price per category in an item range."""
+    return (
+        Q("store_sales")
+        .join("item", on=("ss_item_sk", "i_item_sk"))
+        .select("i_item_sk", "i_category_id", "ss_sales_price")
+        .where_between("i_item_sk", lo, hi)
+        .group_by("i_category_id", agg=[("avg", "ss_sales_price", "q09_avg_price")])
+        .plan
+    )
+
+
+def q12(lo: float, hi: float) -> Plan:
+    """Clickstream sessions per user region in an item range."""
+    return (
+        Q("web_clickstream")
+        .join("customer", on=("wcs_user_sk", "c_customer_sk"))
+        .select("wcs_item_sk", "c_region")
+        .where_between("wcs_item_sk", lo, hi)
+        .group_by("c_region", agg=[("count", None, "q12_clicks")])
+        .plan
+    )
+
+
+def q16(lo: float, hi: float) -> Plan:
+    """Web sales per category in an item range."""
+    return (
+        Q("web_sales")
+        .join("item", on=("ws_item_sk", "i_item_sk"))
+        .select("i_item_sk", "i_category_id", "ws_sales_price")
+        .where_between("i_item_sk", lo, hi)
+        .group_by("i_category_id", agg=[("sum", "ws_sales_price", "q16_revenue")])
+        .plan
+    )
+
+
+def q20(lo: float, hi: float) -> Plan:
+    """Returns per category in an item range."""
+    return (
+        Q("store_returns")
+        .join("item", on=("sr_item_sk", "i_item_sk"))
+        .select("i_item_sk", "i_category_id", "sr_return_quantity")
+        .where_between("i_item_sk", lo, hi)
+        .group_by(
+            "i_category_id", agg=[("sum", "sr_return_quantity", "q20_returned")]
+        )
+        .plan
+    )
+
+
+def q26(lo: float, hi: float) -> Plan:
+    """Sales count and volume per category in an item range."""
+    return (
+        Q("store_sales")
+        .join("item", on=("ss_item_sk", "i_item_sk"))
+        .select("i_item_sk", "i_category_id", "ss_quantity")
+        .where_between("i_item_sk", lo, hi)
+        .group_by(
+            "i_category_id",
+            agg=[("count", None, "q26_sales"), ("sum", "ss_quantity", "q26_qty")],
+        )
+        .plan
+    )
+
+
+def q29(lo: float, hi: float) -> Plan:
+    """Average review rating per category in an item range."""
+    return (
+        Q("product_reviews")
+        .join("item", on=("pr_item_sk", "i_item_sk"))
+        .select("i_item_sk", "i_category_id", "pr_rating")
+        .where_between("i_item_sk", lo, hi)
+        .group_by("i_category_id", agg=[("avg", "pr_rating", "q29_avg_rating")])
+        .plan
+    )
+
+
+def q30(lo: float, hi: float) -> Plan:
+    """Clicks per category in an item range — the §10.2-10.4 workhorse."""
+    return (
+        Q("web_clickstream")
+        .join("item", on=("wcs_item_sk", "i_item_sk"))
+        .select("i_item_sk", "i_category_id", "wcs_clicks")
+        .where_between("i_item_sk", lo, hi)
+        .group_by("i_category_id", agg=[("max", "wcs_clicks", "q30_max_clicks")])
+        .plan
+    )
+
+
+TEMPLATES = {
+    "q01": q01,
+    "q05": q05,
+    "q07": q07,
+    "q09": q09,
+    "q12": q12,
+    "q16": q16,
+    "q20": q20,
+    "q26": q26,
+    "q29": q29,
+    "q30": q30,
+}

@@ -1,0 +1,116 @@
+"""Workload generation: Table-1 synthetic grids and the SDSS-mapped mix.
+
+Two workload families drive the evaluation:
+
+* **Synthetic** (§10.2-10.4) — a single template instantiated with
+  selection ranges of a given selectivity (S/M/B) and skew (U/L/H, plus
+  Zipf), optionally switching distribution mid-workload to model evolving
+  access patterns;
+* **SDSS-mapped** (§10.1) — 1 000 selection ranges drawn from the
+  (synthetic) SDSS log in submission order, mapped onto the ``item_sk``
+  domain, each attached to a randomly chosen BigBench template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.partitioning.intervals import Interval
+from repro.query.algebra import Plan
+from repro.workloads import bigbench
+from repro.workloads.distributions import RangeSampler, selectivity_for, skew_for
+from repro.workloads.sdss import SDSS_RA_DOMAIN, map_ranges
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """One Table-1 cell: template × selectivity × skew.
+
+    ``center`` positions the skewed distributions (domain fraction), so
+    pattern-shift workloads can move the hot spot between phases.
+    """
+
+    template: str
+    selectivity: str  # "S" | "M" | "B"
+    skew: str  # "U" | "L" | "H" | "Z"
+    n_queries: int
+    center: float | None = None
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.selectivity.upper()}{self.skew.upper()}"
+
+
+def synthetic_workload(
+    spec: SyntheticSpec, domain: Interval
+) -> list[Plan]:
+    """Instantiate one synthetic workload over the item domain."""
+    template = bigbench.TEMPLATES.get(spec.template)
+    if template is None:
+        raise WorkloadError(f"unknown template: {spec.template!r}")
+    sampler = RangeSampler(
+        domain=domain,
+        selectivity=selectivity_for(spec.selectivity),
+        skew=skew_for(spec.skew),
+        center=spec.center,
+    )
+    rng = np.random.default_rng(spec.seed)
+    return [template(iv.lo, iv.hi) for iv in sampler.sample_many(spec.n_queries, rng)]
+
+
+def phased_workload(phases: list[SyntheticSpec], domain: Interval) -> list[Plan]:
+    """Concatenate phases — the pattern-shift workloads of §10.4."""
+    plans: list[Plan] = []
+    for phase in phases:
+        plans.extend(synthetic_workload(phase, domain))
+    return plans
+
+
+def midpoint_sequence_workload(
+    template: str,
+    midpoints: list[float],
+    width: float,
+    domain: Interval,
+) -> list[Plan]:
+    """Fixed-width queries at explicit midpoints (the Fig-9 sequence)."""
+    fn = bigbench.TEMPLATES.get(template)
+    if fn is None:
+        raise WorkloadError(f"unknown template: {template!r}")
+    half = width / 2.0
+    plans = []
+    for mid in midpoints:
+        lo = max(domain.lo, mid - half)
+        hi = min(domain.hi, mid + half)
+        plans.append(fn(lo, hi))
+    return plans
+
+
+def sdss_mapped_workload(
+    sdss_ranges: list[Interval],
+    item_domain: Interval,
+    n_queries: int = 1_000,
+    templates: list[str] | None = None,
+    seed: int = 0,
+) -> list[Plan]:
+    """The §10.1 real-life workload.
+
+    Randomly picks ``n_queries`` ranges from the SDSS log (kept in
+    submission order), maps them onto ``item_sk``, and attaches each to a
+    randomly drawn BigBench template.
+    """
+    if not sdss_ranges:
+        raise WorkloadError("empty SDSS log")
+    names = templates or sorted(bigbench.TEMPLATES)
+    rng = np.random.default_rng(seed)
+    picks = np.sort(rng.choice(len(sdss_ranges), size=n_queries, replace=True))
+    chosen = [sdss_ranges[i] for i in picks]  # order preserved
+    mapped = map_ranges(chosen, SDSS_RA_DOMAIN, item_domain)
+    plans = []
+    for interval in mapped:
+        template = bigbench.TEMPLATES[names[int(rng.integers(0, len(names)))]]
+        plans.append(template(interval.lo, interval.hi))
+    return plans

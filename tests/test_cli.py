@@ -1,0 +1,54 @@
+"""Tests for the experiment-runner CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, cmd_list, cmd_run, main
+
+
+class TestCli:
+    def test_list_returns_zero(self, capsys):
+        assert cmd_list() == 0
+        out = capsys.readouterr().out
+        for key in ("fig5a", "fig9", "merging"):
+            assert key in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert cmd_run(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "all assertions held" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "parameter grid" in capsys.readouterr().out
+
+    def test_compare_smoke(self, capsys):
+        assert main(
+            ["compare", "--queries", "10", "--instance-gb", "20", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vs H" in out
+
+    def test_compare_with_pool(self, capsys):
+        assert main(
+            [
+                "compare",
+                "--queries",
+                "10",
+                "--instance-gb",
+                "20",
+                "--pool",
+                "0.2",
+            ]
+        ) == 0
+        assert "20% of base" in capsys.readouterr().out
+
+    def test_every_registered_experiment_has_a_bench_file(self):
+        from repro.cli import _BENCH_DIR
+
+        for key, (module_name, _) in EXPERIMENTS.items():
+            assert (_BENCH_DIR / f"{module_name}.py").exists(), key

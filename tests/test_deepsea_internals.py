@@ -1,0 +1,190 @@
+"""Tests for DeepSea's internal helpers: jitter estimation, piece widening,
+mean fragment width, view reconstruction, and admission feasibility."""
+
+import numpy as np
+import pytest
+
+from repro import Catalog, DeepSea, Interval, Policy
+from repro.engine.cost import CostLedger
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.query.algebra import Aggregate, AggSpec, Join, Relation, Select
+from repro.query.predicates import between
+
+DOMAIN = Interval.closed(0, 1000)
+DOMAINS = {"d_k": DOMAIN, "f_k": DOMAIN}
+
+
+@pytest.fixture
+def catalog():
+    rng = np.random.default_rng(6)
+    n = 1500
+    fact = Schema.of(Column("f_id"), Column("f_k"), Column("f_v"))
+    dim = Schema.of(Column("d_k"), Column("d_c"))
+    cat = Catalog()
+    cat.register(
+        "fact",
+        Table.from_dict(
+            fact,
+            {
+                "f_id": np.arange(n),
+                "f_k": rng.integers(0, 1001, n),
+                "f_v": rng.integers(0, 9, n),
+            },
+            scale=2e6,
+        ),
+    )
+    cat.register(
+        "dim",
+        Table.from_dict(
+            dim,
+            {"d_k": np.arange(1001), "d_c": rng.integers(0, 4, 1001)},
+            scale=2e6,
+        ),
+    )
+    return cat
+
+
+def query(lo, hi):
+    return Aggregate(
+        Select(
+            Join(Relation("fact"), Relation("dim"), "f_k", "d_k"),
+            (between("d_k", lo, hi),),
+        ),
+        ("d_c",),
+        (AggSpec("sum", "f_v", "total"),),
+    )
+
+
+@pytest.fixture
+def system(catalog):
+    return DeepSea(catalog, domains=DOMAINS, policy=Policy(evidence_factor=0.0))
+
+
+def the_partitioned_view(system):
+    for vid in system.pool.resident_view_ids():
+        if system.pool.partition_attrs(vid):
+            return vid
+    raise AssertionError
+
+
+class TestObservedJitter:
+    def test_no_stats_zero(self, system):
+        assert system._observed_jitter("ghost", "d_k", DOMAIN, DOMAIN) == 0.0
+
+    def test_repeated_identical_queries_zero_jitter(self, system):
+        for _ in range(5):
+            system.execute(query(100, 200))
+        vid = the_partitioned_view(system)
+        parent = system.tentative.intervals(vid, "d_k")[0]
+        jitter = system._observed_jitter(
+            vid, "d_k", parent, Interval.closed(100, 200)
+        )
+        assert jitter == pytest.approx(0.0)
+
+    def test_drifting_queries_positive_jitter(self, system):
+        for i in range(8):
+            system.execute(query(100 + 10 * i, 200 + 10 * i))
+        vid = the_partitioned_view(system)
+        # use a parent that saw all the hits
+        intervals = system.stats.intervals_for(vid, "d_k")
+        jitters = [
+            system._observed_jitter(vid, "d_k", iv, Interval.closed(140, 240))
+            for iv in intervals
+        ]
+        assert max(jitters) > 0.0
+
+    def test_different_width_queries_excluded(self, system):
+        # wide queries should not contribute jitter for narrow theta
+        for _ in range(4):
+            system.execute(query(0, 900))
+        vid = the_partitioned_view(system)
+        parent = system.stats.intervals_for(vid, "d_k")[0]
+        jitter = system._observed_jitter(
+            vid, "d_k", parent, Interval.closed(100, 110)
+        )
+        assert jitter == 0.0
+
+
+class TestWidenPiece:
+    def test_margin_scales_with_theta(self, system):
+        theta = Interval.closed(100, 300)
+        parent = Interval.closed(0, 1000)
+        piece = Interval.closed(100, 300)
+        widened = system._widen_piece(piece, theta, parent, DOMAIN)
+        margin = system.policy.refinement_margin * theta.width
+        assert widened.lo == pytest.approx(100 - margin)
+        assert widened.hi == pytest.approx(300 + margin)
+
+    def test_clamped_to_parent(self, system):
+        theta = Interval.closed(0, 400)
+        parent = Interval.closed(0, 350)
+        piece = Interval.closed(0, 350)
+        widened = system._widen_piece(piece, theta, parent, DOMAIN)
+        assert parent.contains(widened)
+
+    def test_jitter_dominates_small_margin(self, system):
+        theta = Interval.closed(100, 110)
+        parent = Interval.closed(0, 1000)
+        piece = Interval.closed(100, 110)
+        widened = system._widen_piece(piece, theta, parent, DOMAIN, jitter=50.0)
+        assert widened.width >= 100.0  # 2 * 2*jitter / sides
+
+
+class TestMeanFragmentWidth:
+    def test_falls_back_to_domain(self, system):
+        assert system._mean_fragment_width("ghost", "d_k", DOMAIN) == DOMAIN.width
+
+    def test_uses_resident_fragments(self, system):
+        system.execute(query(100, 200))
+        vid = the_partitioned_view(system)
+        width = system._mean_fragment_width(vid, "d_k", DOMAIN)
+        intervals = system.pool.intervals_of(vid, "d_k")
+        expected = sum(iv.width for iv in intervals) / len(intervals)
+        assert width == pytest.approx(expected)
+
+
+class TestReconstructView:
+    def test_from_partition(self, system, catalog):
+        system.execute(query(100, 200))
+        vid = the_partitioned_view(system)
+        ledger = CostLedger(system.cluster)
+        table = system._reconstruct_view(vid, ledger)
+        assert table is not None
+        assert ledger.bytes_read > 0
+        # the reconstruction equals the defining plan's result
+        from repro.engine.executor import ExecutionContext, Executor
+
+        plan = system.pool.definition(vid).plan
+        direct = Executor(ExecutionContext(catalog, system.pool)).execute(plan)
+        assert table.sorted_rows() == direct.table.sorted_rows()
+
+    def test_unreconstructable_returns_none(self, system):
+        system.execute(query(100, 200))
+        vid = the_partitioned_view(system)
+        # evict one fragment: the cover over the domain now has a hole
+        entry = system.pool.fragments_of(vid, "d_k")[0]
+        system.pool.evict(entry.fragment_id)
+        ledger = CostLedger(system.cluster)
+        assert system._reconstruct_view(vid, ledger) is None
+
+
+class TestAdmissionFeasible:
+    def test_unlimited_pool_always_feasible(self, system):
+        assert system._admission_feasible("anything", None, 1.0)
+
+    def test_small_pool_blocks_large_view(self, catalog):
+        system = DeepSea(
+            catalog,
+            domains=DOMAINS,
+            smax_bytes=10.0,
+            policy=Policy(evidence_factor=0.0),
+        )
+        # prime statistics so the view has a size estimate
+        system.execute(query(100, 200))
+        for view in system.stats.all_views():
+            if system.tentative.attrs_of(view.view_id):
+                assert not system._admission_feasible(view.view_id, "d_k", 2.0)
+                break
+        else:
+            pytest.fail("no partitionable view registered")

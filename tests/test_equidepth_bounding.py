@@ -1,0 +1,140 @@
+"""Tests for equi-depth partitioning and fragment-size bounding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PartitionError
+from repro.partitioning.bounding import (
+    SizeBounds,
+    bound_fragment,
+    split_count,
+    split_equal_width,
+)
+from repro.partitioning.equidepth import equidepth_boundaries, equidepth_intervals
+from repro.partitioning.fragmentation import Fragmentation
+from repro.partitioning.intervals import Interval
+
+
+class TestEquidepthBoundaries:
+    def test_uniform_values(self):
+        values = np.arange(1000)
+        bounds = equidepth_boundaries(values, 4)
+        assert len(bounds) == 3
+        np.testing.assert_allclose(bounds, [249.75, 499.5, 749.25])
+
+    def test_k1_no_boundaries(self):
+        assert equidepth_boundaries(np.arange(10), 1) == []
+
+    def test_empty_values(self):
+        assert equidepth_boundaries(np.array([]), 4) == []
+
+    def test_duplicate_quantiles_collapsed(self):
+        values = np.array([5] * 100)
+        assert len(equidepth_boundaries(values, 10)) <= 1
+
+    def test_invalid_k(self):
+        with pytest.raises(PartitionError):
+            equidepth_boundaries(np.arange(10), 0)
+
+
+class TestEquidepthIntervals:
+    DOMAIN = Interval.closed(0, 1000)
+
+    def test_is_horizontal_partition(self):
+        values = np.random.default_rng(3).integers(0, 1000, 5000)
+        intervals = equidepth_intervals(values, 6, self.DOMAIN)
+        frag = Fragmentation("a", self.DOMAIN, tuple(intervals))
+        assert frag.is_horizontal_partition()
+        assert len(intervals) == 6
+
+    def test_roughly_equal_depth(self):
+        values = np.random.default_rng(3).integers(0, 1000, 6000)
+        intervals = equidepth_intervals(values, 6, self.DOMAIN)
+        counts = [int(iv.mask(values).sum()) for iv in intervals]
+        assert sum(counts) == 6000
+        assert max(counts) - min(counts) < 600  # within 10% of ideal 1000
+
+    def test_single_fragment(self):
+        values = np.arange(100)
+        assert equidepth_intervals(values, 1, self.DOMAIN) == [self.DOMAIN]
+
+    def test_unbounded_domain_rejected(self):
+        with pytest.raises(PartitionError):
+            equidepth_intervals(np.arange(10), 2, Interval.at_least(0))
+
+    @given(k=st.integers(1, 20), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_always_partition(self, k, seed):
+        values = np.random.default_rng(seed).integers(0, 100, 500)
+        domain = Interval.closed(0, 100)
+        intervals = equidepth_intervals(values, k, domain)
+        frag = Fragmentation("a", domain, tuple(intervals))
+        assert frag.is_horizontal_partition()
+        assert len(intervals) <= k
+
+
+class TestSplitCount:
+    def test_no_upper_bound(self):
+        assert split_count(1e9, None, 100) == 1
+
+    def test_upper_bound_splits(self):
+        assert split_count(1000, 250, 0) == 4
+
+    def test_lower_bound_caps(self):
+        # want 10 pieces but each must be >= 300 bytes: cap at 3
+        assert split_count(1000, 100, 300) == 3
+
+    def test_small_fragment_never_split(self):
+        assert split_count(50, 100, 10) == 1
+
+    def test_zero_bytes(self):
+        assert split_count(0, 10, 1) == 1
+
+
+class TestSplitEqualWidth:
+    def test_pieces_tile(self):
+        iv = Interval.closed(0, 100)
+        pieces = split_equal_width(iv, 4)
+        frag = Fragmentation("a", iv, tuple(pieces))
+        assert frag.is_horizontal_partition()
+        assert [p.width for p in pieces] == [25.0] * 4
+
+    def test_single_piece(self):
+        iv = Interval.closed(0, 100)
+        assert split_equal_width(iv, 1) == [iv]
+
+    def test_openness_preserved_on_edges(self):
+        iv = Interval.open(0, 100)
+        pieces = split_equal_width(iv, 2)
+        assert pieces[0].low_open and pieces[-1].high_open
+
+    def test_invalid_count(self):
+        with pytest.raises(PartitionError):
+            split_equal_width(Interval.closed(0, 1), 0)
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(PartitionError):
+            split_equal_width(Interval.at_least(0), 2)
+
+
+class TestBoundFragment:
+    def test_oversized_fragment_split(self):
+        bounds = SizeBounds(phi=0.1, min_bytes=1)
+        pieces = bound_fragment(Interval.closed(0, 100), 1000, 2000, bounds)
+        assert len(pieces) == 5  # 1000 bytes / (0.1*2000) = 5
+
+    def test_within_bound_untouched(self):
+        bounds = SizeBounds(phi=0.5, min_bytes=1)
+        iv = Interval.closed(0, 100)
+        assert bound_fragment(iv, 100, 2000, bounds) == [iv]
+
+    def test_phi_none_disables(self):
+        bounds = SizeBounds(phi=None, min_bytes=1)
+        iv = Interval.closed(0, 100)
+        assert bound_fragment(iv, 1e12, 1.0, bounds) == [iv]
+
+    def test_point_interval_not_split(self):
+        bounds = SizeBounds(phi=0.01, min_bytes=1)
+        iv = Interval.point(5)
+        assert bound_fragment(iv, 1000, 1000, bounds) == [iv]

@@ -1,0 +1,114 @@
+"""Property-based end-to-end equivalence (the library's master invariant).
+
+Hypothesis drives random workloads — random templates, ranges, pool
+limits, and policies — through DeepSea and asserts every answer equals
+direct execution.  This is the multiset-equality guarantee the rewriter's
+sufficient matching condition promises (§8.1), exercised across
+materialization, fragment covers, overlapping refinement, eviction, and
+re-creation.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Catalog, DeepSea, Interval, Policy
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.query.algebra import Aggregate, AggSpec, Join, Project, Relation, Select
+from repro.query.predicates import between
+
+DOMAIN = Interval.closed(0, 200)
+DOMAINS = {"f_k": DOMAIN, "d_k": DOMAIN}
+
+
+def build_catalog(seed: int) -> Catalog:
+    rng = np.random.default_rng(seed)
+    n = 300
+    fact_schema = Schema.of(Column("f_id"), Column("f_k"), Column("f_v"))
+    dim_schema = Schema.of(Column("d_k"), Column("d_c"))
+    fact = Table.from_dict(
+        fact_schema,
+        {
+            "f_id": np.arange(n),
+            "f_k": rng.integers(0, 201, n),
+            "f_v": rng.integers(0, 50, n),
+        },
+        scale=5e5,
+    )
+    dim = Table.from_dict(
+        dim_schema,
+        {"d_k": np.arange(201), "d_c": rng.integers(0, 6, 201)},
+        scale=5e5,
+    )
+    catalog = Catalog()
+    catalog.register("fact", fact)
+    catalog.register("dim", dim)
+    return catalog
+
+
+_CATALOG = build_catalog(0)
+
+join = Join(Relation("fact"), Relation("dim"), "f_k", "d_k")
+
+
+def make_query(kind: int, lo: float, hi: float):
+    selected = Select(
+        Project(join, ("d_k", "d_c", "f_v")), (between("d_k", lo, hi),)
+    )
+    if kind == 0:
+        return selected
+    if kind == 1:
+        return Aggregate(selected, ("d_c",), (AggSpec("sum", "f_v", "s"),))
+    if kind == 2:
+        return Aggregate(selected, ("d_c",), (AggSpec("count", None, "n"),))
+    return Aggregate(
+        selected, (), (AggSpec("min", "f_v", "lo"), AggSpec("max", "f_v", "hi"))
+    )
+
+
+query_strategy = st.tuples(
+    st.integers(0, 3),
+    st.integers(0, 200),
+    st.integers(0, 200),
+).map(lambda t: make_query(t[0], min(t[1], t[2]), max(t[1], t[2])))
+
+
+@given(
+    plans=st.lists(query_strategy, min_size=4, max_size=14),
+    pool_fraction=st.sampled_from([None, 0.5, 0.1, 0.02]),
+    overlapping=st.booleans(),
+    eager=st.booleans(),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_deepsea_always_matches_direct_execution(
+    plans, pool_fraction, overlapping, eager
+):
+    smax = (
+        _CATALOG.total_size_bytes * pool_fraction
+        if pool_fraction is not None
+        else None
+    )
+    system = DeepSea(
+        _CATALOG,
+        domains=DOMAINS,
+        smax_bytes=smax,
+        policy=Policy(
+            overlapping=overlapping,
+            evidence_factor=0.0 if eager else 1.0,
+            creation_cooldown=2.0,
+        ),
+    )
+    reference = DeepSea(
+        _CATALOG, domains=DOMAINS, policy=Policy(materialize=False)
+    )
+    # repeat the workload to force reuse / refinement / eviction paths
+    for plan in plans + plans:
+        got = system.execute(plan).result.sorted_rows()
+        expected = reference.execute(plan).result.sorted_rows()
+        assert got == expected
+        if smax is not None:
+            assert system.pool.used_bytes <= smax + 1e-6

@@ -1,0 +1,222 @@
+"""Executor tests: operator semantics and cost charging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.catalog import Catalog
+from repro.engine.cost import ClusterSpec
+from repro.engine.executor import ExecutionContext, Executor, aggregate, hash_join
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.engine.types import ColumnKind
+from repro.errors import SchemaError
+from repro.query.algebra import Aggregate, AggSpec, Join, Project, Relation, Select
+from repro.query.predicates import between
+
+
+@pytest.fixture
+def executor(catalog):
+    return Executor(ExecutionContext(catalog))
+
+
+def brute_force_join(left, right, lattr, rattr):
+    """Reference nested-loop join for comparison."""
+    out = []
+    rrows = right.to_rows()
+    rnames = right.schema.names
+    for lrow in left.to_rows():
+        lmap = dict(zip(left.schema.names, lrow))
+        for rrow in rrows:
+            rmap = dict(zip(rnames, rrow))
+            if lmap[lattr] == rmap[rattr]:
+                merged = list(lrow) + [rmap[n] for n in rnames if n != rattr or rattr != lattr]
+                out.append(tuple(merged))
+    return sorted(out, key=repr)
+
+
+class TestHashJoin:
+    def test_matches_nested_loop(self, sales_table, item_table):
+        joined = hash_join(sales_table, item_table, "s_item_sk", "i_item_sk")
+        expected = brute_force_join(sales_table, item_table, "s_item_sk", "i_item_sk")
+        assert joined.sorted_rows() == expected
+
+    def test_duplicates_on_both_sides(self):
+        schema_a = Schema.of(Column("a_k"), Column("a_v"))
+        schema_b = Schema.of(Column("b_k"), Column("b_v"))
+        a = Table.from_dict(schema_a, {"a_k": [1, 1, 2], "a_v": [10, 11, 12]})
+        b = Table.from_dict(schema_b, {"b_k": [1, 1, 3], "b_v": [20, 21, 22]})
+        out = hash_join(a, b, "a_k", "b_k")
+        assert out.nrows == 4  # 2 x 2 matches on key 1
+
+    def test_no_matches(self):
+        schema_a = Schema.of(Column("a_k"))
+        schema_b = Schema.of(Column("b_k"))
+        a = Table.from_dict(schema_a, {"a_k": [1]})
+        b = Table.from_dict(schema_b, {"b_k": [2]})
+        assert hash_join(a, b, "a_k", "b_k").nrows == 0
+
+    def test_same_name_key_kept_once(self):
+        schema_a = Schema.of(Column("k"), Column("a_v"))
+        schema_b = Schema.of(Column("k"), Column("b_v"))
+        a = Table.from_dict(schema_a, {"k": [1], "a_v": [10]})
+        b = Table.from_dict(schema_b, {"k": [1], "b_v": [20]})
+        out = hash_join(a, b, "k", "k")
+        assert out.schema.names == ("k", "a_v", "b_v")
+
+    def test_non_key_collision_raises(self):
+        schema_a = Schema.of(Column("a_k"), Column("dup"))
+        schema_b = Schema.of(Column("b_k"), Column("dup"))
+        a = Table.from_dict(schema_a, {"a_k": [1], "dup": [1]})
+        b = Table.from_dict(schema_b, {"b_k": [1], "dup": [1]})
+        with pytest.raises(SchemaError):
+            hash_join(a, b, "a_k", "b_k")
+
+    @given(
+        keys_l=st.lists(st.integers(0, 5), max_size=30),
+        keys_r=st.lists(st.integers(0, 5), max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_join_cardinality_property(self, keys_l, keys_r):
+        """|A ⋈ B| = Σ_k count_A(k) · count_B(k)."""
+        schema_a = Schema.of(Column("a_k"))
+        schema_b = Schema.of(Column("b_k"))
+        a = Table.from_dict(schema_a, {"a_k": keys_l})
+        b = Table.from_dict(schema_b, {"b_k": keys_r})
+        out = hash_join(a, b, "a_k", "b_k")
+        expected = sum(keys_l.count(k) * keys_r.count(k) for k in set(keys_l))
+        assert out.nrows == expected
+
+
+class TestAggregate:
+    def test_group_by_sum_count(self):
+        schema = Schema.of(Column("g"), Column("v"))
+        t = Table.from_dict(schema, {"g": [1, 1, 2], "v": [10, 20, 5]})
+        out = aggregate(
+            t, ("g",), (AggSpec("sum", "v", "total"), AggSpec("count", None, "n"))
+        )
+        rows = dict((r[0], (r[1], r[2])) for r in out.to_rows())
+        assert rows == {1: (30, 2), 2: (5, 1)}
+
+    def test_min_max_avg(self):
+        schema = Schema.of(Column("g"), Column("v", ColumnKind.FLOAT64))
+        t = Table.from_dict(schema, {"g": [1, 1, 1], "v": [1.0, 5.0, 3.0]})
+        out = aggregate(
+            t,
+            ("g",),
+            (
+                AggSpec("min", "v", "lo"),
+                AggSpec("max", "v", "hi"),
+                AggSpec("avg", "v", "mean"),
+            ),
+        )
+        row = out.to_rows()[0]
+        assert row == (1, 1.0, 5.0, 3.0)
+
+    def test_global_aggregate_no_group(self):
+        schema = Schema.of(Column("v"))
+        t = Table.from_dict(schema, {"v": [1, 2, 3]})
+        out = aggregate(t, (), (AggSpec("sum", "v", "s"),))
+        assert out.to_rows() == [(6,)]
+
+    def test_empty_input(self):
+        schema = Schema.of(Column("g"), Column("v"))
+        t = Table.empty(schema)
+        out = aggregate(t, ("g",), (AggSpec("sum", "v", "s"),))
+        assert out.nrows == 0
+        assert out.schema.names == ("g", "s")
+
+    def test_multi_column_group(self):
+        schema = Schema.of(Column("g1"), Column("g2"), Column("v"))
+        t = Table.from_dict(
+            schema, {"g1": [1, 1, 1], "g2": [1, 2, 1], "v": [10, 20, 30]}
+        )
+        out = aggregate(t, ("g1", "g2"), (AggSpec("sum", "v", "s"),))
+        assert sorted(out.to_rows()) == [(1, 1, 40), (1, 2, 20)]
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(-50, 50)), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_partition_property(self, rows):
+        """Grouped sums add up to the global sum."""
+        schema = Schema.of(Column("g"), Column("v"))
+        t = Table.from_dict(
+            schema, {"g": [r[0] for r in rows], "v": [r[1] for r in rows]}
+        )
+        out = aggregate(t, ("g",), (AggSpec("sum", "v", "s"),))
+        assert sum(r[1] for r in out.to_rows()) == sum(r[1] for r in rows)
+
+
+class TestPlanExecution:
+    def test_select_project(self, executor, sales_table):
+        plan = Project(
+            Select(Relation("sales"), (between("s_item_sk", 10, 20),)),
+            ("s_id", "s_item_sk"),
+        )
+        result = executor.execute(plan)
+        col = result.table.column("s_item_sk")
+        assert ((col >= 10) & (col <= 20)).all()
+        expected = int(((sales_table.column("s_item_sk") >= 10)
+                        & (sales_table.column("s_item_sk") <= 20)).sum())
+        assert result.table.nrows == expected
+
+    def test_join_aggregate_pipeline(self, executor):
+        plan = Aggregate(
+            Join(Relation("sales"), Relation("item"), "s_item_sk", "i_item_sk"),
+            ("i_category",),
+            (AggSpec("sum", "s_qty", "total_qty"),),
+        )
+        result = executor.execute(plan)
+        assert result.table.nrows > 0
+        assert result.table.schema.names == ("i_category", "total_qty")
+
+    def test_scan_only_charges_one_job(self, executor):
+        result = executor.execute(Relation("sales"))
+        assert result.ledger.jobs == 1
+
+    def test_join_agg_charges_two_jobs(self, executor):
+        plan = Aggregate(
+            Join(Relation("sales"), Relation("item"), "s_item_sk", "i_item_sk"),
+            ("i_category",),
+            (AggSpec("count", None, "n"),),
+        )
+        result = executor.execute(plan)
+        assert result.ledger.jobs == 2
+
+    def test_cost_scales_with_table_size(self, sales_table, item_table):
+        small_cat = Catalog()
+        small_cat.register("sales", sales_table)
+        big = Table(sales_table.schema, sales_table.columns, scale=1000.0)
+        big_cat = Catalog()
+        big_cat.register("sales", big)
+        cheap = Executor(ExecutionContext(small_cat)).execute(Relation("sales"))
+        costly = Executor(ExecutionContext(big_cat)).execute(Relation("sales"))
+        assert costly.elapsed_s > cheap.elapsed_s
+
+
+class TestClusterCost:
+    def test_map_tasks_one_per_file_minimum(self):
+        spec = ClusterSpec(block_bytes=1000)
+        assert spec.map_tasks(nbytes=100, nfiles=10) == 10
+
+    def test_map_tasks_one_per_block(self):
+        spec = ClusterSpec(block_bytes=1000)
+        assert spec.map_tasks(nbytes=5000, nfiles=1) == 5
+
+    def test_more_files_cost_more_to_read(self):
+        spec = ClusterSpec(block_bytes=1 << 20, task_overhead_s=1.0, map_slots=4)
+        one = spec.read_elapsed(1000, nfiles=1)
+        many = spec.read_elapsed(1000, nfiles=100)
+        assert many > one
+
+    def test_write_costs_more_than_read_per_byte(self):
+        spec = ClusterSpec()
+        assert spec.write_s_per_byte > spec.read_s_per_byte
+
+    def test_more_fragment_files_cost_more_to_write(self):
+        spec = ClusterSpec()
+        assert spec.write_elapsed(1e9, nfiles=60) > spec.write_elapsed(1e9, nfiles=6)
+
+    def test_zero_bytes(self):
+        spec = ClusterSpec()
+        assert spec.read_elapsed(0, 0) == 0.0
+        assert spec.shuffle_elapsed(0) == 0.0

@@ -1,0 +1,189 @@
+"""Tests for the MapReduce cost charging: boundaries, dispatch, capture."""
+
+import numpy as np
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.cost import ClusterSpec, CostLedger
+from repro.engine.executor import ExecutionContext, Executor
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.partitioning.intervals import Interval
+from repro.query.algebra import (
+    Aggregate,
+    AggSpec,
+    Join,
+    MaterializedScan,
+    Project,
+    Relation,
+    Select,
+)
+from repro.query.analysis import job_boundaries
+from repro.query.predicates import between
+from repro.storage.pool import MaterializedViewPool
+
+
+@pytest.fixture
+def ctx(catalog):
+    pool = MaterializedViewPool()
+    return ExecutionContext(catalog, pool)
+
+
+def join_plan():
+    return Join(Relation("sales"), Relation("item"), "s_item_sk", "i_item_sk")
+
+
+class TestJobBoundaries:
+    def test_bare_join_is_boundary(self):
+        assert job_boundaries(join_plan()) == {join_plan()}
+
+    def test_projection_folds_join(self):
+        plan = Project(join_plan(), ("i_category", "s_qty"))
+        assert job_boundaries(plan) == {plan}
+
+    def test_projection_chain_folds_to_top(self):
+        inner = Project(join_plan(), ("i_category", "s_qty", "s_item_sk"))
+        outer = Project(inner, ("i_category",))
+        assert job_boundaries(outer) == {outer}
+
+    def test_selection_between_does_not_fold(self):
+        selected = Select(join_plan(), (between("i_item_sk", 0, 5),))
+        plan = Project(selected, ("i_category",))
+        # the join writes its own (unprojected) boundary; the projection
+        # over a Select is not a producing job
+        assert job_boundaries(plan) == {join_plan()}
+
+    def test_aggregate_root_is_boundary(self):
+        plan = Aggregate(join_plan(), ("i_category",), (AggSpec("count", None, "n"),))
+        assert job_boundaries(plan) == {join_plan(), plan}
+
+    def test_scan_only_plan_has_no_boundary(self):
+        assert job_boundaries(Select(Relation("sales"), (between("s_qty", 1, 2),))) == set()
+
+    def test_materialized_scan_compensation_not_boundary(self):
+        plan = Project(Select(MaterializedScan("v"), (between("a", 0, 1),)), ("a",))
+        assert job_boundaries(plan) == set()
+
+
+class TestBoundaryCharging:
+    def test_boundary_write_charged(self, ctx):
+        result = Executor(ctx).execute(join_plan())
+        assert result.ledger.bytes_written > 0
+        assert result.ledger.write_s > 0
+
+    def test_projected_boundary_writes_less(self, ctx):
+        bare = Executor(ctx).execute(join_plan())
+        projected = Executor(ctx).execute(
+            Project(join_plan(), ("i_category", "s_qty"))
+        )
+        assert projected.ledger.bytes_written < bare.ledger.bytes_written
+
+    def test_pushed_selection_shrinks_boundary(self, ctx):
+        unpushed = Executor(ctx).execute(
+            Select(join_plan(), (between("i_item_sk", 0, 5),))
+        )
+        pushed_plan = Join(
+            Relation("sales"),
+            Select(Relation("item"), (between("i_item_sk", 0, 5),)),
+            "s_item_sk",
+            "i_item_sk",
+        )
+        pushed = Executor(ctx).execute(pushed_plan)
+        assert pushed.ledger.bytes_written < unpushed.ledger.bytes_written
+
+    def test_scan_only_no_write(self, ctx):
+        result = Executor(ctx).execute(Relation("sales"))
+        assert result.ledger.bytes_written == 0
+
+
+class TestDispatchCost:
+    def test_more_tasks_cost_more_within_one_wave(self):
+        spec = ClusterSpec()
+        few = spec.read_elapsed(2 * spec.block_bytes, nfiles=1)
+        many = spec.read_elapsed(40 * spec.block_bytes, nfiles=1)
+        assert many > few
+
+    def test_dispatch_saturates_at_slots(self):
+        spec = ClusterSpec(map_slots=4, task_dispatch_s=1.0, read_s_per_byte=0.0,
+                           task_overhead_s=0.0)
+        one_wave = spec.read_elapsed(4 * spec.block_bytes, nfiles=1)
+        assert one_wave == pytest.approx(4.0)
+        two_waves = spec.read_elapsed(8 * spec.block_bytes, nfiles=1)
+        assert two_waves == pytest.approx(4.0)  # dispatch counted once, not per wave
+
+    def test_sub_block_read_cheaper_than_block(self):
+        spec = ClusterSpec()
+        sub = spec.read_elapsed(spec.block_bytes / 10, nfiles=1)
+        full = spec.read_elapsed(10 * spec.block_bytes, nfiles=1)
+        assert sub < full
+
+
+class TestCapture:
+    def test_capture_returns_intermediate(self, ctx, sales_table):
+        plan = Project(join_plan(), ("i_category", "s_qty"))
+        executor = Executor(ctx)
+        result, captured = executor.execute_with_capture(plan, [join_plan()])
+        assert join_plan() in captured
+        assert captured[join_plan()].nrows == result.table.nrows
+
+    def test_capture_missing_target_absent(self, ctx):
+        executor = Executor(ctx)
+        ghost = Relation("item")
+        _, captured = executor.execute_with_capture(Relation("sales"), [ghost])
+        assert ghost not in captured
+
+    def test_capture_state_cleared_after_run(self, ctx):
+        executor = Executor(ctx)
+        executor.execute_with_capture(join_plan(), [join_plan()])
+        result = executor.execute(join_plan())
+        assert executor._captured == {}
+
+    def test_capture_root(self, ctx):
+        executor = Executor(ctx)
+        plan = join_plan()
+        result, captured = executor.execute_with_capture(plan, [plan])
+        assert captured[plan].sorted_rows() == result.table.sorted_rows()
+
+
+class TestMaterializedScanClips:
+    def test_clip_filters_duplicate_region(self, catalog):
+        pool = MaterializedViewPool()
+        pool.define_view("v", Relation("sales"))
+        sales = catalog.get("sales")
+        col = sales.column("s_item_sk")
+        a = Interval.closed(0, 60)
+        b = Interval.closed(40, 99)
+        fa = pool.add_fragment("v", "s_item_sk", a, sales.filter(a.mask(col)))
+        fb = pool.add_fragment("v", "s_item_sk", b, sales.filter(b.mask(col)))
+        ctx = ExecutionContext(catalog, pool)
+        clip = Interval(60, None, True, False)  # exclude <= 60 from b
+        scan = MaterializedScan(
+            "v", (fa.fragment_id, fb.fragment_id), "s_item_sk", (None, clip)
+        )
+        result = Executor(ctx).execute(scan)
+        expected = sales.filter(Interval.closed(0, 99).mask(col))
+        assert result.table.sorted_rows() == expected.sorted_rows()
+
+    def test_clip_requires_attr(self, catalog):
+        from repro.errors import PlanError
+
+        pool = MaterializedViewPool()
+        pool.define_view("v", Relation("sales"))
+        sales = catalog.get("sales")
+        f = pool.add_fragment("v", "s_item_sk", Interval.closed(0, 99), sales)
+        scan = MaterializedScan("v", (f.fragment_id,), None, (Interval.closed(0, 1),))
+        with pytest.raises(PlanError):
+            Executor(ExecutionContext(catalog, pool)).execute(scan)
+
+    def test_mismatched_clips_rejected(self, catalog):
+        from repro.errors import PlanError
+
+        pool = MaterializedViewPool()
+        pool.define_view("v", Relation("sales"))
+        sales = catalog.get("sales")
+        f = pool.add_fragment("v", "s_item_sk", Interval.closed(0, 99), sales)
+        scan = MaterializedScan(
+            "v", (f.fragment_id,), "s_item_sk", (None, None)
+        )
+        with pytest.raises(PlanError):
+            Executor(ExecutionContext(catalog, pool)).execute(scan)

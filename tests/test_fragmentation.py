@@ -1,0 +1,174 @@
+"""Tests for fragmentations, coverage, and disjointness (Definitions 1-2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PartitionError
+from repro.partitioning.fragmentation import (
+    Fragmentation,
+    pairwise_disjoint,
+    union_covers,
+)
+from repro.partitioning.intervals import Interval
+
+
+class TestUnionCovers:
+    def test_single_exact(self):
+        assert union_covers([Interval.closed(0, 10)], Interval.closed(0, 10))
+
+    def test_gap_detected(self):
+        frags = [Interval.closed(0, 3), Interval.closed(5, 10)]
+        assert not union_covers(frags, Interval.closed(0, 10))
+
+    def test_point_gap_detected(self):
+        # [0,3) and (3,10] miss the single point 3
+        frags = [Interval.closed_open(0, 3), Interval.open_closed(3, 10)]
+        assert not union_covers(frags, Interval.closed(0, 10))
+
+    def test_touching_open_closed_covers(self):
+        frags = [Interval.closed_open(0, 3), Interval.closed(3, 10)]
+        assert union_covers(frags, Interval.closed(0, 10))
+
+    def test_overlap_covers(self):
+        frags = [Interval.closed(0, 6), Interval.closed(4, 10)]
+        assert union_covers(frags, Interval.closed(0, 10))
+
+    def test_missing_left_endpoint(self):
+        frags = [Interval.open_closed(0, 10)]
+        assert not union_covers(frags, Interval.closed(0, 10))
+        assert union_covers(frags, Interval.open_closed(0, 10))
+
+    def test_missing_right_endpoint(self):
+        frags = [Interval.closed_open(0, 10)]
+        assert not union_covers(frags, Interval.closed(0, 10))
+
+    def test_example_1_paper(self):
+        """Example 1: I'' = {[1,4], [5,6]} is a partition of domain {1..6}.
+
+        With a continuous domain [1,6] there is a gap (4,5); with the
+        integer-style fragments [1,4] and (4,6] it covers.
+        """
+        assert union_covers(
+            [Interval.closed(1, 4), Interval.open_closed(4, 6)], Interval.closed(1, 6)
+        )
+
+    def test_empty_fragments(self):
+        assert not union_covers([], Interval.closed(0, 1))
+
+
+class TestPairwiseDisjoint:
+    def test_disjoint(self):
+        assert pairwise_disjoint(
+            [Interval.closed(0, 1), Interval.open_closed(1, 2), Interval.open(2, 3)]
+        )
+
+    def test_shared_endpoint_overlaps(self):
+        assert not pairwise_disjoint([Interval.closed(0, 2), Interval.closed(2, 4)])
+
+    def test_containment_overlaps(self):
+        assert not pairwise_disjoint([Interval.closed(0, 10), Interval.closed(3, 4)])
+
+    def test_paper_example_1_overlap(self):
+        """I' = {[1,4], [3,4], [5,6]} is NOT a horizontal partition."""
+        assert not pairwise_disjoint(
+            [Interval.closed(1, 4), Interval.closed(3, 4), Interval.closed(5, 6)]
+        )
+
+    def test_empty(self):
+        assert pairwise_disjoint([])
+
+
+class TestFragmentation:
+    DOMAIN = Interval.closed(0, 30)
+
+    def frag(self, *intervals):
+        return Fragmentation("a", self.DOMAIN, tuple(intervals))
+
+    def test_single_is_horizontal_partition(self):
+        f = Fragmentation.single("a", self.DOMAIN)
+        assert f.is_horizontal_partition()
+
+    def test_example_3_partition(self):
+        """[0,10], (10,20], (20,30] is a horizontal partition of [0,30]."""
+        f = self.frag(
+            Interval.closed(0, 10),
+            Interval.open_closed(10, 20),
+            Interval.open_closed(20, 30),
+        )
+        assert f.is_horizontal_partition()
+
+    def test_overlapping_partitioning_not_horizontal(self):
+        f = self.frag(Interval.closed(0, 20), Interval.closed(10, 30))
+        assert f.is_overlapping_partitioning()
+        assert not f.is_horizontal_partition()
+
+    def test_non_covering_is_neither(self):
+        f = self.frag(Interval.closed(0, 10))
+        assert not f.is_overlapping_partitioning()
+        assert not f.is_horizontal_partition()
+
+    def test_unbounded_domain_rejected(self):
+        with pytest.raises(PartitionError):
+            Fragmentation("a", Interval.unbounded(), ())
+
+    def test_out_of_domain_fragment_rejected(self):
+        with pytest.raises(PartitionError):
+            self.frag(Interval.closed(40, 50))
+
+    def test_replace_preserves_partition(self):
+        f = Fragmentation.single("a", self.DOMAIN)
+        pieces = (Interval.closed_open(0, 15), Interval.closed(15, 30))
+        f2 = f.replace(self.DOMAIN, pieces)
+        assert f2.is_horizontal_partition()
+        assert len(f2) == 2
+
+    def test_replace_rejects_non_tiling_pieces(self):
+        f = Fragmentation.single("a", self.DOMAIN)
+        with pytest.raises(PartitionError):
+            f.replace(self.DOMAIN, (Interval.closed(0, 10),))
+
+    def test_replace_rejects_overlapping_pieces(self):
+        f = Fragmentation.single("a", self.DOMAIN)
+        with pytest.raises(PartitionError):
+            f.replace(self.DOMAIN, (Interval.closed(0, 20), Interval.closed(10, 30)))
+
+    def test_replace_unknown_fragment(self):
+        f = Fragmentation.single("a", self.DOMAIN)
+        with pytest.raises(PartitionError):
+            f.replace(Interval.closed(0, 5), (Interval.closed(0, 5),))
+
+    def test_add_overlapping(self):
+        f = self.frag(Interval.closed(0, 30))
+        f2 = f.add_overlapping(Interval.closed(10, 12))
+        assert f2.is_overlapping_partitioning()
+        assert not f2.is_disjoint()
+
+    def test_fragments_containing(self):
+        f = self.frag(Interval.closed(0, 20), Interval.closed(10, 30))
+        assert len(f.fragments_containing(15)) == 2
+        assert len(f.fragments_containing(5)) == 1
+
+
+# ----------------------------------------------------------------------
+# Property: recursively splitting a partition keeps it a partition
+# ----------------------------------------------------------------------
+@given(
+    points=st.lists(st.integers(1, 99), min_size=1, max_size=10, unique=True),
+    after=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_repeated_splits_stay_horizontal(points, after):
+    domain = Interval.closed(0, 100)
+    frag = Fragmentation.single("a", domain)
+    for p in points:
+        target = next(
+            (iv for iv in frag.intervals if iv.contains_point(p)), None
+        )
+        if target is None:
+            continue
+        try:
+            pieces = target.split_after(p) if after else target.split_before(p)
+        except Exception:
+            continue
+        frag = frag.replace(target, pieces)
+    assert frag.is_horizontal_partition()

@@ -1,0 +1,228 @@
+"""Unit and property tests for the interval algebra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IntervalError
+from repro.partitioning.intervals import Interval, sort_key, total_covered_width
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_closed(self):
+        iv = Interval.closed(1, 5)
+        assert iv.lo == 1 and iv.hi == 5
+        assert not iv.low_open and not iv.high_open
+
+    def test_point_interval(self):
+        iv = Interval.point(3)
+        assert iv.contains_point(3)
+        assert iv.width == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(IntervalError):
+            Interval.closed(5, 1)
+
+    def test_empty_point_open_raises(self):
+        with pytest.raises(IntervalError):
+            Interval.open(3, 3)
+
+    def test_unbounded(self):
+        iv = Interval.unbounded()
+        assert iv.contains_point(-1e18) and iv.contains_point(1e18)
+        assert math.isinf(iv.width)
+
+    def test_half_bounded(self):
+        assert Interval.at_least(10).contains_point(1e9)
+        assert not Interval.at_least(10).contains_point(9.999)
+        assert Interval.at_most(10).contains_point(-1e9)
+        assert not Interval.at_most(10).contains_point(10.001)
+
+
+# ----------------------------------------------------------------------
+# Point membership with open bounds
+# ----------------------------------------------------------------------
+class TestMembership:
+    def test_open_low_excludes_endpoint(self):
+        iv = Interval.open_closed(1, 5)
+        assert not iv.contains_point(1)
+        assert iv.contains_point(5)
+
+    def test_open_high_excludes_endpoint(self):
+        iv = Interval.closed_open(1, 5)
+        assert iv.contains_point(1)
+        assert not iv.contains_point(5)
+
+
+# ----------------------------------------------------------------------
+# Relations
+# ----------------------------------------------------------------------
+class TestRelations:
+    def test_contains_subset(self):
+        assert Interval.closed(0, 10).contains(Interval.closed(2, 8))
+        assert not Interval.closed(2, 8).contains(Interval.closed(0, 10))
+
+    def test_contains_respects_openness(self):
+        # [0,10] contains (0,10], but (0,10] does not contain [0,10]
+        assert Interval.closed(0, 10).contains(Interval.open_closed(0, 10))
+        assert not Interval.open_closed(0, 10).contains(Interval.closed(0, 10))
+
+    def test_intersect_disjoint(self):
+        assert Interval.closed(0, 1).intersect(Interval.closed(2, 3)) is None
+
+    def test_intersect_touching_closed(self):
+        iv = Interval.closed(0, 2).intersect(Interval.closed(2, 4))
+        assert iv == Interval.point(2)
+
+    def test_intersect_touching_open(self):
+        # [0,2) and [2,4] share no point
+        assert Interval.closed_open(0, 2).intersect(Interval.closed(2, 4)) is None
+
+    def test_intersect_overlap(self):
+        iv = Interval.closed(0, 5).intersect(Interval.open_closed(3, 9))
+        assert iv == Interval.open_closed(3, 5)
+
+    def test_adjacent(self):
+        assert Interval.closed_open(0, 2).adjacent_to(Interval.closed(2, 4))
+        assert not Interval.closed(0, 2).adjacent_to(Interval.closed(2, 4))  # overlap at 2
+        assert not Interval.closed(0, 1).adjacent_to(Interval.closed(3, 4))  # gap
+
+    def test_hull(self):
+        h = Interval.closed(0, 2).hull(Interval.open_closed(5, 9))
+        assert h == Interval.closed(0, 9)
+
+
+# ----------------------------------------------------------------------
+# Splitting (Definition 7 building blocks)
+# ----------------------------------------------------------------------
+class TestSplitting:
+    def test_split_before(self):
+        left, right = Interval.closed(0, 10).split_before(4)
+        assert left == Interval.closed_open(0, 4)
+        assert right == Interval.closed(4, 10)
+
+    def test_split_after(self):
+        left, right = Interval.closed(0, 10).split_after(4)
+        assert left == Interval.closed(0, 4)
+        assert right == Interval.open_closed(4, 10)
+
+    def test_split_outside_raises(self):
+        with pytest.raises(IntervalError):
+            Interval.closed(0, 10).split_before(11)
+
+    def test_split_at_boundary_raises_when_empty(self):
+        with pytest.raises(IntervalError):
+            Interval.closed(0, 10).split_before(0)  # left piece [0,0) empty
+
+
+# ----------------------------------------------------------------------
+# Masks
+# ----------------------------------------------------------------------
+class TestMask:
+    def test_mask_closed(self):
+        vals = np.array([0, 1, 2, 3, 4, 5])
+        np.testing.assert_array_equal(
+            Interval.closed(1, 3).mask(vals), [False, True, True, True, False, False]
+        )
+
+    def test_mask_open(self):
+        vals = np.array([0, 1, 2, 3])
+        np.testing.assert_array_equal(
+            Interval.open(0, 3).mask(vals), [False, True, True, False]
+        )
+
+    def test_mask_unbounded(self):
+        vals = np.array([-5, 0, 5])
+        assert Interval.unbounded().mask(vals).all()
+
+
+# ----------------------------------------------------------------------
+# Utilities
+# ----------------------------------------------------------------------
+class TestUtilities:
+    def test_sort_key_orders_by_lower_bound(self):
+        ivs = [Interval.closed(5, 9), Interval.closed(0, 3), Interval.open_closed(0, 2)]
+        ordered = sorted(ivs, key=sort_key)
+        assert ordered[0] == Interval.closed(0, 3)
+        assert ordered[1] == Interval.open_closed(0, 2)
+
+    def test_total_covered_width_disjoint(self):
+        assert total_covered_width([Interval.closed(0, 2), Interval.closed(5, 6)]) == 3
+
+    def test_total_covered_width_overlapping(self):
+        assert total_covered_width([Interval.closed(0, 4), Interval.closed(2, 6)]) == 6
+
+    def test_total_covered_width_empty(self):
+        assert total_covered_width([]) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+bounds = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(bounds)
+    hi = draw(bounds)
+    lo, hi = min(lo, hi), max(lo, hi)
+    if lo == hi:
+        return Interval.point(float(lo))
+    lo_open = draw(st.booleans())
+    hi_open = draw(st.booleans())
+    return Interval(float(lo), float(hi), lo_open, hi_open)
+
+
+@given(intervals(), intervals())
+def test_intersection_is_commutative(a, b):
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(intervals(), intervals())
+def test_intersection_is_subset_of_both(a, b):
+    inter = a.intersect(b)
+    if inter is not None:
+        assert a.contains(inter)
+        assert b.contains(inter)
+
+
+@given(intervals(), intervals())
+def test_hull_contains_both(a, b):
+    h = a.hull(b)
+    assert h.contains(a)
+    assert h.contains(b)
+
+
+@given(intervals(), st.integers(min_value=-1000, max_value=1000))
+def test_membership_consistent_with_intersection(iv, x):
+    point = Interval.point(float(x))
+    assert iv.contains_point(x) == (iv.intersect(point) is not None)
+
+
+@given(intervals(), st.data())
+def test_split_pieces_tile_original(iv, data):
+    if iv.width == 0:
+        return
+    # pick an interior point where both pieces are non-empty
+    lo, hi = iv.lo, iv.hi
+    point = data.draw(st.floats(min_value=lo, max_value=hi, exclude_min=True,
+                                allow_nan=False, allow_infinity=False))
+    if not iv.contains_point(point) or point == lo or point == hi:
+        return
+    for splitter in (iv.split_before, iv.split_after):
+        left, right = splitter(point)
+        assert iv.contains(left) and iv.contains(right)
+        assert left.intersect(right) is None
+        assert left.hull(right) == iv
+
+
+@given(intervals(), st.integers(min_value=-1000, max_value=1000))
+def test_mask_matches_contains_point(iv, x):
+    vals = np.array([float(x)])
+    assert bool(iv.mask(vals)[0]) == iv.contains_point(x)

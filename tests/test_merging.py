@@ -1,0 +1,245 @@
+"""Tests for the §11 fragment-merging extension."""
+
+import numpy as np
+import pytest
+
+from repro import Catalog, DeepSea, Interval, Policy
+from repro.core.merging import (
+    MergeCandidate,
+    co_access_fraction,
+    find_merge_candidates,
+    merge_cost,
+    merge_saving_per_hit,
+)
+from repro.costmodel.decay import NoDecay
+from repro.costmodel.stats import FragmentStats
+from repro.engine.cost import ClusterSpec
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.query.algebra import Relation
+from repro.storage.pool import MaterializedViewPool
+
+DEC = NoDecay()
+
+
+def frag_stats(interval, hit_times, ranges=None):
+    fs = FragmentStats("v", "a", interval, size_bytes=100.0)
+    for i, t in enumerate(hit_times):
+        fs.record_hit(t, ranges[i] if ranges else None)
+    return fs
+
+
+class TestCoAccess:
+    def test_identical_hits_full_fraction(self):
+        a = frag_stats(Interval.closed(0, 10), [1, 2, 3])
+        b = frag_stats(Interval.open_closed(10, 20), [1, 2, 3])
+        assert co_access_fraction(a, b, 4.0, DEC) == 1.0
+
+    def test_disjoint_hits_zero(self):
+        a = frag_stats(Interval.closed(0, 10), [1, 2])
+        b = frag_stats(Interval.open_closed(10, 20), [3, 4])
+        assert co_access_fraction(a, b, 5.0, DEC) == 0.0
+
+    def test_fraction_against_busier_fragment(self):
+        a = frag_stats(Interval.closed(0, 10), [1, 2, 3, 4])
+        b = frag_stats(Interval.open_closed(10, 20), [1, 2])
+        # shared 2 of busier 4 → 0.5, not 2/2
+        assert co_access_fraction(a, b, 5.0, DEC) == pytest.approx(0.5)
+
+    def test_no_hits_zero(self):
+        a = frag_stats(Interval.closed(0, 10), [])
+        b = frag_stats(Interval.open_closed(10, 20), [1])
+        assert co_access_fraction(a, b, 5.0, DEC) == 0.0
+
+
+class TestEconomics:
+    def test_saving_positive_for_two_files(self):
+        cluster = ClusterSpec()
+        assert merge_saving_per_hit(1e8, 1e8, cluster) > 0
+
+    def test_cost_includes_rewrite(self):
+        cluster = ClusterSpec()
+        cost = merge_cost(1e8, 1e8, cluster)
+        assert cost > merge_saving_per_hit(1e8, 1e8, cluster)
+
+
+def make_entries(pool, intervals, size=1e8):
+    schema = Schema.of(Column("a"))
+    entries = []
+    for iv in intervals:
+        nrows = 10
+        table = Table.from_dict(
+            schema, {"a": np.arange(nrows)}, scale=size / (nrows * 8)
+        )
+        entries.append(pool.add_fragment("v", "a", iv, table))
+    return entries
+
+
+class TestFindCandidates:
+    def setup_method(self):
+        self.pool = MaterializedViewPool()
+        self.pool.define_view("v", Relation("t"))
+        self.cluster = ClusterSpec()
+
+    def candidates(self, intervals, hits, **kw):
+        entries = make_entries(self.pool, intervals)
+        stats = {
+            iv: frag_stats(iv, h) for iv, h in zip(intervals, hits)
+        }
+        return find_merge_candidates(
+            entries, stats, 100.0, DEC, self.cluster, **kw
+        )
+
+    def test_coaccessed_adjacent_pair_found(self):
+        ivs = [Interval.closed(0, 10), Interval.open_closed(10, 20)]
+        shared = list(range(1, 31))
+        cands = self.candidates(ivs, [shared, shared], safety=0.1)
+        assert len(cands) == 1
+        assert cands[0].merged == Interval.closed(0, 20)
+
+    def test_non_adjacent_skipped(self):
+        ivs = [Interval.closed(0, 10), Interval.closed(15, 20)]
+        shared = list(range(1, 31))
+        assert self.candidates(ivs, [shared, shared], safety=0.1) == []
+
+    def test_overlapping_skipped(self):
+        ivs = [Interval.closed(0, 12), Interval.closed(10, 20)]
+        shared = list(range(1, 31))
+        assert self.candidates(ivs, [shared, shared], safety=0.1) == []
+
+    def test_low_coaccess_skipped(self):
+        ivs = [Interval.closed(0, 10), Interval.open_closed(10, 20)]
+        cands = self.candidates(
+            ivs, [list(range(1, 31)), list(range(40, 70))], safety=0.1
+        )
+        assert cands == []
+
+    def test_size_bound_respected(self):
+        ivs = [Interval.closed(0, 10), Interval.open_closed(10, 20)]
+        shared = list(range(1, 31))
+        cands = self.candidates(
+            ivs, [shared, shared], safety=0.1, max_merged_bytes=1e8
+        )
+        assert cands == []
+
+    def test_each_fragment_in_one_candidate(self):
+        ivs = [
+            Interval.closed(0, 10),
+            Interval.open_closed(10, 20),
+            Interval.open_closed(20, 30),
+        ]
+        shared = list(range(1, 31))
+        cands = self.candidates(ivs, [shared, shared, shared], safety=0.1)
+        assert len(cands) == 1  # middle fragment consumed by the first pair
+
+    def test_cost_filter_blocks_unprofitable(self):
+        ivs = [Interval.closed(0, 10), Interval.open_closed(10, 20)]
+        cands = self.candidates(ivs, [[1, 2, 3], [1, 2, 3]], safety=10.0)
+        assert cands == []
+
+
+class TestEndToEnd:
+    def make_catalog(self):
+        rng = np.random.default_rng(9)
+        n = 2000
+        sales = Schema.of(Column("s_id"), Column("s_k"), Column("s_v"))
+        dim = Schema.of(Column("d_k"), Column("d_c"))
+        catalog = Catalog()
+        catalog.register(
+            "fact",
+            Table.from_dict(
+                sales,
+                {
+                    "s_id": np.arange(n),
+                    "s_k": rng.integers(0, 1001, n),
+                    "s_v": rng.integers(0, 10, n),
+                },
+                scale=3e6,
+            ),
+        )
+        catalog.register(
+            "dim",
+            Table.from_dict(
+                dim,
+                {"d_k": np.arange(1001), "d_c": rng.integers(0, 4, 1001)},
+                scale=3e6,
+            ),
+        )
+        return catalog
+
+    def query(self, lo, hi):
+        from repro.query.algebra import Aggregate, AggSpec, Join, Select
+        from repro.query.predicates import between
+
+        return Aggregate(
+            Select(
+                Join(Relation("fact"), Relation("dim"), "s_k", "d_k"),
+                (between("d_k", lo, hi),),
+            ),
+            ("d_c",),
+            (AggSpec("sum", "s_v", "total"),),
+        )
+
+    def test_merge_fires_and_answers_stay_correct(self):
+        catalog = self.make_catalog()
+        domains = {"d_k": Interval.closed(0, 1000), "s_k": Interval.closed(0, 1000)}
+        system = DeepSea(
+            catalog,
+            domains=domains,
+            policy=Policy(
+                evidence_factor=0.0,
+                merge_fragments=True,
+                merge_threshold=0.5,
+                refinement_safety=0.1,
+                bounds=None,
+            ),
+        )
+        reference = DeepSea(
+            catalog, domains=domains, policy=Policy(materialize=False)
+        )
+        # Phase 1 carves a fragment at [100, 300]; phase 2's wider range
+        # co-accesses it with its right neighbour query after query, until
+        # the pair is coalesced.
+        plans = [self.query(100, 300)] * 3 + [self.query(100, 500)] * 25
+        for plan in plans:
+            got = system.execute(plan).result.sorted_rows()
+            assert got == reference.execute(plan).result.sorted_rows()
+        merged = any(
+            iv.contains(Interval.closed(150, 450))
+            for v in system.pool.resident_view_ids()
+            for a in system.pool.partition_attrs(v)
+            for iv in system.pool.intervals_of(v, a)
+        )
+        assert merged, "co-accessed neighbours were never coalesced"
+        # queries after the merge still answer correctly
+        plan = self.query(150, 450)
+        assert (
+            system.execute(plan).result.sorted_rows()
+            == reference.execute(plan).result.sorted_rows()
+        )
+
+    def test_merging_reduces_fragment_count(self):
+        catalog = self.make_catalog()
+        domains = {"d_k": Interval.closed(0, 1000), "s_k": Interval.closed(0, 1000)}
+
+        def run(merge):
+            system = DeepSea(
+                catalog,
+                domains=domains,
+                policy=Policy(
+                    evidence_factor=0.0,
+                    merge_fragments=merge,
+                    merge_threshold=0.5,
+                    refinement_safety=0.1,
+                    bounds=None,
+                ),
+            )
+            for plan in [self.query(100, 300)] * 3 + [self.query(100, 500)] * 25:
+                system.execute(plan)
+            return sum(
+                len(system.pool.fragments_of(v, a))
+                for v in system.pool.resident_view_ids()
+                for a in system.pool.partition_attrs(v)
+            )
+
+        assert run(True) <= run(False)

@@ -1,0 +1,164 @@
+"""Tests for the probabilistic fragment-benefit model (MLE smoothing)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as sps
+
+from repro.costmodel.decay import NoDecay
+from repro.costmodel.mle import (
+    FittedNormal,
+    adjusted_hits,
+    fit_normal,
+    fit_partition_distribution,
+    part_midpoints,
+    spread_hits,
+)
+from repro.costmodel.stats import StatisticsStore
+from repro.costmodel.value import partition_adjusted_hits
+from repro.partitioning.intervals import Interval
+
+DOMAIN = Interval.closed(0, 100)
+
+
+class TestFittedNormal:
+    def test_cdf_matches_scipy(self):
+        fitted = FittedNormal(mu=10.0, sigma2=4.0)
+        for x in (-5.0, 8.0, 10.0, 12.0, 30.0):
+            assert fitted.cdf(x) == pytest.approx(sps.norm.cdf(x, 10.0, 2.0), abs=1e-12)
+
+    def test_cdf_limits(self):
+        fitted = FittedNormal(0.0, 1.0)
+        assert fitted.cdf(-math.inf) == 0.0
+        assert fitted.cdf(math.inf) == 1.0
+
+    def test_mass_is_cdf_difference(self):
+        fitted = FittedNormal(50.0, 100.0)
+        iv = Interval.closed(40, 60)
+        assert fitted.mass(iv) == pytest.approx(fitted.cdf(60) - fitted.cdf(40))
+
+    def test_degenerate_sigma(self):
+        fitted = FittedNormal(5.0, 0.0)
+        assert fitted.cdf(4.9) == 0.0
+        assert fitted.cdf(5.1) == 1.0
+
+
+class TestPartMidpoints:
+    def test_equal_spacing(self):
+        mids = part_midpoints(DOMAIN, 4)
+        assert mids == [12.5, 37.5, 62.5, 87.5]
+
+
+class TestSpreadHits:
+    def test_hits_split_evenly_over_parts(self):
+        # fragment [0, 50] covers parts 0 and 1 of a 4-part grid
+        mids, weights = spread_hits(DOMAIN, [(Interval.closed(0, 50), 10.0)], n_parts=4)
+        assert weights == [5.0, 5.0, 0.0, 0.0]
+
+    def test_total_mass_preserved(self):
+        frags = [
+            (Interval.closed(0, 30), 7.0),
+            (Interval.open_closed(30, 100), 3.0),
+        ]
+        _, weights = spread_hits(DOMAIN, frags, n_parts=10)
+        assert sum(weights) == pytest.approx(10.0)
+
+    def test_tiny_fragment_charged_to_nearest_part(self):
+        # narrower than one part — still contributes its full mass
+        _, weights = spread_hits(DOMAIN, [(Interval.closed(50, 50.01), 4.0)], n_parts=4)
+        assert sum(weights) == pytest.approx(4.0)
+
+    def test_zero_hits_ignored(self):
+        _, weights = spread_hits(DOMAIN, [(Interval.closed(0, 100), 0.0)], n_parts=4)
+        assert sum(weights) == 0.0
+
+
+class TestFitNormal:
+    def test_matches_closed_form_unweighted(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        fitted = fit_normal(xs, [1.0] * 4)
+        assert fitted.mu == pytest.approx(np.mean(xs))
+        assert fitted.sigma2 == pytest.approx(np.var(xs, ddof=1))
+
+    def test_weighted_mean(self):
+        fitted = fit_normal([0.0, 10.0], [3.0, 1.0])
+        assert fitted.mu == pytest.approx(2.5)
+
+    def test_no_mass_returns_none(self):
+        assert fit_normal([1.0, 2.0], [0.0, 0.0]) is None
+
+    def test_single_observation_positive_sigma(self):
+        fitted = fit_normal([5.0], [1.0])
+        assert fitted is not None and fitted.sigma2 > 0
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_mu_within_data_range(self, xs):
+        fitted = fit_normal(xs, [1.0] * len(xs))
+        assert min(xs) - 1e-9 <= fitted.mu <= max(xs) + 1e-9
+
+
+class TestAdjustedHits:
+    def test_total_mass_over_domain_partition(self):
+        """H_A over a domain-covering partition sums to ≈ H_total."""
+        frags = [
+            (Interval.closed(0, 20), 5.0),
+            (Interval.open_closed(20, 60), 50.0),
+            (Interval.open_closed(60, 100), 2.0),
+        ]
+        fitted = fit_partition_distribution(DOMAIN, frags, n_parts=100)
+        total = sum(h for _, h in frags)
+        adj = [adjusted_hits(iv, fitted, total, DOMAIN) for iv, _ in frags]
+        # the normal has tails outside the domain, so the sum is slightly less
+        assert sum(adj) <= total + 1e-9
+        assert sum(adj) >= 0.80 * total
+
+    def test_neighbour_of_hot_spot_beats_distant_fragment(self):
+        """The core §7.1 claim: a cold fragment near a hot spot gets more
+        adjusted hits than an equally cold fragment far from it."""
+        frags = [
+            (Interval.closed(0, 5), 100.0),   # hot spot
+            (Interval.open_closed(5, 10), 0.0),   # neighbour, no hits
+            (Interval.open_closed(10, 15), 0.0),  # distant, no hits
+            (Interval.open_closed(15, 100), 0.0),
+        ]
+        fitted = fit_partition_distribution(DOMAIN, frags, n_parts=200)
+        total = 100.0
+        near = adjusted_hits(Interval.open_closed(5, 10), fitted, total, DOMAIN)
+        far = adjusted_hits(Interval.open_closed(10, 15), fitted, total, DOMAIN)
+        assert near > far > 0.0
+
+    def test_out_of_domain_interval(self):
+        fitted = FittedNormal(50.0, 10.0)
+        assert adjusted_hits(Interval.closed(200, 300), fitted, 10.0, DOMAIN) == 0.0
+
+    def test_unbounded_fragment_clamped(self):
+        fitted = FittedNormal(50.0, 100.0)
+        full = adjusted_hits(Interval.unbounded(), fitted, 10.0, DOMAIN)
+        direct = adjusted_hits(DOMAIN, fitted, 10.0, DOMAIN)
+        assert full == pytest.approx(direct)
+
+
+class TestPartitionAdjustedHits:
+    def test_end_to_end_via_store(self):
+        store = StatisticsStore()
+        hot = store.ensure_fragment("v", "a", Interval.closed(0, 10))
+        store.ensure_fragment("v", "a", Interval.open_closed(10, 20))
+        store.ensure_fragment("v", "a", Interval.open_closed(20, 100))
+        for t in range(1, 11):
+            hot.record_hit(float(t))
+        adj = partition_adjusted_hits(store, "v", "a", DOMAIN, 10.0, NoDecay())
+        assert adj is not None
+        assert adj[Interval.open_closed(10, 20)] > adj[Interval.open_closed(20, 100)] * 0.999
+        assert adj[Interval.closed(0, 10)] > adj[Interval.open_closed(10, 20)]
+
+    def test_no_hits_returns_none(self):
+        store = StatisticsStore()
+        store.ensure_fragment("v", "a", Interval.closed(0, 100))
+        assert partition_adjusted_hits(store, "v", "a", DOMAIN, 1.0, NoDecay()) is None
+
+    def test_unknown_partition_returns_none(self):
+        store = StatisticsStore()
+        assert partition_adjusted_hits(store, "v", "a", DOMAIN, 1.0, NoDecay()) is None

@@ -1,0 +1,148 @@
+"""Tests for the simulated HDFS and the materialized-view pool."""
+
+import pytest
+
+from repro.engine.cost import CostLedger
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.errors import PoolError
+from repro.partitioning.intervals import Interval
+from repro.query.algebra import Relation
+from repro.storage.hdfs import SimulatedHDFS
+from repro.storage.pool import FragmentKey, MaterializedViewPool
+
+
+@pytest.fixture
+def small_table():
+    schema = Schema.of(Column("v"))
+    return Table.from_dict(schema, {"v": [1, 2, 3]})
+
+
+class TestSimulatedHDFS:
+    def test_write_read_roundtrip(self, small_table):
+        fs = SimulatedHDFS()
+        fs.write("/a", small_table)
+        assert fs.read("/a").to_rows() == small_table.to_rows()
+
+    def test_write_charges_ledger(self, small_table):
+        fs = SimulatedHDFS()
+        ledger = CostLedger()
+        fs.write("/a", small_table, ledger)
+        assert ledger.write_s > 0
+        assert ledger.bytes_written == small_table.size_bytes
+
+    def test_read_charges_ledger(self, small_table):
+        fs = SimulatedHDFS()
+        fs.write("/a", small_table)
+        ledger = CostLedger()
+        fs.read("/a", ledger)
+        assert ledger.read_s > 0
+
+    def test_duplicate_write_raises(self, small_table):
+        fs = SimulatedHDFS()
+        fs.write("/a", small_table)
+        with pytest.raises(PoolError):
+            fs.write("/a", small_table)
+
+    def test_delete(self, small_table):
+        fs = SimulatedHDFS()
+        fs.write("/a", small_table)
+        fs.delete("/a")
+        assert not fs.exists("/a")
+        with pytest.raises(PoolError):
+            fs.read("/a")
+
+    def test_used_bytes(self, small_table):
+        fs = SimulatedHDFS()
+        fs.write("/a", small_table)
+        fs.write("/b", small_table)
+        assert fs.used_bytes == 2 * small_table.size_bytes
+
+
+class TestPool:
+    def make_pool(self, smax=None):
+        pool = MaterializedViewPool(smax_bytes=smax)
+        pool.define_view("v1", Relation("sales"))
+        return pool
+
+    def test_whole_view_residency(self, small_table):
+        pool = self.make_pool()
+        pool.add_whole_view("v1", small_table)
+        assert pool.is_resident("v1")
+        entry = pool.whole_view_entry("v1")
+        assert entry is not None
+        assert pool.read_entry(entry.fragment_id).nrows == 3
+
+    def test_fragment_residency_sorted(self, small_table):
+        pool = self.make_pool()
+        pool.add_fragment("v1", "v", Interval.closed(10, 20), small_table)
+        pool.add_fragment("v1", "v", Interval.closed(0, 10), small_table)
+        intervals = pool.intervals_of("v1", "v")
+        assert intervals[0].lo == 0 and intervals[1].lo == 10
+
+    def test_duplicate_fragment_raises(self, small_table):
+        pool = self.make_pool()
+        pool.add_fragment("v1", "v", Interval.closed(0, 10), small_table)
+        with pytest.raises(PoolError):
+            pool.add_fragment("v1", "v", Interval.closed(0, 10), small_table)
+
+    def test_undefined_view_raises(self, small_table):
+        pool = MaterializedViewPool()
+        with pytest.raises(PoolError):
+            pool.add_whole_view("ghost", small_table)
+
+    def test_smax_enforced(self, small_table):
+        pool = self.make_pool(smax=small_table.size_bytes * 1.5)
+        pool.add_whole_view("v1", small_table)
+        pool.define_view("v2", Relation("item"))
+        with pytest.raises(PoolError):
+            pool.add_whole_view("v2", small_table)
+
+    def test_evict_frees_space_and_file(self, small_table):
+        pool = self.make_pool(smax=small_table.size_bytes)
+        entry = pool.add_whole_view("v1", small_table)
+        pool.evict(entry.fragment_id)
+        assert pool.used_bytes == 0
+        assert not pool.is_resident("v1")
+        assert pool.hdfs.file_count == 0
+
+    def test_evict_one_fragment_keeps_siblings(self, small_table):
+        pool = self.make_pool()
+        left = pool.add_fragment("v1", "v", Interval.closed(0, 10), small_table)
+        pool.add_fragment("v1", "v", Interval.open_closed(10, 20), small_table)
+        pool.evict(left.fragment_id)
+        assert pool.is_resident("v1")
+        assert len(pool.fragments_of("v1", "v")) == 1
+
+    def test_find_fragment_by_key(self, small_table):
+        pool = self.make_pool()
+        pool.add_fragment("v1", "v", Interval.closed(0, 10), small_table)
+        hit = pool.find_fragment(FragmentKey("v1", "v", Interval.closed(0, 10)))
+        assert hit is not None
+        miss = pool.find_fragment(FragmentKey("v1", "v", Interval.closed(0, 11)))
+        assert miss is None
+
+    def test_multiple_partitions_same_view(self, small_table):
+        pool = self.make_pool()
+        pool.add_fragment("v1", "v", Interval.closed(0, 10), small_table)
+        pool.add_fragment("v1", "w", Interval.closed(0, 99), small_table)
+        assert pool.partition_attrs("v1") == ["v", "w"]
+
+    def test_configuration_snapshot(self, small_table):
+        pool = self.make_pool()
+        pool.add_fragment("v1", "v", Interval.closed(0, 10), small_table)
+        snap = pool.configuration()
+        assert snap["v1"]["partitions"]["v"] == [Interval.closed(0, 10)]
+
+    def test_fragment_key_validation(self):
+        with pytest.raises(PoolError):
+            FragmentKey("v", "a", None)
+        with pytest.raises(PoolError):
+            FragmentKey("v", None, Interval.closed(0, 1))
+
+    def test_view_id_collision_detection(self):
+        pool = self.make_pool()
+        with pytest.raises(PoolError):
+            pool.define_view("v1", Relation("other"))
+        # idempotent when the plan matches
+        pool.define_view("v1", Relation("sales"))

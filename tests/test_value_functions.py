@@ -1,0 +1,123 @@
+"""Tests for the newer value-model helpers: weighted/realizing hits and
+density-normalized adjusted hits."""
+
+import pytest
+
+from repro.costmodel.decay import NoDecay, ProportionalDecay
+from repro.costmodel.mle import FittedNormal, adjusted_hits, adjusted_hits_density
+from repro.costmodel.stats import FragmentStats
+from repro.costmodel.value import fragment_weighted_hits, realizing_hits
+from repro.partitioning.intervals import Interval
+
+DOMAIN = Interval.closed(0, 100)
+DEC = NoDecay()
+
+
+def frag(interval=Interval.closed(0, 100)):
+    return FragmentStats("v", "a", interval, size_bytes=100.0)
+
+
+class TestWeightedHits:
+    def test_containing_query_counts_fully(self):
+        f = frag()
+        f.record_hit(1.0, Interval.closed(0, 50))
+        piece = Interval.closed(10, 20)
+        assert fragment_weighted_hits(f, piece, 2.0, DEC) == pytest.approx(1.0)
+
+    def test_partial_overlap_weighted(self):
+        f = frag()
+        f.record_hit(1.0, Interval.closed(15, 25))  # covers half of [10, 20]
+        piece = Interval.closed(10, 20)
+        assert fragment_weighted_hits(f, piece, 2.0, DEC) == pytest.approx(0.5)
+
+    def test_disjoint_query_ignored(self):
+        f = frag()
+        f.record_hit(1.0, Interval.closed(50, 60))
+        assert fragment_weighted_hits(f, Interval.closed(10, 20), 2.0, DEC) == 0.0
+
+    def test_rangeless_hit_counts_fully(self):
+        f = frag()
+        f.record_hit(1.0, None)
+        assert fragment_weighted_hits(f, Interval.closed(10, 20), 2.0, DEC) == 1.0
+
+    def test_decay_applied(self):
+        f = frag()
+        f.record_hit(5.0, Interval.closed(0, 100))
+        dec = ProportionalDecay(t_max=100)
+        assert fragment_weighted_hits(f, Interval.closed(10, 20), 10.0, dec) == (
+            pytest.approx(0.5)
+        )
+
+
+class TestRealizingHits:
+    PARENT = Interval.closed(0, 100)
+
+    def test_need_inside_piece_realizes(self):
+        parent = frag(self.PARENT)
+        parent.record_hit(1.0, Interval.closed(10, 20))
+        piece = Interval.closed(5, 25)
+        assert realizing_hits(parent, self.PARENT, piece, 2.0, DEC) == 1.0
+
+    def test_need_wider_than_piece_does_not(self):
+        parent = frag(self.PARENT)
+        parent.record_hit(1.0, Interval.closed(10, 60))
+        piece = Interval.closed(5, 25)
+        assert realizing_hits(parent, self.PARENT, piece, 2.0, DEC) == 0.0
+
+    def test_need_clamped_to_parent(self):
+        """A query extending past the parent only needs θ∩parent from it."""
+        parent = frag(Interval.closed(0, 30))
+        parent.record_hit(1.0, Interval.closed(20, 90))  # needs (20, 30] here
+        piece = Interval.closed(15, 30)
+        assert realizing_hits(parent, Interval.closed(0, 30), piece, 2.0, DEC) == 1.0
+
+    def test_rangeless_hits_never_realize(self):
+        parent = frag(self.PARENT)
+        parent.record_hit(1.0, None)
+        assert realizing_hits(parent, self.PARENT, Interval.closed(0, 100), 2.0, DEC) == 0.0
+
+    def test_edge_sliver_not_backed_by_wide_queries(self):
+        """The anti-sliver property: wide jittering queries don't justify
+        carving a thin boundary sliver."""
+        parent = frag(self.PARENT)
+        for i in range(10):
+            parent.record_hit(float(i + 1), Interval.closed(10 + i, 60 + i))
+        sliver = Interval.closed(10, 12)
+        assert realizing_hits(parent, self.PARENT, sliver, 11.0, DEC) == 0.0
+
+
+class TestAdjustedHitsDensity:
+    FITTED = FittedNormal(mu=50.0, sigma2=100.0)
+
+    def test_equal_width_matches_plain(self):
+        iv = Interval.closed(40, 60)
+        plain = adjusted_hits(iv, self.FITTED, 10.0, DOMAIN)
+        dens = adjusted_hits_density(iv, self.FITTED, 10.0, DOMAIN, reference_width=20.0)
+        assert dens == pytest.approx(plain)
+
+    def test_whale_deflated(self):
+        whale = Interval.closed(0, 100)
+        sliver = Interval.closed(45, 55)
+        ref = 10.0
+        whale_d = adjusted_hits_density(whale, self.FITTED, 10.0, DOMAIN, ref)
+        sliver_d = adjusted_hits_density(sliver, self.FITTED, 10.0, DOMAIN, ref)
+        # per reference width, the hot sliver is denser than the whale
+        assert sliver_d > whale_d
+
+    def test_neighbour_beats_distant_equal_width(self):
+        near = Interval.closed(60, 70)   # near the mu=50 hot spot
+        far = Interval.closed(85, 95)
+        ref = 10.0
+        assert adjusted_hits_density(near, self.FITTED, 10.0, DOMAIN, ref) > (
+            adjusted_hits_density(far, self.FITTED, 10.0, DOMAIN, ref)
+        )
+
+    def test_out_of_domain_zero(self):
+        assert adjusted_hits_density(
+            Interval.closed(500, 600), self.FITTED, 10.0, DOMAIN, 10.0
+        ) == 0.0
+
+    def test_point_interval_capped(self):
+        point = Interval.point(50.0)
+        value = adjusted_hits_density(point, self.FITTED, 10.0, DOMAIN, 10.0)
+        assert value >= 0.0  # degenerate width handled without blowing up

@@ -1,0 +1,258 @@
+"""Tests for workload generation: distributions, SDSS model, BigBench."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.partitioning.intervals import Interval
+from repro.query.algebra import Aggregate, Join, Select, walk
+from repro.workloads import bigbench
+from repro.workloads.distributions import RangeSampler, selectivity_for, skew_for
+from repro.workloads.generator import (
+    SyntheticSpec,
+    midpoint_sequence_workload,
+    phased_workload,
+    sdss_mapped_workload,
+    synthetic_workload,
+)
+from repro.workloads.sdss import (
+    SDSS_RA_DOMAIN,
+    SDSSConfig,
+    generate_sdss_log,
+    map_ranges,
+    range_histogram,
+    sample_values_from_ranges,
+)
+
+DOMAIN = Interval.closed(0, 10_000)
+
+
+class TestRangeSampler:
+    def test_width_matches_selectivity(self):
+        sampler = RangeSampler(DOMAIN, 0.05)
+        rng = np.random.default_rng(0)
+        iv = sampler.sample(rng)
+        assert iv.width == pytest.approx(0.05 * DOMAIN.width)
+
+    def test_samples_stay_in_domain(self):
+        for skew in ("uniform", "light", "heavy", "zipf"):
+            sampler = RangeSampler(DOMAIN, 0.25, skew=skew)
+            rng = np.random.default_rng(1)
+            for iv in sampler.sample_many(200, rng):
+                assert DOMAIN.contains(iv)
+
+    def test_heavy_skew_is_tighter_than_light(self):
+        rng1, rng2 = np.random.default_rng(2), np.random.default_rng(2)
+        light = RangeSampler(DOMAIN, 0.01, skew="light").sample_many(300, rng1)
+        heavy = RangeSampler(DOMAIN, 0.01, skew="heavy").sample_many(300, rng2)
+        spread = lambda ivs: np.std([iv.midpoint for iv in ivs])
+        assert spread(heavy) < spread(light) / 3
+
+    def test_uniform_covers_domain(self):
+        rng = np.random.default_rng(3)
+        mids = [
+            iv.midpoint
+            for iv in RangeSampler(DOMAIN, 0.01, skew="uniform").sample_many(500, rng)
+        ]
+        assert min(mids) < 0.2 * DOMAIN.hi and max(mids) > 0.8 * DOMAIN.hi
+
+    def test_center_moves_hot_spot(self):
+        rng = np.random.default_rng(4)
+        sampler = RangeSampler(DOMAIN, 0.01, skew="heavy", center=0.2)
+        mids = [iv.midpoint for iv in sampler.sample_many(100, rng)]
+        assert abs(np.mean(mids) - 2_000) < 300
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(WorkloadError):
+            RangeSampler(DOMAIN, 0.0)
+        with pytest.raises(WorkloadError):
+            RangeSampler(DOMAIN, 1.5)
+
+    def test_invalid_skew(self):
+        with pytest.raises(WorkloadError):
+            RangeSampler(DOMAIN, 0.1, skew="bogus")
+
+    def test_unbounded_domain_rejected(self):
+        with pytest.raises(WorkloadError):
+            RangeSampler(Interval.at_least(0), 0.1)
+
+    def test_labels(self):
+        assert selectivity_for("S") == 0.01
+        assert selectivity_for("m") == 0.05
+        assert selectivity_for("B") == 0.25
+        assert skew_for("U") == "uniform"
+        assert skew_for("h") == "heavy"
+        with pytest.raises(WorkloadError):
+            selectivity_for("X")
+        with pytest.raises(WorkloadError):
+            skew_for("Q")
+
+
+class TestSDSSLog:
+    def test_log_length_and_domain(self):
+        log = generate_sdss_log(SDSSConfig(n_queries=500))
+        assert len(log) == 500
+        for iv in log:
+            assert SDSS_RA_DOMAIN.contains(iv)
+
+    def test_early_phase_focuses_200_300(self):
+        config = SDSSConfig(n_queries=2_000)
+        log = generate_sdss_log(config)
+        split = int(2_000 * config.phase_split)
+        early = [iv.midpoint for iv in log[:split] if iv.width < 100]
+        frac = np.mean([(200 <= m <= 300) for m in early])
+        assert frac > 0.7
+
+    def test_late_phase_shifts_to_100(self):
+        config = SDSSConfig(n_queries=2_000)
+        log = generate_sdss_log(config)
+        split = int(2_000 * config.phase_split)
+        late = [iv.midpoint for iv in log[split:] if iv.width < 100]
+        frac = np.mean([(50 <= m <= 150) for m in late])
+        assert frac > 0.7
+
+    def test_full_domain_scans_present(self):
+        log = generate_sdss_log(SDSSConfig(n_queries=2_000))
+        assert any(iv == SDSS_RA_DOMAIN for iv in log)
+
+    def test_histogram_nonuniform_and_correlated(self):
+        log = generate_sdss_log(SDSSConfig(n_queries=5_000))
+        _, hits = range_histogram(log, nbins=42)
+        assert hits.max() > 5 * max(np.median(hits), 1)
+        # spatial correlation: the hottest bin's neighbours are warm
+        peak = int(hits.argmax())
+        neighbours = [hits[i] for i in (peak - 1, peak + 1) if 0 <= i < len(hits)]
+        assert all(n > np.median(hits) for n in neighbours)
+
+    def test_histogram_counts_each_overlapped_bin(self):
+        edges, hits = range_histogram(
+            [Interval.closed(0, 100)], nbins=10, domain=Interval.closed(0, 100)
+        )
+        assert hits.sum() == 10  # one range touching every bin
+
+    def test_deterministic_with_seed(self):
+        a = generate_sdss_log(SDSSConfig(n_queries=100, seed=5))
+        b = generate_sdss_log(SDSSConfig(n_queries=100, seed=5))
+        assert a == b
+
+    def test_map_ranges(self):
+        target = Interval.closed(0, 420_000)
+        mapped = map_ranges([Interval.closed(-20, 400)], SDSS_RA_DOMAIN, target)
+        assert mapped[0].lo == pytest.approx(0)
+        assert mapped[0].hi == pytest.approx(420_000)
+
+    def test_sample_values_follow_histogram(self):
+        log = generate_sdss_log(SDSSConfig(n_queries=3_000))
+        target = Interval.closed(0, 10_000)
+        rng = np.random.default_rng(0)
+        values = sample_values_from_ranges(log, 20_000, target, rng)
+        assert values.min() >= 0 and values.max() <= 10_000
+        # the late-phase hot spot (~100 deg) maps to ~(100+20)/420 of the domain
+        hot_lo = (80 + 20) / 420 * 10_000
+        hot_hi = (120 + 20) / 420 * 10_000
+        frac_hot = np.mean((values >= hot_lo) & (values <= hot_hi))
+        assert frac_hot > 2 * ((hot_hi - hot_lo) / 10_000)
+
+
+class TestBigBench:
+    def test_instance_tables_and_nominal_size(self):
+        inst = bigbench.generate_bigbench(100.0, seed=1)
+        assert set(inst.catalog.names) == set(bigbench.SCHEMAS)
+        total = inst.catalog.total_size_bytes
+        assert total == pytest.approx(100.0e9, rel=0.01)
+
+    def test_weights_respected(self):
+        inst = bigbench.generate_bigbench(100.0, seed=1)
+        ss = inst.catalog.get("store_sales").size_bytes
+        assert ss == pytest.approx(0.32 * 100.0e9, rel=0.01)
+
+    def test_domains_declared_for_item_columns(self):
+        inst = bigbench.generate_bigbench(10.0, seed=1)
+        for col in ("i_item_sk", "ss_item_sk", "wcs_item_sk"):
+            assert inst.domains[col] == inst.item_domain
+
+    def test_instance_scales_rows(self):
+        small = bigbench.generate_bigbench(10.0, seed=1)
+        big = bigbench.generate_bigbench(500.0, seed=1)
+        assert (
+            big.catalog.get("store_sales").nrows
+            > small.catalog.get("store_sales").nrows
+        )
+
+    def test_custom_item_values_used(self):
+        values = np.full(1_000, 123)
+        inst = bigbench.generate_bigbench(10.0, seed=1, item_sk_values=values)
+        assert (inst.catalog.get("store_sales").column("ss_item_sk") == 123).all()
+
+    def test_invalid_size(self):
+        with pytest.raises(WorkloadError):
+            bigbench.generate_bigbench(0.0)
+
+    def test_all_templates_build_and_have_selection(self):
+        for name, template in bigbench.TEMPLATES.items():
+            plan = template(100, 500)
+            kinds = {type(n) for n in walk(plan)}
+            assert Join in kinds, name
+            assert Select in kinds, name
+            assert isinstance(plan, Aggregate), name
+
+    def test_templates_execute_on_instance(self):
+        from repro.baselines import hive
+
+        inst = bigbench.generate_bigbench(20.0, seed=2)
+        system = hive(inst.catalog, domains=inst.domains)
+        for name, template in bigbench.TEMPLATES.items():
+            report = system.execute(template(0, 40_000))
+            assert report.result.nrows > 0, name
+
+
+class TestGenerator:
+    def test_synthetic_workload_shapes(self):
+        inst = bigbench.generate_bigbench(10.0, seed=3)
+        spec = SyntheticSpec("q30", "S", "H", n_queries=20, seed=4)
+        plans = synthetic_workload(spec, inst.item_domain)
+        assert len(plans) == 20
+        assert len(set(plans)) > 1  # ranges vary
+
+    def test_unknown_template(self):
+        with pytest.raises(WorkloadError):
+            synthetic_workload(
+                SyntheticSpec("q99", "S", "H", n_queries=1), DOMAIN
+            )
+
+    def test_phased_workload_changes_distribution(self):
+        inst = bigbench.generate_bigbench(10.0, seed=3)
+        phases = [
+            SyntheticSpec("q05", "B", "H", n_queries=10, center=0.25, seed=1),
+            SyntheticSpec("q05", "B", "H", n_queries=10, center=0.75, seed=2),
+        ]
+        plans = phased_workload(phases, inst.item_domain)
+        assert len(plans) == 20
+
+        def midpoint(plan):
+            select = next(n for n in walk(plan) if isinstance(n, Select))
+            return select.predicates[0].interval.midpoint
+
+        early = np.mean([midpoint(p) for p in plans[:10]])
+        late = np.mean([midpoint(p) for p in plans[10:]])
+        assert late > early
+
+    def test_midpoint_sequence(self):
+        plans = midpoint_sequence_workload("q30", [100, 200], 50, DOMAIN)
+        assert len(plans) == 2
+
+    def test_sdss_mapped_workload(self):
+        log = generate_sdss_log(SDSSConfig(n_queries=1_000))
+        plans = sdss_mapped_workload(log, DOMAIN, n_queries=50, seed=5)
+        assert len(plans) == 50
+        # templates vary across the workload
+        roots = {type(p).__name__ for p in plans}
+        assert roots == {"Aggregate"}
+        assert len({p for p in plans}) > 10
+
+    def test_sdss_mapped_empty_log_rejected(self):
+        with pytest.raises(WorkloadError):
+            sdss_mapped_workload([], DOMAIN)
+
+    def test_spec_label(self):
+        assert SyntheticSpec("q30", "m", "h", 1).label == "MH"
