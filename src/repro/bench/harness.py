@@ -8,9 +8,12 @@ the paper-shaped table with :mod:`repro.bench.reporting`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.bench.profile import WallClockProfiler
 
 from repro.core.deepsea import DeepSea
 from repro.core.reports import QueryReport
@@ -75,17 +78,38 @@ class RunResult:
         return None
 
 
-def run_system(label: str, system: DeepSea, plans: list[Plan]) -> RunResult:
-    """Execute a workload on one system instance."""
-    return RunResult(label, [system.execute(p) for p in plans])
+def run_system(
+    label: str,
+    system: DeepSea,
+    plans: list[Plan],
+    profiler: "WallClockProfiler | None" = None,
+) -> RunResult:
+    """Execute a workload on one system instance.
+
+    An optional :class:`~repro.bench.profile.WallClockProfiler` is
+    attached for the duration of the run, charging real seconds to the
+    matching / selection / execution / materialization stages.  Profiling
+    never touches the simulated ledgers.
+    """
+    if profiler is not None:
+        system.profiler = profiler
+    try:
+        return RunResult(label, [system.execute(p) for p in plans])
+    finally:
+        if profiler is not None:
+            system.profiler = None
 
 
 def run_systems(
-    factories: dict[str, Callable[[], DeepSea]], plans: list[Plan]
+    factories: dict[str, Callable[[], DeepSea]],
+    plans: list[Plan],
+    profilers: "dict[str, WallClockProfiler] | None" = None,
 ) -> dict[str, RunResult]:
     """Run the same workload through several freshly built systems."""
+    profilers = profilers or {}
     return {
-        label: run_system(label, make(), plans) for label, make in factories.items()
+        label: run_system(label, make(), plans, profilers.get(label))
+        for label, make in factories.items()
     }
 
 
@@ -112,7 +136,19 @@ class SDSSFixture:
         return self.instance.item_domain
 
 
+# Fixture caches are bounded: a fixture holds a full scaled BigBench
+# instance (hundreds of thousands of rows), and a long session sweeping
+# scales (Table 1, Figure 7a) would otherwise pin every instance it ever
+# built.  Insertion order is eviction order (plain dict FIFO).
+_MAX_CACHED_FIXTURES = 4
+
 _FIXTURE_CACHE: dict[tuple, SDSSFixture] = {}
+
+
+def _admit_fixture(cache: dict, key: tuple, value) -> None:
+    while len(cache) >= _MAX_CACHED_FIXTURES:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
 
 
 def sdss_fixture(
@@ -131,7 +167,7 @@ def sdss_fixture(
         instance = generate_bigbench(
             instance_gb, seed=seed, item_domain=item_domain, item_sk_values=values
         )
-        _FIXTURE_CACHE[key] = SDSSFixture(instance, log)
+        _admit_fixture(_FIXTURE_CACHE, key, SDSSFixture(instance, log))
     return _FIXTURE_CACHE[key]
 
 
@@ -166,5 +202,30 @@ def uniform_fixture(
     key = (instance_gb, seed, item_domain)
     if key not in _UNIFORM_CACHE:
         instance = generate_bigbench(instance_gb, seed=seed, item_domain=item_domain)
-        _UNIFORM_CACHE[key] = UniformFixture(instance)
+        _admit_fixture(_UNIFORM_CACHE, key, UniformFixture(instance))
     return _UNIFORM_CACHE[key]
+
+
+def clear_caches() -> None:
+    """Reset every cross-query cache layer in the process.
+
+    Covers the benchmark fixture caches plus all engine- and query-layer
+    acceleration caches (join indexes and probes, signatures, plan
+    analysis, pushdown, matcher memo).  Every one of these caches is
+    semantically transparent, so clearing is never required for
+    correctness — this exists for memory-bounded sessions and for tests
+    that compare cold vs warm behaviour.
+    """
+    from repro.engine import indexes
+    from repro.matching.matcher import match_view
+    from repro.query.analysis import clear_analysis_cache
+    from repro.query.optimizer import _push_down_cached
+    from repro.query.signature import clear_signature_caches
+
+    _FIXTURE_CACHE.clear()
+    _UNIFORM_CACHE.clear()
+    indexes.clear_caches()
+    clear_signature_caches()
+    clear_analysis_cache()
+    _push_down_cached.cache_clear()
+    match_view.cache_clear()

@@ -1,0 +1,116 @@
+"""Wall-clock profiling of the reproduction's own runtime.
+
+Everything else in ``repro.bench`` measures *simulated* cluster seconds —
+the paper's metric, accumulated in :class:`~repro.engine.cost.CostLedger`
+and byte-stable across refactors.  This module measures the opposite
+axis: how much *real* time the Python engine spends per query-processing
+stage, so optimization work on the hot paths (index caches, fragment
+assembly, signature memos) can be quantified and guarded by CI.
+
+A :class:`WallClockProfiler` is attached to a
+:class:`~repro.core.deepsea.DeepSea` instance (``system.profiler = p``)
+and charges each query's time to one of four stages:
+
+* ``matching`` — candidate registration, view matching, statistics
+  update, and rewriting construction / cost estimation;
+* ``selection`` — choosing view creations and partition refinements;
+* ``execution`` — running the (possibly rewritten) physical plan;
+* ``materialization`` — writing views / fragments and applying
+  refinements and merges.
+
+With no profiler attached the hooks are shared ``nullcontext`` objects —
+the hot path pays one attribute read per stage.
+
+Reports are plain dictionaries (JSON-serializable).  The checked-in
+``BENCH_wallclock.json`` at the repository root records the speedup of
+the acceleration layer against the pre-optimization seed;
+:func:`check_against_baseline` is the CI gate that fails when a change
+regresses wall-clock by more than the allowed factor.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+STAGES = ("matching", "selection", "execution", "materialization")
+
+
+@dataclass
+class WallClockProfiler:
+    """Accumulates real seconds per query-processing stage."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+    queries: int = 0
+
+    @contextmanager
+    def stage(self, name: str):
+        """Charge the wrapped block's wall time to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def report(self) -> dict:
+        """Machine-readable summary (stable key order for diffs)."""
+        stages = {}
+        for name in sorted(self.seconds):
+            stages[name] = {
+                "seconds": self.seconds[name],
+                "calls": self.calls.get(name, 0),
+            }
+        return {
+            "queries": self.queries,
+            "total_seconds": self.total_seconds,
+            "stages": stages,
+        }
+
+    def merge(self, other: "WallClockProfiler") -> None:
+        """Fold another profiler's totals into this one (multi-system runs)."""
+        for name, secs in other.seconds.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + secs
+        for name, n in other.calls.items():
+            self.calls[name] = self.calls.get(name, 0) + n
+        self.queries += other.queries
+
+
+def write_report(path: str | Path, report: dict) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def check_against_baseline(
+    measured_seconds: float, baseline: dict, max_slowdown: float = 2.0
+) -> tuple[bool, str]:
+    """CI gate: is ``measured_seconds`` within ``max_slowdown`` × baseline?
+
+    ``baseline`` is a report produced by :func:`write_report` (or the
+    ``wall_seconds`` entry of ``BENCH_wallclock.json``).  Wall-clock on CI
+    runners is noisy and machine-dependent, hence the generous default
+    factor — the gate exists to catch order-of-magnitude regressions
+    (e.g. a cache accidentally disabled), not percent-level drift.
+    """
+    base = baseline.get("total_seconds") or baseline.get("wall_seconds")
+    if not base:
+        return False, "baseline has no total_seconds/wall_seconds entry"
+    limit = max_slowdown * float(base)
+    ok = measured_seconds <= limit
+    verdict = "OK" if ok else "REGRESSION"
+    return ok, (
+        f"{verdict}: measured {measured_seconds:.2f}s vs baseline "
+        f"{float(base):.2f}s (limit {limit:.2f}s = {max_slowdown:g}x)"
+    )

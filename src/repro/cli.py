@@ -152,6 +152,85 @@ def cmd_compare(queries: int, pool: float | None, instance_gb: float, seed: int)
     return 0
 
 
+def cmd_profile(
+    queries: int,
+    instance_gb: float,
+    seed: int,
+    output: str | None,
+    check: str | None,
+    max_slowdown: float,
+) -> int:
+    """Run the Figure-5a workload under the wall-clock profiler.
+
+    Unlike every other subcommand, the numbers here are *real* seconds
+    spent inside this Python process, not simulated cluster seconds —
+    this is the tool for measuring the engine's own hot paths.  With
+    ``--check`` the measured total is gated against a previously written
+    report (the CI regression smoke).
+    """
+    from repro.baselines import deepsea, hive, non_partitioned
+    from repro.bench.harness import run_systems, sdss_fixture
+    from repro.bench.profile import (
+        WallClockProfiler,
+        check_against_baseline,
+        load_report,
+        write_report,
+    )
+    from repro.workloads.generator import sdss_mapped_workload
+
+    fx = sdss_fixture(instance_gb)  # built outside the timed region
+    plans = sdss_mapped_workload(fx.log, fx.item_domain, n_queries=queries, seed=seed)
+    factories = {
+        "H": lambda: hive(fx.catalog, domains=fx.domains),
+        "NP": lambda: non_partitioned(fx.catalog, domains=fx.domains),
+        "DS": lambda: deepsea(fx.catalog, domains=fx.domains),
+    }
+    profilers = {label: WallClockProfiler() for label in factories}
+    start = time.perf_counter()
+    run_systems(factories, plans, profilers)
+    wall = time.perf_counter() - start
+
+    combined = WallClockProfiler()
+    stage_names = sorted({name for p in profilers.values() for name in p.seconds})
+    rows = []
+    for label, prof in profilers.items():
+        combined.merge(prof)
+        rows.append(
+            (label, prof.total_seconds)
+            + tuple(prof.seconds.get(name, 0.0) for name in stage_names)
+        )
+    rows.append(
+        ("all", combined.total_seconds)
+        + tuple(combined.seconds.get(name, 0.0) for name in stage_names)
+    )
+    print(
+        format_table(
+            ["system", "total (s)"] + [f"{n} (s)" for n in stage_names],
+            rows,
+            title=f"Wall-clock profile — {queries} SDSS-mapped queries, "
+            f"{instance_gb:.0f}GB instance",
+        )
+    )
+
+    report = {
+        "experiment": "fig5a",
+        "queries": queries,
+        "instance_gb": instance_gb,
+        "seed": seed,
+        "total_seconds": wall,
+        "systems": {label: prof.report() for label, prof in profilers.items()},
+        "stages": combined.report()["stages"],
+    }
+    if output:
+        write_report(output, report)
+        print(f"report written to {output}")
+    if check:
+        ok, message = check_against_baseline(wall, load_report(check), max_slowdown)
+        print(message)
+        return 0 if ok else 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -167,12 +246,29 @@ def main(argv: list[str] | None = None) -> int:
                        help="pool budget as a fraction of base size")
     cmp_p.add_argument("--instance-gb", type=float, default=500.0)
     cmp_p.add_argument("--seed", type=int, default=2)
+    prof_p = sub.add_parser(
+        "profile", help="wall-clock profile of the engine (real seconds)"
+    )
+    prof_p.add_argument("--queries", type=int, default=400)
+    prof_p.add_argument("--instance-gb", type=float, default=500.0)
+    prof_p.add_argument("--seed", type=int, default=2)
+    prof_p.add_argument("--output", default=None, metavar="PATH",
+                        help="write the JSON report here")
+    prof_p.add_argument("--check", default=None, metavar="PATH",
+                        help="fail if slower than this baseline report")
+    prof_p.add_argument("--max-slowdown", type=float, default=2.0,
+                        help="allowed slowdown factor for --check")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
         return cmd_run(args.experiments)
+    if args.command == "profile":
+        return cmd_profile(
+            args.queries, args.instance_gb, args.seed,
+            args.output, args.check, args.max_slowdown,
+        )
     return cmd_compare(args.queries, args.pool, args.instance_gb, args.seed)
 
 

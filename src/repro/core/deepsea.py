@@ -28,6 +28,7 @@ a different :class:`~repro.core.policies.Policy`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.core.admission import AdmissionController
@@ -127,6 +128,15 @@ class DeepSea:
         self.reports: list[QueryReport] = []
         self._dist_cache: dict[tuple[int, str, str], tuple | None] = {}
         self._creation_cooldown: dict[str, float] = {}
+        # Optional repro.bench.profile.WallClockProfiler; when attached,
+        # execute() charges real seconds to matching / selection /
+        # execution / materialization.  None costs one attribute read.
+        self.profiler = None
+
+    _NULL_STAGE = nullcontext()
+
+    def _stage(self, name: str):
+        return self._NULL_STAGE if self.profiler is None else self.profiler.stage(name)
 
     # ------------------------------------------------------------------
     # Public API
@@ -138,32 +148,36 @@ class DeepSea:
         exec_ledger = CostLedger(self.cluster)
         creation_ledger = CostLedger(self.cluster)
 
+        if self.profiler is not None:
+            self.profiler.queries += 1
         if not self.policy.materialize:
             return self._execute_direct(plan, exec_ledger, creation_ledger)
 
-        # 4 (early). Register candidates so the current query contributes
-        # its own evidence — the paper's final UPDATESTATS folded forward.
-        candidates = self._register_candidates(plan)
+        with self._stage("matching"):
+            # 4 (early). Register candidates so the current query contributes
+            # its own evidence — the paper's final UPDATESTATS folded forward.
+            candidates = self._register_candidates(plan)
 
-        # 1-2. Matching and statistics.
-        matches = self.rewriter.find_matches(plan)
-        self._update_match_statistics(plan, matches, t)
+            # 1-2. Matching and statistics.
+            matches = self.rewriter.find_matches(plan)
+            self._update_match_statistics(plan, matches, t)
 
-        # 3. Choose Q_best.
-        rewritings = self.rewriter.build_rewritings(plan, matches)
-        direct_est = self.rewriter.estimate_plan_cost(push_down(plan, self.schemas)).cost_s
-        chosen: Rewriting | None = None
-        if rewritings:
-            best = min(rewritings, key=lambda r: r.est_cost_s)
-            if best.est_cost_s < direct_est:
-                chosen = best
+            # 3. Choose Q_best.
+            rewritings = self.rewriter.build_rewritings(plan, matches)
+            direct_est = self.rewriter.estimate_plan_cost(push_down(plan, self.schemas)).cost_s
+            chosen: Rewriting | None = None
+            if rewritings:
+                best = min(rewritings, key=lambda r: r.est_cost_s)
+                if best.est_cost_s < direct_est:
+                    chosen = best
 
-        # 5. Selection: creations and refinements.
-        usable = {r.view_id for r in rewritings}
-        creations = self._plan_view_creations(candidates, usable, t)
-        refinements = (
-            self._plan_refinements(matches, t) if self.policy.repartition else []
-        )
+        with self._stage("selection"):
+            # 5. Selection: creations and refinements.
+            usable = {r.view_id for r in rewritings}
+            creations = self._plan_view_creations(candidates, usable, t)
+            refinements = (
+                self._plan_refinements(matches, t) if self.policy.repartition else []
+            )
 
         # 6. Execute (with capture for instrumentation).
         #
@@ -172,50 +186,52 @@ class DeepSea:
         # its unpushed form.  A creation whose definition is the whole
         # query (e.g. the per-range aggregate view) is satisfied by the
         # root result, which pushdown does not change.
-        needs_unpushed = any(creation.plan != plan for creation in creations)
-        plan_to_run = chosen.plan if chosen is not None else plan
-        if chosen is None and not needs_unpushed:
-            plan_to_run = push_down(plan, self.schemas)
-        target_map: dict[str, Plan] = {}
-        for creation in creations:
-            if creation.plan == plan:
-                target_map[creation.view_id] = plan_to_run  # the root result
-                continue
-            target = creation.plan
-            if chosen is not None and chosen.replaced is not None:
-                target = replace_subplan(target, chosen.replaced, chosen.replacement)
-            target_map[creation.view_id] = target
-        result, captured = self.executor.execute_with_capture(
-            plan_to_run, list(target_map.values()), exec_ledger
-        )
+        with self._stage("execution"):
+            needs_unpushed = any(creation.plan != plan for creation in creations)
+            plan_to_run = chosen.plan if chosen is not None else plan
+            if chosen is None and not needs_unpushed:
+                plan_to_run = push_down(plan, self.schemas)
+            target_map: dict[str, Plan] = {}
+            for creation in creations:
+                if creation.plan == plan:
+                    target_map[creation.view_id] = plan_to_run  # the root result
+                    continue
+                target = creation.plan
+                if chosen is not None and chosen.replaced is not None:
+                    target = replace_subplan(target, chosen.replaced, chosen.replacement)
+                target_map[creation.view_id] = target
+            result, captured = self.executor.execute_with_capture(
+                plan_to_run, list(target_map.values()), exec_ledger
+            )
 
         # 7. Materialize and refine.
-        views_created: list[str] = []
-        evictions = 0
-        for creation in creations:
-            table = captured.get(target_map[creation.view_id])
-            if table is None:
-                continue  # the rewriting bypassed this intermediate
-            created, evicted = self._materialize_view(creation, table, t, creation_ledger)
-            evictions += evicted
-            if created:
-                views_created.append(creation.view_id)
-            else:
-                self._creation_cooldown[creation.view_id] = t + self.policy.creation_cooldown
-        applied_refinements = 0
-        for refinement in refinements:
-            done, evicted = self._apply_refinement(refinement, t, creation_ledger)
-            evictions += evicted
-            applied_refinements += int(done)
-        if self.policy.merge_fragments:
-            for merge in self._plan_merges(matches, t):
-                done, evicted = self._apply_merge(merge, t, creation_ledger)
+        with self._stage("materialization"):
+            views_created: list[str] = []
+            evictions = 0
+            for creation in creations:
+                table = captured.get(target_map[creation.view_id])
+                if table is None:
+                    continue  # the rewriting bypassed this intermediate
+                created, evicted = self._materialize_view(creation, table, t, creation_ledger)
+                evictions += evicted
+                if created:
+                    views_created.append(creation.view_id)
+                else:
+                    self._creation_cooldown[creation.view_id] = t + self.policy.creation_cooldown
+            applied_refinements = 0
+            for refinement in refinements:
+                done, evicted = self._apply_refinement(refinement, t, creation_ledger)
                 evictions += evicted
                 applied_refinements += int(done)
-        if self.policy.multi_attribute:
-            done, evicted = self._extend_partitions(matches, t, creation_ledger)
-            evictions += evicted
-            applied_refinements += done
+            if self.policy.merge_fragments:
+                for merge in self._plan_merges(matches, t):
+                    done, evicted = self._apply_merge(merge, t, creation_ledger)
+                    evictions += evicted
+                    applied_refinements += int(done)
+            if self.policy.multi_attribute:
+                done, evicted = self._extend_partitions(matches, t, creation_ledger)
+                evictions += evicted
+                applied_refinements += done
 
         report = QueryReport(
             index=self.clock,
@@ -247,7 +263,8 @@ class DeepSea:
     def _execute_direct(
         self, plan: Plan, exec_ledger: CostLedger, creation_ledger: CostLedger
     ) -> QueryReport:
-        result = self.executor.execute(push_down(plan, self.schemas), exec_ledger)
+        with self._stage("execution"):
+            result = self.executor.execute(push_down(plan, self.schemas), exec_ledger)
         report = QueryReport(
             index=self.clock,
             plan=plan,
@@ -368,11 +385,8 @@ class DeepSea:
                 # refinement candidates accumulate their own evidence.
                 for interval in self.tentative.intervals(view_id, attr):
                     self.stats.ensure_fragment(view_id, attr, interval)
-                for interval in self.stats.intervals_for(view_id, attr):
-                    if interval.overlaps(theta):
-                        self.stats.fragment(view_id, attr, interval).record_hit(
-                            t, theta
-                        )
+                for interval in self.stats.overlapping_intervals(view_id, attr, theta):
+                    self.stats.fragment(view_id, attr, interval).record_hit(t, theta)
 
     # ------------------------------------------------------------------
     # View selection (§7.2-7.3)
@@ -868,10 +882,7 @@ class DeepSea:
                     piece = piece.filter(covered.clip.mask(piece.column(attr)))
                 pieces.append(piece)
             ledger.charge_read(total, nfiles=len(cover))
-            table = pieces[0]
-            for piece in pieces[1:]:
-                table = table.concat(piece)
-            return table
+            return Table.concat_many(pieces)
         return None
 
     # ------------------------------------------------------------------

@@ -23,7 +23,10 @@ refines, and exact whenever fragment boundaries lie on the grid.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.partitioning.intervals import Interval
 
@@ -71,22 +74,37 @@ def spread_hits(
     §7.1).  Returns (part midpoints, per-part hit weights).
     """
     mids = part_midpoints(domain, n_parts)
-    weights = [0.0] * n_parts
+    # The midpoints are sorted, so the parts a fragment contains form a
+    # contiguous run: two binary searches replace the per-part membership
+    # test (the bisect sides reproduce the open/closed endpoint logic of
+    # contains_point exactly).  Weights accumulate per part in the same
+    # fragment order with the same IEEE additions as the naive loop, so
+    # results are bit-identical.
+    mids_arr = np.asarray(mids, dtype=np.float64)
+    weights = np.zeros(n_parts, dtype=np.float64)
     for interval, hits in fragments:
         if hits <= 0:
             continue
-        covered = [i for i, m in enumerate(mids) if interval.contains_point(m)]
-        if not covered:
+        low, high = interval.low, interval.high
+        start = (
+            0
+            if low is None
+            else bisect_right(mids, low) if interval.low_open else bisect_left(mids, low)
+        )
+        end = (
+            n_parts
+            if high is None
+            else bisect_left(mids, high) if interval.high_open else bisect_right(mids, high)
+        )
+        if end <= start:
             # Degenerate fragment narrower than a part: charge the nearest part.
-            centre = min(
-                range(n_parts),
-                key=lambda i: abs(mids[i] - min(max(interval.lo, domain.lo), domain.hi)),
-            )
-            covered = [centre]
-        share = hits / len(covered)
-        for i in covered:
-            weights[i] += share
-    return mids, weights
+            anchor = min(max(interval.lo, domain.lo), domain.hi)
+            # argmin matches min()'s first-of-ties choice.
+            idx = int(np.argmin(np.abs(mids_arr - anchor)))
+            start, end = idx, idx + 1
+        share = hits / (end - start)
+        weights[start:end] += share
+    return mids, weights.tolist()
 
 
 def fit_normal(midpoints: list[float], weights: list[float]) -> FittedNormal | None:

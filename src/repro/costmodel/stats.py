@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.partitioning.intervals import Interval, sort_key
 from repro.query.algebra import Plan
 
@@ -44,10 +46,26 @@ class ViewStats:
     cost_is_actual: bool = False
     benefit_events: list[BenefitEvent] = field(default_factory=list)
     last_access_t: float = 0.0
+    _events_arr: "tuple[np.ndarray, np.ndarray] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    # (decay, t_now, value) memo for view_benefit — see repro.costmodel.value
+    _benefit_memo: "tuple | None" = field(default=None, init=False, repr=False, compare=False)
 
     def record_benefit(self, t: float, saving_s: float) -> None:
         self.benefit_events.append(BenefitEvent(t, saving_s))
         self.last_access_t = max(self.last_access_t, t)
+        self._events_arr = None
+        self._benefit_memo = None
+
+    def events_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """(times, savings) as float arrays, cached until the next event."""
+        if self._events_arr is None:
+            self._events_arr = (
+                np.array([ev.t for ev in self.benefit_events], dtype=np.float64),
+                np.array([ev.saving_s for ev in self.benefit_events], dtype=np.float64),
+            )
+        return self._events_arr
 
     def set_actual_size(self, size_bytes: float) -> None:
         self.size_bytes = size_bytes
@@ -76,11 +94,24 @@ class FragmentStats:
     hit_times: list[float] = field(default_factory=list)
     hit_ranges: list["Interval | None"] = field(default_factory=list)
     last_access_t: float = 0.0
+    _times_arr: "np.ndarray | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    # (decay, t_now, value) memo for fragment_hits — see repro.costmodel.value
+    _hits_memo: "tuple | None" = field(default=None, init=False, repr=False, compare=False)
 
     def record_hit(self, t: float, theta: "Interval | None" = None) -> None:
         self.hit_times.append(t)
         self.hit_ranges.append(theta)
         self.last_access_t = max(self.last_access_t, t)
+        self._times_arr = None
+        self._hits_memo = None
+
+    def times_array(self) -> np.ndarray:
+        """``hit_times`` as a float array, cached until the next hit."""
+        if self._times_arr is None:
+            self._times_arr = np.array(self.hit_times, dtype=np.float64)
+        return self._times_arr
 
     def set_actual_size(self, size_bytes: float) -> None:
         self.size_bytes = size_bytes
@@ -98,6 +129,10 @@ class StatisticsStore:
         self._fragments: dict[FragmentStatsKey, FragmentStats] = {}
         # (view_id, attr) -> set of intervals with stats (PSTAT(V, A))
         self._partitions: dict[tuple[str, str], list[Interval]] = {}
+        # (view_id, attr) -> (interval snapshot, lower keys [n,2], upper
+        # keys [n,2]) for the vectorized overlap scan; rebuilt lazily after
+        # any partition-list mutation.
+        self._bounds_cache: dict[tuple[str, str], tuple] = {}
 
     # ------------------------------------------------------------------
     # Views
@@ -130,6 +165,7 @@ class StatisticsStore:
             ivs = self._partitions.setdefault((view_id, attr), [])
             ivs.append(interval)
             ivs.sort(key=sort_key)
+            self._bounds_cache.pop((view_id, attr), None)
         return stats
 
     def drop_fragment(self, view_id: str, attr: str, interval: Interval) -> None:
@@ -138,10 +174,41 @@ class StatisticsStore:
         if key in self._fragments:
             del self._fragments[key]
             self._partitions[(view_id, attr)].remove(interval)
+            self._bounds_cache.pop((view_id, attr), None)
 
     def intervals_for(self, view_id: str, attr: str) -> list[Interval]:
         """PSTAT(V, A): all fragment intervals tracked for this partition."""
         return list(self._partitions.get((view_id, attr), []))
+
+    def overlapping_intervals(
+        self, view_id: str, attr: str, theta: Interval
+    ) -> list[Interval]:
+        """The tracked intervals of PSTAT(V, A) that overlap ``theta``.
+
+        Equivalent to ``[iv for iv in intervals_for(...) if
+        iv.overlaps(theta)]`` — two intervals overlap exactly when each
+        one's lower key is lexicographically ≤ the other's upper key — but
+        evaluated as four vectorized comparisons over cached per-partition
+        bound arrays instead of one ``intersect`` allocation per interval.
+        The bound keys are ``(value, openness flag)`` pairs whose float
+        comparisons match Python tuple comparison bit for bit, and
+        ``flatnonzero`` walks the same sorted order as the scalar loop.
+        """
+        key = (view_id, attr)
+        cached = self._bounds_cache.get(key)
+        if cached is None:
+            ivs = list(self._partitions.get(key, []))
+            lk = np.array([iv._lower_key() for iv in ivs], dtype=np.float64)
+            uk = np.array([iv._upper_key() for iv in ivs], dtype=np.float64)
+            cached = (ivs, lk.reshape(len(ivs), 2), uk.reshape(len(ivs), 2))
+            self._bounds_cache[key] = cached
+        ivs, lk, uk = cached
+        if not ivs:
+            return []
+        tl, tu = theta._lower_key(), theta._upper_key()
+        lo_ok = (lk[:, 0] < tu[0]) | ((lk[:, 0] == tu[0]) & (lk[:, 1] <= tu[1]))
+        hi_ok = (tl[0] < uk[:, 0]) | ((tl[0] == uk[:, 0]) & (tl[1] <= uk[:, 1]))
+        return [ivs[i] for i in np.flatnonzero(lo_ok & hi_ok)]
 
     def fragments_for(self, view_id: str, attr: str) -> list[FragmentStats]:
         return [

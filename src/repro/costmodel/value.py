@@ -18,6 +18,8 @@ low-hit-count neighbours of hot fragments resident (§10.3).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.costmodel.decay import Decay
 from repro.costmodel.mle import FittedNormal, adjusted_hits, fit_partition_distribution
 from repro.costmodel.stats import FragmentStats, StatisticsStore, ViewStats
@@ -27,8 +29,24 @@ _EPS_BYTES = 1.0
 
 
 def view_benefit(view: ViewStats, t_now: float, decay: Decay) -> float:
-    """Accumulated, decayed benefit ``B(V, t_now)``."""
-    return sum(ev.saving_s * decay(t_now, ev.t) for ev in view.benefit_events)
+    """Accumulated, decayed benefit ``B(V, t_now)``.
+
+    Decay weights are computed vectorized and the products summed
+    left-to-right over Python floats — the exact additions of the naive
+    per-event loop, at array speed.  The result is memoized per
+    ``(decay, t_now)`` on the stats object (selection ranks the same view
+    many times within one step) and invalidated by ``record_benefit``.
+    """
+    memo = view._benefit_memo
+    if memo is not None and memo[1] == t_now and memo[0] == decay:
+        return memo[2]
+    times, savings = view.events_arrays()
+    if times.size == 0:
+        value = 0.0
+    else:
+        value = sum((savings * decay.weights(t_now, times)).tolist())
+    view._benefit_memo = (decay, t_now, value)
+    return value
 
 
 def view_value(view: ViewStats, t_now: float, decay: Decay) -> float:
@@ -38,8 +56,22 @@ def view_value(view: ViewStats, t_now: float, decay: Decay) -> float:
 
 
 def fragment_hits(fragment: FragmentStats, t_now: float, decay: Decay) -> float:
-    """Decayed hit count ``H(I)``."""
-    return sum(decay(t_now, t) for t in fragment.hit_times)
+    """Decayed hit count ``H(I)`` (vectorized, bit-equal to the event loop).
+
+    Memoized per ``(decay, t_now)`` on the stats object: one selection or
+    refinement step evaluates the same fragment against many candidates at
+    a fixed logical time.  ``record_hit`` invalidates the memo.
+    """
+    memo = fragment._hits_memo
+    if memo is not None and memo[1] == t_now and memo[0] == decay:
+        return memo[2]
+    times = fragment.times_array()
+    if times.size == 0:
+        value = 0.0
+    else:
+        value = sum(decay.weights(t_now, times).tolist())
+    fragment._hits_memo = (decay, t_now, value)
+    return value
 
 
 def fragment_weighted_hits(
@@ -134,12 +166,34 @@ def partition_distribution(
     fragments = stats.fragments_for(view_id, attr)
     if not fragments:
         return None
-    raw = [(f.interval, fragment_hits(f, t_now, decay)) for f in fragments]
+    # One decay.weights call over all fragments' concatenated hit times
+    # instead of one per fragment: the weight ops are elementwise, so each
+    # fragment's slice is bitwise the array fragment_hits would compute,
+    # and the per-fragment scalar sums are unchanged.
+    arrs = [f.times_array() for f in fragments]
+    nonempty = [a for a in arrs if a.size]
+    if nonempty:
+        w_all = decay.weights(
+            t_now, np.concatenate(nonempty) if len(nonempty) > 1 else nonempty[0]
+        )
+    raw = []
+    off = 0
+    for f, a in zip(fragments, arrs):
+        if a.size == 0:
+            value = 0.0
+        else:
+            value = sum(w_all[off : off + a.size].tolist())
+            off += a.size
+        f._hits_memo = (decay, t_now, value)
+        raw.append((f.interval, value))
     # H_total is "the total number of queries that used at least one
     # fragment" (§7.1): count each hit timestamp once even when it touched
     # several (possibly overlapping) fragments.
     distinct_times = {t for f in fragments for t in f.hit_times}
-    total = sum(decay(t_now, t) for t in distinct_times)
+    # np.fromiter walks the set in the same order the scalar sum did, so
+    # the vectorized weights accumulate in the identical sequence.
+    times = np.fromiter(distinct_times, dtype=np.float64, count=len(distinct_times))
+    total = sum(decay.weights(t_now, times).tolist())
     if total <= 0:
         return None
     fitted: FittedNormal | None = fit_partition_distribution(domain, raw, n_parts)

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.engine.catalog import Catalog
 from repro.engine.cost import ClusterSpec, CostLedger
+from repro.engine.indexes import join_probe
 from repro.engine.schema import Column, Schema
 from repro.engine.table import Table
 from repro.engine.types import ColumnKind
@@ -42,9 +43,8 @@ from repro.query.algebra import (
     Project,
     Relation,
     Select,
-    walk,
 )
-from repro.query.analysis import job_boundaries
+from repro.query.analysis import analyze_plan
 from repro.query.predicates import conjunction_mask
 from repro.storage.pool import MaterializedViewPool
 
@@ -77,16 +77,16 @@ class Executor:
         self.context = context
         self._capture_targets: set[Plan] = set()
         self._captured: dict[Plan, Table] = {}
-        self._boundaries: set[Plan] = set()
+        self._boundaries: frozenset[Plan] = frozenset()
 
     # ------------------------------------------------------------------
     def execute(self, plan: Plan, ledger: CostLedger | None = None) -> ExecutionResult:
         """Run ``plan`` and return its result table and cost ledger."""
         ledger = ledger if ledger is not None else CostLedger(self.context.cluster)
-        self._boundaries = job_boundaries(plan)
+        analysis = analyze_plan(plan)  # boundaries + job count, one traversal
+        self._boundaries = analysis.boundaries
         table = self._eval(plan, ledger)
-        job_ops = sum(1 for n in walk(plan) if isinstance(n, (Join, Aggregate)))
-        if job_ops == 0:
+        if analysis.job_ops == 0:
             ledger.charge_jobs(1)
         return ExecutionResult(table, ledger)
 
@@ -178,10 +178,7 @@ class Executor:
                 piece = piece.filter(clip.mask(piece.column(plan.attr)))
             pieces.append(piece)
         ledger.charge_read(total_bytes, nfiles=len(plan.fragment_ids))
-        result = pieces[0]
-        for piece in pieces[1:]:
-            result = result.concat(piece)
-        return result
+        return Table.concat_many(pieces)
 
 
 # ----------------------------------------------------------------------
@@ -192,18 +189,19 @@ def hash_join(left: Table, right: Table, left_attr: str, right_attr: str) -> Tab
 
     When the two key columns share a name, the right copy is dropped; any
     other name collision is an error (workload schemas use unique names).
+
+    The build side's stable argsort comes from the cross-query index cache
+    (:mod:`repro.engine.indexes`): base tables and resident fragments are
+    sorted once per column for the lifetime of the table object, not once
+    per join.  The cached order is exactly what was computed inline before,
+    so output rows (values *and* order) are unchanged.
     """
     collisions = (set(left.schema.names) & set(right.schema.names)) - {right_attr}
     if collisions:
         raise SchemaError(f"join would duplicate columns: {sorted(collisions)}")
     drop_right = {right_attr} if right_attr == left_attr else set()
 
-    lkeys = left.column(left_attr)
-    rkeys = right.column(right_attr)
-    order = np.argsort(rkeys, kind="stable")
-    sorted_rkeys = rkeys[order]
-    starts = np.searchsorted(sorted_rkeys, lkeys, side="left")
-    ends = np.searchsorted(sorted_rkeys, lkeys, side="right")
+    starts, ends, order = join_probe(left, right, left_attr, right_attr)
     counts = ends - starts
     total = int(counts.sum())
     schema = left.schema.concat(right.schema, drop=drop_right)

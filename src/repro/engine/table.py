@@ -23,7 +23,7 @@ from repro.engine.types import coerce_array
 from repro.errors import SchemaError
 
 
-@dataclass
+@dataclass(eq=False)
 class Table:
     """An immutable columnar table.
 
@@ -33,6 +33,11 @@ class Table:
             must have equal length.
         scale: Multiplier applied when converting actual in-memory bytes
             to nominal (simulated) bytes.
+
+    ``eq=False`` keeps identity comparison and hashing: tables are compared
+    by content only in tests (via :meth:`sorted_rows`), while the engine's
+    index caches key on table *identity* — immutable tables make identity a
+    sound cache key, and weak references make it self-invalidating.
     """
 
     schema: Schema
@@ -50,6 +55,27 @@ class Table:
         if len(lengths) > 1:
             raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
         self._nrows = lengths.pop() if lengths else 0
+        # Row lineage: (root table, row indices into root | None for "all
+        # rows in order", monotonic flag).  Set by filter/take/project so
+        # the join-key probe cache (repro.engine.indexes) can reuse
+        # per-root-table binary-search results across queries.  The flag
+        # records that the row indices are strictly increasing (pure
+        # selections), which build-side index derivation relies on.
+        # Purely an acceleration hint — never consulted for semantics.
+        self._lineage: "tuple[Table, np.ndarray | None, bool] | None" = None
+
+    def _derived_lineage(
+        self, rows: "np.ndarray | None", monotonic: bool
+    ) -> "tuple[Table, np.ndarray | None, bool]":
+        """Lineage for a table selecting ``rows`` (None = all) of ``self``."""
+        if self._lineage is None:
+            return (self, rows, monotonic)
+        root, own_rows, own_mono = self._lineage
+        if own_rows is None:
+            return (root, rows, own_mono and monotonic)
+        if rows is None:
+            return (root, own_rows, own_mono and monotonic)
+        return (root, own_rows[rows], own_mono and monotonic)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -90,19 +116,26 @@ class Table:
     # ------------------------------------------------------------------
     def filter(self, mask: np.ndarray) -> "Table":
         """Rows where ``mask`` is true."""
-        cols = {name: arr[mask] for name, arr in self.columns.items()}
-        return Table(self.schema, cols, self.scale)
+        rows = np.flatnonzero(mask)
+        cols = {name: arr[rows] for name, arr in self.columns.items()}
+        out = Table(self.schema, cols, self.scale)
+        out._lineage = self._derived_lineage(rows, True)
+        return out
 
     def take(self, indices: np.ndarray) -> "Table":
         """Rows at ``indices`` (with repetition allowed)."""
         cols = {name: arr[indices] for name, arr in self.columns.items()}
-        return Table(self.schema, cols, self.scale)
+        out = Table(self.schema, cols, self.scale)
+        out._lineage = self._derived_lineage(np.asarray(indices), False)
+        return out
 
     def project(self, names: tuple[str, ...] | list[str]) -> "Table":
         """Restrict to the given columns, in order."""
         schema = self.schema.subset(tuple(names))
         cols = {name: self.columns[name] for name in names}
-        return Table(schema, cols, self.scale)
+        out = Table(schema, cols, self.scale)
+        out._lineage = self._derived_lineage(None, True)
+        return out
 
     def concat(self, other: "Table") -> "Table":
         """Vertical concatenation; schemas must have identical names."""
@@ -113,6 +146,29 @@ class Table:
             for name in self.schema.names
         }
         return Table(self.schema, cols, max(self.scale, other.scale))
+
+    @classmethod
+    def concat_many(cls, tables: "list[Table]") -> "Table":
+        """Vertical concatenation of any number of tables in one pass.
+
+        Unlike folding :meth:`concat` pairwise (which copies the growing
+        prefix once per piece, O(n²) bytes moved), this allocates each
+        output column exactly once.  Column values and row order are
+        identical to the pairwise fold.
+        """
+        if not tables:
+            raise SchemaError("concat_many requires at least one table")
+        first = tables[0]
+        if len(tables) == 1:
+            return first
+        for other in tables[1:]:
+            if other.schema.names != first.schema.names:
+                raise SchemaError("cannot concat tables with different schemas")
+        cols = {
+            name: np.concatenate([t.columns[name] for t in tables])
+            for name in first.schema.names
+        }
+        return cls(first.schema, cols, max(t.scale for t in tables))
 
     def distinct(self) -> "Table":
         """Remove duplicate rows (used for overlapping-fragment unions)."""

@@ -22,6 +22,7 @@ to ``Q'``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.partitioning.intervals import Interval
 from repro.query.analysis import class_members
@@ -54,8 +55,16 @@ def _resolve_output_attr(attr: str, signature: Signature) -> str | None:
     return usable[0] if usable else None
 
 
+@lru_cache(maxsize=65_536)
 def match_view(view_sig: Signature, query_sig: Signature) -> Compensation | None:
-    """Check the sufficient condition; return the compensation or ``None``."""
+    """Check the sufficient condition; return the compensation or ``None``.
+
+    Pure in two frozen signatures, and the same (view, query-shape) pairs
+    recur across a workload — the filter tree narrows candidates but every
+    survivor is re-checked per query — so results are memoized.  The
+    returned :class:`Compensation` is immutable, making the shared instance
+    safe.
+    """
     if view_sig.relations != query_sig.relations:
         return None
     if view_sig.join_classes != query_sig.join_classes:

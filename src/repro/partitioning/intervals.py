@@ -11,7 +11,8 @@ flags, so the paper's mixed-bound fragments such as ``[0, 10]`` and
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -34,13 +35,30 @@ class Interval:
     high: float | None = None
     low_open: bool = False
     high_open: bool = False
+    # Precomputed sort keys and hash: interval comparisons dominate the
+    # matching and selection hot paths (millions of _lower_key/_upper_key
+    # calls per workload), so the keys are built once at construction.
+    # They are derived from the four defining fields, so excluding them
+    # from __eq__ changes nothing observable.
+    _lkey: tuple = field(init=False, repr=False, compare=False)
+    _ukey: tuple = field(init=False, repr=False, compare=False)
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        lo, hi = self.lo, self.hi
+        lo = _NEG_INF if self.low is None else self.low
+        hi = _POS_INF if self.high is None else self.high
         if lo > hi:
             raise IntervalError(f"empty interval: low={self.low} > high={self.high}")
         if lo == hi and (self.low_open or self.high_open):
             raise IntervalError(f"empty interval at point {lo}")
+        object.__setattr__(self, "_lkey", (lo, 1 if self.low_open else 0))
+        object.__setattr__(self, "_ukey", (hi, -1 if self.high_open else 0))
+        object.__setattr__(
+            self, "_hash", hash((self.low, self.high, self.low_open, self.high_open))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # ------------------------------------------------------------------
     # Constructors
@@ -90,11 +108,11 @@ class Interval:
     # ------------------------------------------------------------------
     @property
     def lo(self) -> float:
-        return _NEG_INF if self.low is None else self.low
+        return self._lkey[0]
 
     @property
     def hi(self) -> float:
-        return _POS_INF if self.high is None else self.high
+        return self._ukey[0]
 
     @property
     def width(self) -> float:
@@ -122,11 +140,11 @@ class Interval:
 
     def _lower_key(self) -> tuple[float, int]:
         """Sortable lower-bound key: open bounds start strictly later."""
-        return (self.lo, 1 if self.low_open else 0)
+        return self._lkey
 
     def _upper_key(self) -> tuple[float, int]:
         """Sortable upper-bound key: open bounds end strictly earlier."""
-        return (self.hi, -1 if self.high_open else 0)
+        return self._ukey
 
     def contains(self, other: "Interval") -> bool:
         """True iff ``other`` ⊆ ``self``."""
@@ -136,8 +154,14 @@ class Interval:
         )
 
     def overlaps(self, other: "Interval") -> bool:
-        """True iff the intervals share at least one point."""
-        return self.intersect(other) is not None
+        """True iff the intervals share at least one point.
+
+        Equivalent to ``intersect(other) is not None``: the intersection is
+        empty exactly when its lower key exceeds its upper key, i.e. when
+        one interval's lower key exceeds the other's upper key.  Comparing
+        the precomputed keys avoids allocating the intersection.
+        """
+        return self._lkey <= other._ukey and other._lkey <= self._ukey
 
     def intersect(self, other: "Interval") -> "Interval | None":
         """The intersection, or ``None`` when disjoint."""
@@ -228,7 +252,43 @@ class Interval:
 
 def sort_key(interval: Interval) -> tuple:
     """Canonical ordering: by lower bound, then upper bound."""
-    return (*interval._lower_key(), *interval._upper_key())
+    return interval._lkey + interval._ukey
+
+
+class IntervalIndex:
+    """A bisect-searchable ordering of a fragment-interval list.
+
+    Greedy cover matching and pool lookups repeatedly ask "which intervals
+    start at or before this point?" — a linear scan per step in the naive
+    implementation.  This index sorts the intervals once by canonical key
+    and answers the question with a binary search over the lower-bound
+    keys, turning Algorithm 2 from O(n²) into O(n log n).
+
+    ``positions`` are indexes into the sorted order; ``original_index``
+    maps a position back to the caller's list.
+    """
+
+    __slots__ = ("intervals", "order", "lower_keys", "upper_keys")
+
+    def __init__(self, intervals: list[Interval]):
+        self.intervals = list(intervals)
+        self.order = sorted(range(len(self.intervals)), key=lambda i: sort_key(self.intervals[i]))
+        self.lower_keys = [self.intervals[i]._lower_key() for i in self.order]
+        self.upper_keys = [self.intervals[i]._upper_key() for i in self.order]
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def prefix_starting_at_or_before(self, lower_key: tuple[float, int]) -> int:
+        """Number of intervals whose lower-bound key is ≤ ``lower_key``."""
+        return bisect_right(self.lower_keys, lower_key)
+
+    def at(self, position: int) -> Interval:
+        """The interval at a sorted position."""
+        return self.intervals[self.order[position]]
+
+    def original_index(self, position: int) -> int:
+        return self.order[position]
 
 
 def total_covered_width(intervals: list[Interval]) -> float:

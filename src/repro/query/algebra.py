@@ -181,6 +181,35 @@ class Aggregate(Plan):
 
 
 # ----------------------------------------------------------------------
+# Hash caching
+# ----------------------------------------------------------------------
+def _install_hash_cache(*classes: type) -> None:
+    """Wrap each dataclass-generated ``__hash__`` with a per-instance memo.
+
+    Plans are used as keys throughout the system (signature memos, job
+    boundary sets, statistics stores), and the generated hash re-walks the
+    whole subtree on every lookup.  Since the trees are immutable, the
+    value is computed once and stored on the instance; equality semantics
+    are untouched.
+    """
+    for cls in classes:
+        generated = cls.__hash__
+
+        def cached(self, _generated=generated):
+            try:
+                return object.__getattribute__(self, "_cached_hash")
+            except AttributeError:
+                value = _generated(self)
+                object.__setattr__(self, "_cached_hash", value)
+                return value
+
+        cls.__hash__ = cached
+
+
+_install_hash_cache(Relation, MaterializedScan, Select, Project, Join, Aggregate, AggSpec)
+
+
+# ----------------------------------------------------------------------
 # Tree utilities
 # ----------------------------------------------------------------------
 def walk(plan: Plan):

@@ -8,6 +8,9 @@ generation.  They need to know base-table schemas, supplied as a mapping
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import lru_cache
+
 from repro.errors import PlanError
 from repro.partitioning.intervals import Interval
 from repro.query.algebra import (
@@ -120,7 +123,46 @@ def class_members(attr: str, classes: frozenset[frozenset[str]]) -> frozenset[st
     return frozenset({attr})
 
 
-def job_boundaries(plan: Plan) -> set[Plan]:
+@dataclass(frozen=True)
+class PlanAnalysis:
+    """Job structure of a plan, derived in one traversal.
+
+    ``boundaries`` must be treated as read-only: instances are shared by
+    the memo below across every caller that analyses an equal plan.
+    """
+
+    boundaries: frozenset[Plan]
+    job_ops: int  # Join/Aggregate node count (each tree occurrence counts)
+
+
+@lru_cache(maxsize=4096)
+def analyze_plan(plan: Plan) -> PlanAnalysis:
+    """Job boundaries and job-operator count in a single plan traversal.
+
+    Memoized on the (structurally hashed) plan: the executor, the cost
+    estimator, and the instrumentation all ask the same question about the
+    same plans many times per query, and plans are immutable.
+    """
+    nodes = list(walk(plan))
+    projected = {node.child for node in nodes if isinstance(node, Project)}
+    boundaries: set[Plan] = set()
+    job_ops = 0
+    for node in nodes:
+        if isinstance(node, (Join, Aggregate)):
+            job_ops += 1
+            if node not in projected:
+                boundaries.add(node)
+            continue
+        if isinstance(node, Project) and node not in projected:
+            base = node.child
+            while isinstance(base, Project):
+                base = base.child
+            if isinstance(base, (Join, Aggregate)):
+                boundaries.add(node)
+    return PlanAnalysis(frozenset(boundaries), job_ops)
+
+
+def job_boundaries(plan: Plan) -> frozenset[Plan]:
     """Nodes whose output a MapReduce engine writes to the file system.
 
     Every join and aggregation is its own MR job, and Hive folds a chain
@@ -135,17 +177,9 @@ def job_boundaries(plan: Plan) -> set[Plan]:
     materialized intermediate (§10.2), so the boundary payload is the
     pre-selection result.
     """
-    projected = {node.child for node in walk(plan) if isinstance(node, Project)}
-    boundaries: set[Plan] = set()
-    for node in walk(plan):
-        if node in projected:
-            continue  # folded into the enclosing projection's job
-        if isinstance(node, (Join, Aggregate)):
-            boundaries.add(node)
-        elif isinstance(node, Project):
-            base = node.child
-            while isinstance(base, Project):
-                base = base.child
-            if isinstance(base, (Join, Aggregate)):
-                boundaries.add(node)
-    return boundaries
+    return analyze_plan(plan).boundaries
+
+
+def clear_analysis_cache() -> None:
+    """Drop memoized plan analyses (tests / long-lived sessions)."""
+    analyze_plan.cache_clear()

@@ -11,13 +11,26 @@ instrumented to materialize anything.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.query.algebra import Aggregate, Join, Plan, Project, Relation, Select
 from repro.query.analysis import SchemaMap, output_columns
 from repro.query.predicates import RangePredicate
 
 
 def push_down(plan: Plan, schemas: SchemaMap) -> Plan:
-    """Push every range selection as close to the leaves as possible."""
+    """Push every range selection as close to the leaves as possible.
+
+    Pushdown is pure and plans are immutable, so results are memoized per
+    ``(plan, schemas)`` — each system optimizes the same query plan several
+    times (cost estimation, instrumentation, direct execution).
+    """
+    return _push_down_cached(plan, tuple(sorted(schemas.items())))
+
+
+@lru_cache(maxsize=16384)
+def _push_down_cached(plan: Plan, schemas_key: tuple) -> Plan:
+    schemas = dict(schemas_key)
     changed = True
     while changed:
         plan, changed = _push_once(plan, schemas)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import PlanError
 from repro.partitioning.intervals import Interval
@@ -54,13 +55,34 @@ class Signature:
         return (tuple(sorted(self.group_by)), tuple(sorted(self.aggregates, key=repr)))
 
 
+# Signature computation is pure in (plan, schemas) and called repeatedly
+# for the same subplans — by candidate registration, matching, and benefit
+# estimation within a single query, and across queries for recurring plan
+# shapes.  Memoize on plan identity (structural hash of the frozen plan
+# tree) plus a hashable snapshot of the schema map.
+_SIGNATURE_CACHE: dict[tuple, Signature] = {}
+_SIGNATURE_CACHE_MAX = 65_536
+
+
 def compute_signature(plan: Plan, schemas: SchemaMap) -> Signature:
-    """Build the signature of a plan over base relations.
+    """Build the signature of a plan over base relations (memoized).
 
     Plans containing ``MaterializedScan`` are rejected: signatures are
     only computed over *definitions* (queries and candidate views), never
     over already-rewritten plans.
     """
+    key = (plan, tuple(sorted(schemas.items())))
+    cached = _SIGNATURE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    signature = _compute_signature(plan, schemas)
+    if len(_SIGNATURE_CACHE) >= _SIGNATURE_CACHE_MAX:
+        _SIGNATURE_CACHE.pop(next(iter(_SIGNATURE_CACHE)))
+    _SIGNATURE_CACHE[key] = signature
+    return signature
+
+
+def _compute_signature(plan: Plan, schemas: SchemaMap) -> Signature:
     if any(isinstance(n, MaterializedScan) for n in walk(plan)):
         raise PlanError("signatures are computed over base-relation plans only")
 
@@ -90,11 +112,20 @@ def compute_signature(plan: Plan, schemas: SchemaMap) -> Signature:
     )
 
 
+@lru_cache(maxsize=65_536)
 def view_id_for(plan: Plan) -> str:
     """Deterministic short identifier for a view defined by ``plan``.
 
     Uses the structural repr of the frozen plan dataclasses, which is
-    stable across processes.
+    stable across processes.  Memoized: the repr of a deep plan tree is
+    O(plan size) to build and candidate registration derives ids for the
+    same subplans on every query.
     """
     digest = hashlib.blake2b(repr(plan).encode(), digest_size=6).hexdigest()
     return f"v_{digest}"
+
+
+def clear_signature_caches() -> None:
+    """Drop memoized signatures and view ids (tests / long-lived sessions)."""
+    _SIGNATURE_CACHE.clear()
+    view_id_for.cache_clear()

@@ -16,6 +16,7 @@ additions that would exceed the limit raise, because the selection step
 from __future__ import annotations
 
 import itertools
+from bisect import insort
 from dataclasses import dataclass, field
 
 from repro.engine.table import Table
@@ -80,6 +81,10 @@ class MaterializedViewPool:
         self._views: dict[str, _PooledView] = {}
         self._definitions: dict[str, ViewDefinition] = {}
         self._fragments: dict[str, FragmentEntry] = {}
+        # Keyed lookup index: FragmentKey -> fragment_id.  Replaces the
+        # linear interval scan in find_fragment, which sits on the hot
+        # path of refinement planning and re-creation checks.
+        self._by_key: dict[FragmentKey, str] = {}
         self._counter = itertools.count()
 
     # ------------------------------------------------------------------
@@ -142,17 +147,11 @@ class MaterializedViewPool:
             raise PoolError(f"unknown fragment: {fragment_id!r}") from None
 
     def find_fragment(self, key: FragmentKey) -> FragmentEntry | None:
-        """Locate a resident entry by its stable key."""
-        view = self._views.get(key.view_id)
-        if view is None:
-            return None
+        """Locate a resident entry by its stable key (O(1) keyed lookup)."""
         if key.attr is None:
             return self.whole_view_entry(key.view_id)
-        for fid in view.partitions.get(key.attr, []):
-            entry = self._fragments[fid]
-            if entry.key.interval == key.interval:
-                return entry
-        return None
+        fid = self._by_key.get(key)
+        return self._fragments[fid] if fid is not None else None
 
     def all_entries(self) -> list[FragmentEntry]:
         return list(self._fragments.values())
@@ -199,6 +198,7 @@ class MaterializedViewPool:
             del self._views[entry.key.view_id]
         self.hdfs.delete(entry.path)
         del self._fragments[fragment_id]
+        self._by_key.pop(entry.key, None)
 
     def read_entry(self, fragment_id: str) -> Table:
         """Payload of an entry, without charging cost (executor charges)."""
@@ -230,8 +230,10 @@ class MaterializedViewPool:
             view.whole_id = fid
         else:
             ids = view.partitions.setdefault(key.attr, [])
-            ids.append(fid)
-            ids.sort(key=lambda f: sort_key(self._fragments[f].key.interval))
+            # Keep the per-attribute list interval-ordered with one bisected
+            # insertion instead of re-sorting the whole list on every admit.
+            insort(ids, fid, key=lambda f: sort_key(self._fragments[f].key.interval))
+            self._by_key[key] = fid
         return entry
 
     # ------------------------------------------------------------------
