@@ -15,6 +15,7 @@ import numpy as np
 if TYPE_CHECKING:
     from repro.bench.profile import WallClockProfiler
 
+from repro import caches
 from repro.core.deepsea import DeepSea
 from repro.core.reports import QueryReport
 from repro.partitioning.intervals import Interval
@@ -78,6 +79,15 @@ class RunResult:
         return None
 
 
+@dataclass
+class WorkerTelemetry:
+    """What one fan-out unit observed about its own process."""
+
+    pid: int
+    profile: dict | None
+    caches: dict
+
+
 def run_system(
     label: str,
     system: DeepSea,
@@ -104,13 +114,72 @@ def run_systems(
     factories: dict[str, Callable[[], DeepSea]],
     plans: list[Plan],
     profilers: "dict[str, WallClockProfiler] | None" = None,
+    *,
+    workers: int = 0,
+    telemetry: "dict[str, WorkerTelemetry] | None" = None,
 ) -> dict[str, RunResult]:
-    """Run the same workload through several freshly built systems."""
+    """Run the same workload through several freshly built systems.
+
+    With ``workers >= 2`` each (system × workload) run becomes one task
+    of a forked process pool (:func:`repro.parallel.pool.fan_out`): every
+    worker starts cache-cold (per-worker ``clear_all_caches`` isolation)
+    and results merge back in the factories' dict order, so ledgers and
+    result tables are byte-identical to a serial run for any worker
+    count.  ``workers <= 1`` is the unchanged serial path.
+
+    ``profilers`` maps labels to :class:`WallClockProfiler` instances; in
+    parallel mode each task profiles in its own process and the worker's
+    totals are merged into the caller's profiler afterwards.  When a
+    ``telemetry`` dict is supplied it is filled with one
+    :class:`WorkerTelemetry` per label (worker pid, profile, cache
+    counters) — the per-worker breakdown of ``python -m repro profile``.
+    """
     profilers = profilers or {}
-    return {
-        label: run_system(label, make(), plans, profilers.get(label))
-        for label, make in factories.items()
-    }
+    labels = list(factories)
+    if workers >= 2 and len(labels) > 1:
+        from repro.bench.profile import WallClockProfiler
+        from repro.parallel.pool import fan_out
+
+        def task(label: str, make: Callable[[], DeepSea]) -> Callable:
+            profiled = label in profilers
+
+            def run() -> tuple[RunResult, "WallClockProfiler | None", WorkerTelemetry]:
+                import os
+
+                from repro.caches import cache_stats
+
+                prof = WallClockProfiler() if profiled else None
+                result = run_system(label, make(), plans, prof)
+                info = WorkerTelemetry(
+                    os.getpid(), prof.report() if prof else None, cache_stats()
+                )
+                return result, prof, info
+
+            return run
+
+        outputs = fan_out([task(l, m) for l, m in factories.items()], workers)
+        results: dict[str, RunResult] = {}
+        for label, (result, prof, info) in zip(labels, outputs):
+            if prof is not None:
+                profilers[label].merge(prof)
+            if telemetry is not None:
+                telemetry[label] = info
+            results[label] = result
+        return results
+
+    results = {}
+    for label, make in factories.items():
+        results[label] = run_system(label, make(), plans, profilers.get(label))
+        if telemetry is not None:
+            import os
+
+            from repro.caches import cache_stats
+
+            prof = profilers.get(label)
+            telemetry[label] = WorkerTelemetry(
+                os.getpid(), prof.report() if prof else None, cache_stats()
+            )
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -206,26 +275,37 @@ def uniform_fixture(
     return _UNIFORM_CACHE[key]
 
 
+def _clear_fixture_caches() -> None:
+    _FIXTURE_CACHE.clear()
+    _UNIFORM_CACHE.clear()
+
+
+def _fixture_cache_stats() -> dict:
+    return {
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "entries": len(_FIXTURE_CACHE) + len(_UNIFORM_CACHE),
+    }
+
+
+caches.register_cache(
+    "bench.harness.fixtures", _clear_fixture_caches, _fixture_cache_stats
+)
+
+
 def clear_caches() -> None:
     """Reset every cross-query cache layer in the process.
 
     Covers the benchmark fixture caches plus all engine- and query-layer
     acceleration caches (join indexes and probes, signatures, plan
-    analysis, pushdown, matcher memo).  Every one of these caches is
-    semantically transparent, so clearing is never required for
+    analysis, pushdown, matcher memo).  Each of those registers itself
+    with :mod:`repro.caches` at import time — this function simply clears
+    the registry, so there is exactly one list of caches in the codebase
+    and a new cache cannot be forgotten here or in the parallel runner's
+    worker startup (which calls the same registry).  Every registered
+    cache is semantically transparent, so clearing is never required for
     correctness — this exists for memory-bounded sessions and for tests
     that compare cold vs warm behaviour.
     """
-    from repro.engine import indexes
-    from repro.matching.matcher import match_view
-    from repro.query.analysis import clear_analysis_cache
-    from repro.query.optimizer import _push_down_cached
-    from repro.query.signature import clear_signature_caches
-
-    _FIXTURE_CACHE.clear()
-    _UNIFORM_CACHE.clear()
-    indexes.clear_caches()
-    clear_signature_caches()
-    clear_analysis_cache()
-    _push_down_cached.cache_clear()
-    match_view.cache_clear()
+    caches.clear_all_caches()

@@ -114,3 +114,56 @@ def check_against_baseline(
         f"{verdict}: measured {measured_seconds:.2f}s vs baseline "
         f"{float(base):.2f}s (limit {limit:.2f}s = {max_slowdown:g}x)"
     )
+
+
+# Stages whose baseline share is below this many seconds are not gated
+# individually: a 10 ms stage doubling is scheduler noise, not a
+# regression, and per-phase verdicts must stay actionable.
+_MIN_GATED_STAGE_SECONDS = 0.05
+
+
+def check_report_against_baseline(
+    report: dict, baseline: dict, max_slowdown: float = 2.0
+) -> tuple[bool, str]:
+    """Per-phase CI gate with an actionable message.
+
+    Gates the report's measured total *and* every profiled stage large
+    enough to measure against ``max_slowdown`` × the baseline's matching
+    entry.  The returned message carries one verdict line per gated
+    phase, so a tripped CI job names the regressed phase and both numbers
+    instead of dumping two JSON blobs to diff by hand.
+    """
+    base_total = baseline.get("total_seconds") or baseline.get("wall_seconds")
+    if not base_total:
+        return False, "FAIL: baseline has no total_seconds/wall_seconds entry"
+    lines: list[str] = []
+    failed: list[str] = []
+
+    def gate(name: str, measured: float, base: float) -> None:
+        limit = max_slowdown * base
+        ok = measured <= limit
+        if not ok:
+            failed.append(name)
+        lines.append(
+            f"  {'OK        ' if ok else 'REGRESSION'} {name}: "
+            f"measured {measured:.2f}s vs baseline {base:.2f}s "
+            f"(limit {limit:.2f}s = {max_slowdown:g}x)"
+        )
+
+    gate("total", float(report.get("total_seconds", 0.0)), float(base_total))
+    measured_stages = report.get("stages", {})
+    for name, entry in sorted(baseline.get("stages", {}).items()):
+        base_s = float(entry.get("seconds", 0.0))
+        if base_s < _MIN_GATED_STAGE_SECONDS:
+            continue
+        measured_s = float(measured_stages.get(name, {}).get("seconds", 0.0))
+        gate(f"stage {name}", measured_s, base_s)
+
+    if failed:
+        head = (
+            f"REGRESSION in {len(failed)} phase(s): {', '.join(failed)} "
+            f"(allowed slowdown {max_slowdown:g}x)"
+        )
+    else:
+        head = f"OK: all phases within {max_slowdown:g}x of baseline"
+    return not failed, "\n".join([head, *lines])

@@ -6,13 +6,22 @@ Usage::
     python -m repro run fig5a            # regenerate one figure
     python -m repro run fig5a fig6       # several
     python -m repro run all              # the whole evaluation
+    python -m repro run all --workers 4  # same, over a process pool
     python -m repro compare --queries 200 --pool 0.25
                                           # ad-hoc H/NP/DS comparison
+    python -m repro determinism --workers 1,2,4
+                                          # ledger byte-identity harness
 
 Each experiment prints the same paper-shaped table as its pytest
 benchmark; the CLI simply drives the ``run_experiment`` functions that the
 benchmarks define, so results are identical to
 ``pytest benchmarks/ --benchmark-only -s``.
+
+``--workers N`` fans independent units out over a forked process pool
+(experiments for ``run``, system variants for ``profile``) and merges
+outputs back in canonical order — simulated-second results are
+byte-identical to a serial run for any worker count, which ``python -m
+repro determinism`` verifies end to end.
 """
 
 from __future__ import annotations
@@ -107,13 +116,37 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_run(keys: list[str]) -> int:
+def _run_experiment_captured(key: str) -> str:
+    """Run one experiment with its stdout captured (pool-worker body)."""
+    import contextlib
+    import io
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        run_experiment(key)
+    return buffer.getvalue()
+
+
+def cmd_run(keys: list[str], workers: int = 0) -> int:
     targets = list(EXPERIMENTS) if keys == ["all"] else keys
     unknown = [k for k in targets if k not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print("use `python -m repro list` to see what's available", file=sys.stderr)
         return 2
+    if workers >= 2 and len(targets) > 1:
+        # Whole figures are the fan-out unit: each runs in a pool worker
+        # with captured stdout, and the reports print in the canonical
+        # experiment order no matter which worker finished first.
+        from repro.parallel.pool import fan_out
+
+        outputs = fan_out(
+            [lambda key=key: _run_experiment_captured(key) for key in targets],
+            workers,
+        )
+        for text in outputs:
+            print(text, end="")
+        return 0
     for key in targets:
         run_experiment(key)
     return 0
@@ -159,20 +192,25 @@ def cmd_profile(
     output: str | None,
     check: str | None,
     max_slowdown: float,
+    workers: int = 0,
 ) -> int:
     """Run the Figure-5a workload under the wall-clock profiler.
 
     Unlike every other subcommand, the numbers here are *real* seconds
     spent inside this Python process, not simulated cluster seconds —
     this is the tool for measuring the engine's own hot paths.  With
-    ``--check`` the measured total is gated against a previously written
-    report (the CI regression smoke).
+    ``--workers N`` the three systems run in a process pool; each
+    worker's stage profile and cache counters appear under
+    ``per_worker`` in the JSON report, merged totals under ``stages``.
+    With ``--check`` the measured total *and every profiled stage* are
+    gated against a previously written report (the CI regression smoke),
+    failing with a per-phase verdict.
     """
     from repro.baselines import deepsea, hive, non_partitioned
     from repro.bench.harness import run_systems, sdss_fixture
     from repro.bench.profile import (
         WallClockProfiler,
-        check_against_baseline,
+        check_report_against_baseline,
         load_report,
         write_report,
     )
@@ -186,8 +224,9 @@ def cmd_profile(
         "DS": lambda: deepsea(fx.catalog, domains=fx.domains),
     }
     profilers = {label: WallClockProfiler() for label in factories}
+    telemetry: dict = {}
     start = time.perf_counter()
-    run_systems(factories, plans, profilers)
+    run_systems(factories, plans, profilers, workers=workers, telemetry=telemetry)
     wall = time.perf_counter() - start
 
     combined = WallClockProfiler()
@@ -208,7 +247,8 @@ def cmd_profile(
             ["system", "total (s)"] + [f"{n} (s)" for n in stage_names],
             rows,
             title=f"Wall-clock profile — {queries} SDSS-mapped queries, "
-            f"{instance_gb:.0f}GB instance",
+            f"{instance_gb:.0f}GB instance"
+            + (f", {workers} workers" if workers >= 2 else ""),
         )
     )
 
@@ -217,18 +257,94 @@ def cmd_profile(
         "queries": queries,
         "instance_gb": instance_gb,
         "seed": seed,
+        "workers": workers,
         "total_seconds": wall,
         "systems": {label: prof.report() for label, prof in profilers.items()},
         "stages": combined.report()["stages"],
+        # One entry per fan-out unit: which pid ran it, its stage profile,
+        # and its cache hit/miss/eviction counters.  Serial runs share one
+        # pid (and cumulative cache counters); parallel workers are
+        # isolated, so their counters describe exactly one system's run.
+        "per_worker": {
+            label: {
+                "pid": info.pid,
+                "profile": info.profile,
+                "caches": info.caches,
+            }
+            for label, info in telemetry.items()
+        },
     }
     if output:
         write_report(output, report)
         print(f"report written to {output}")
     if check:
-        ok, message = check_against_baseline(wall, load_report(check), max_slowdown)
+        ok, message = check_report_against_baseline(
+            report, load_report(check), max_slowdown
+        )
         print(message)
         return 0 if ok else 1
     return 0
+
+
+def cmd_determinism(
+    queries: int, instance_gb: float, seed: int, worker_counts: list[int]
+) -> int:
+    """Verify parallel runs are byte-identical to serial (CI smoke gate).
+
+    Runs the Figure-5a (H / NP / DS) task specs serially, then once per
+    requested worker count — submitting tasks in *reversed* order to
+    exercise the canonical-order merge — and compares full result
+    fingerprints (both simulated-second ledgers, all decision counters,
+    and every result table's sorted rows).  Exits non-zero, printing the
+    first divergences, if any worker count changes a single byte.
+    """
+    from repro.parallel.determinism import diff_results, fingerprint
+    from repro.parallel.pool import fan_out
+    from repro.parallel.tasks import FixtureSpec, RunTask, SystemSpec, WorkloadSpec
+
+    fixture = FixtureSpec("sdss", instance_gb)
+    workload = WorkloadSpec(queries, seed)
+    tasks = [
+        RunTask(label, SystemSpec.of(factory), fixture, workload)
+        for label, factory in (
+            ("H", "hive"),
+            ("NP", "non_partitioned"),
+            ("DS", "deepsea"),
+        )
+    ]
+    labels = [t.label for t in tasks]
+
+    serial = {t.label: t.run() for t in tasks}
+    reference = fingerprint(serial)
+    rows = [("serial", reference[:16], "baseline")]
+    status = 0
+    for n in worker_counts:
+        shuffled = list(reversed(range(len(tasks))))
+        outputs = fan_out(tasks, n, submission_order=shuffled)
+        results = dict(zip(labels, outputs))
+        digest = fingerprint(results)
+        if digest == reference:
+            rows.append((f"workers={n}", digest[:16], "identical"))
+        else:
+            rows.append((f"workers={n}", digest[:16], "DIVERGED"))
+            status = 1
+            for line in diff_results(serial, results, b_name=f"workers={n}"):
+                print(line, file=sys.stderr)
+    print(
+        format_table(
+            ["run", "fingerprint", "verdict"],
+            rows,
+            title=f"Determinism harness — fig5a, {queries} queries, "
+            f"{instance_gb:.0f}GB, systems {'/'.join(labels)}",
+        )
+    )
+    print(
+        "ledgers byte-identical across worker counts"
+        if status == 0
+        else "LEDGER DIVERGENCE — parallel run is not byte-identical to serial",
+        file=sys.stderr if status else sys.stdout,
+    )
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -240,6 +356,8 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list available experiments")
     run_p = sub.add_parser("run", help="run experiments by id (or 'all')")
     run_p.add_argument("experiments", nargs="+", metavar="ID")
+    run_p.add_argument("--workers", type=int, default=0,
+                       help="fan experiments out over N pool workers")
     cmp_p = sub.add_parser("compare", help="ad-hoc H/NP/DS comparison")
     cmp_p.add_argument("--queries", type=int, default=200)
     cmp_p.add_argument("--pool", type=float, default=None,
@@ -252,23 +370,43 @@ def main(argv: list[str] | None = None) -> int:
     prof_p.add_argument("--queries", type=int, default=400)
     prof_p.add_argument("--instance-gb", type=float, default=500.0)
     prof_p.add_argument("--seed", type=int, default=2)
+    prof_p.add_argument("--workers", type=int, default=0,
+                        help="fan system variants out over N pool workers")
     prof_p.add_argument("--output", default=None, metavar="PATH",
                         help="write the JSON report here")
     prof_p.add_argument("--check", default=None, metavar="PATH",
                         help="fail if slower than this baseline report")
     prof_p.add_argument("--max-slowdown", type=float, default=2.0,
                         help="allowed slowdown factor for --check")
+    det_p = sub.add_parser(
+        "determinism",
+        help="verify parallel ledgers are byte-identical to serial",
+    )
+    det_p.add_argument("--queries", type=int, default=80)
+    det_p.add_argument("--instance-gb", type=float, default=20.0)
+    det_p.add_argument("--seed", type=int, default=2)
+    det_p.add_argument(
+        "--workers", default="1,2,4", metavar="N[,N...]",
+        help="comma-separated worker counts to check against serial",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
-        return cmd_run(args.experiments)
+        return cmd_run(args.experiments, args.workers)
     if args.command == "profile":
         return cmd_profile(
             args.queries, args.instance_gb, args.seed,
-            args.output, args.check, args.max_slowdown,
+            args.output, args.check, args.max_slowdown, args.workers,
         )
+    if args.command == "determinism":
+        try:
+            counts = [int(part) for part in str(args.workers).split(",") if part]
+        except ValueError:
+            print(f"invalid --workers list: {args.workers!r}", file=sys.stderr)
+            return 2
+        return cmd_determinism(args.queries, args.instance_gb, args.seed, counts)
     return cmd_compare(args.queries, args.pool, args.instance_gb, args.seed)
 
 

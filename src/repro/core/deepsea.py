@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
+from functools import partial
 
 from repro.core.admission import AdmissionController
 from repro.core.merging import MergeCandidate, find_merge_candidates
@@ -77,6 +78,63 @@ from repro.storage.pool import FragmentKey, MaterializedViewPool
 # Cap on tentative-design fragmentation growth for views that accumulate
 # evidence over very long workloads without being materialized.
 _MAX_TENTATIVE_FRAGMENTS = 512
+
+# Candidate-piece batches smaller than this are always evaluated inline:
+# one piece costs microseconds, so a process round-trip only pays for
+# itself on the rare wide batches (dense overlapping designs).
+_PARALLEL_PIECE_THRESHOLD = 32
+
+
+def _piece_refinement_passes(
+    piece: Interval,
+    *,
+    resident: list[tuple[Interval, float]],
+    resident_sizes: dict[Interval, float],
+    domain: Interval,
+    cluster: ClusterSpec,
+    parent: Interval,
+    parent_stats,
+    dist,
+    t: float,
+    decay: float,
+    safety: float,
+) -> bool:
+    """The §7.2 filter for one candidate piece.
+
+    Pure in its arguments — it reads statistics and computes, mutating
+    nothing — which is what lets `_refinement_passes` fan a wide batch of
+    pieces out over :func:`repro.parallel.pool.batch_map` with results
+    identical to the inline loop.
+    """
+    size_est = estimate_fragment_size(piece, resident, domain)
+    cost_est = estimate_fragment_cost(piece, resident, domain, cluster)
+    cover = greedy_cover(piece, list(resident_sizes))
+    if cover is None:
+        return False  # hole in the partition: nothing to refine from
+    cover_bytes = sum(resident_sizes[c.interval] for c in cover)
+    if size_est > 0.5 * cover_bytes:
+        # The range is already served by a reasonably tight cover;
+        # shaving a sliver off it would recur forever under
+        # endpoint jitter without a matching payoff.
+        return False
+    saving_per_hit = max(
+        cluster.read_elapsed(cover_bytes, nfiles=len(cover))
+        - cluster.read_elapsed(size_est, nfiles=1),
+        0.0,
+    )
+    # Only queries whose need from this parent fits inside the
+    # piece realize the per-hit margin; MLE smoothing tops this up
+    # (capped, so the fitted tail cannot manufacture evidence).
+    hits = (
+        realizing_hits(parent_stats, parent, piece, t, decay)
+        if parent_stats is not None
+        else 0.0
+    )
+    if dist is not None and hits > 0:
+        fitted, total = dist
+        smoothed = adjusted_hits(piece, fitted, total, domain)
+        hits = max(hits, min(smoothed, 2.0 * hits))
+    return hits * saving_per_hit >= safety * cost_est
 
 
 @dataclass
@@ -132,6 +190,10 @@ class DeepSea:
         # execute() charges real seconds to matching / selection /
         # execution / materialization.  None costs one attribute read.
         self.profiler = None
+        # Worker budget for side-effect-free candidate evaluation inside
+        # the refinement filter (repro.parallel.batch_map).  0 keeps the
+        # serial inline path; any value yields identical decisions.
+        self.parallel_workers = 0
 
     _NULL_STAGE = nullcontext()
 
@@ -640,39 +702,34 @@ class DeepSea:
         if self.policy.smoothing_enabled:
             dist = self._partition_distribution(view_id, attr, domain, t)
         resident_sizes = {iv: s for iv, s in resident}
-        for piece in hot:
-            size_est = estimate_fragment_size(piece, resident, domain)
-            cost_est = estimate_fragment_cost(piece, resident, domain, self.cluster)
-            cover = greedy_cover(piece, list(resident_sizes))
-            if cover is None:
-                continue  # hole in the partition: nothing to refine from
-            cover_bytes = sum(resident_sizes[c.interval] for c in cover)
-            if size_est > 0.5 * cover_bytes:
-                # The range is already served by a reasonably tight cover;
-                # shaving a sliver off it would recur forever under
-                # endpoint jitter without a matching payoff.
-                continue
-            saving_per_hit = max(
-                self.cluster.read_elapsed(cover_bytes, nfiles=len(cover))
-                - self.cluster.read_elapsed(size_est, nfiles=1),
-                0.0,
+        check = partial(
+            _piece_refinement_passes,
+            resident=resident,
+            resident_sizes=resident_sizes,
+            domain=domain,
+            cluster=self.cluster,
+            parent=parent,
+            parent_stats=self.stats.fragment(view_id, attr, parent),
+            dist=dist,
+            t=t,
+            decay=decay,
+            safety=self.policy.refinement_safety,
+        )
+        if (
+            self.parallel_workers >= 2
+            and len(hot) >= _PARALLEL_PIECE_THRESHOLD
+        ):
+            from repro.parallel.pool import batch_map
+
+            return any(
+                batch_map(
+                    check,
+                    hot,
+                    self.parallel_workers,
+                    min_items=_PARALLEL_PIECE_THRESHOLD,
+                )
             )
-            parent_stats = self.stats.fragment(view_id, attr, parent)
-            # Only queries whose need from this parent fits inside the
-            # piece realize the per-hit margin; MLE smoothing tops this up
-            # (capped, so the fitted tail cannot manufacture evidence).
-            hits = (
-                realizing_hits(parent_stats, parent, piece, t, decay)
-                if parent_stats is not None
-                else 0.0
-            )
-            if dist is not None and hits > 0:
-                fitted, total = dist
-                smoothed = adjusted_hits(piece, fitted, total, domain)
-                hits = max(hits, min(smoothed, 2.0 * hits))
-            if hits * saving_per_hit >= self.policy.refinement_safety * cost_est:
-                return True
-        return False
+        return any(check(piece) for piece in hot)
 
     # ------------------------------------------------------------------
     # Materialization (instrumented execution aftermath)

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.caches import register_cache
 from repro.engine.table import Table
 
 
@@ -48,6 +49,16 @@ class IndexCache:
         )
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def _track_eviction(self, table: Table, per_table: dict) -> None:
+        # Entries die with their table (weak keys); the finalizer closes
+        # over the inner dict — not the table — so it counts exactly the
+        # entries that were live at collection time.
+        weakref.finalize(table, self._on_table_dead, per_table)
+
+    def _on_table_dead(self, per_table: dict) -> None:
+        self.evictions += len(per_table)
 
     def sort_index(self, table: Table, column: str) -> SortIndex:
         """The cached stable-sort index of ``table[column]``, building it once."""
@@ -55,6 +66,7 @@ class IndexCache:
         if per_table is None:
             per_table = {}
             self._indexes[table] = per_table
+            self._track_eviction(table, per_table)
         index = per_table.get(column)
         if index is None:
             self.misses += 1
@@ -67,12 +79,36 @@ class IndexCache:
         return index
 
     def clear(self) -> None:
+        # Empty the inner dicts so outstanding finalizers (which hold
+        # them) cannot count already-cleared entries as later evictions.
+        for per_table in self._indexes.values():
+            per_table.clear()
         self._indexes.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict:
+        """Counter snapshot for the profile report's cache section."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self),
+        }
 
     def __len__(self) -> int:
         return sum(len(d) for d in self._indexes.values())
+
+
+class _PairBox:
+    """Per-(probe root, build root) count of cached probes, for evictions."""
+
+    __slots__ = ("cached", "fired")
+
+    def __init__(self) -> None:
+        self.cached = 0
+        self.fired = False
 
 
 class ProbeCache:
@@ -108,6 +144,15 @@ class ProbeCache:
         )
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def _on_pair_dead(self, box: "_PairBox") -> None:
+        # Either end of a (probe root, build root) pair dying drops every
+        # cached probe of the pair; count the batch exactly once.
+        if not box.fired:
+            box.fired = True
+            self.evictions += box.cached
+            box.cached = 0
 
     def starts_ends(
         self, root: Table, left_attr: str, right: Table, right_attr: str,
@@ -120,10 +165,16 @@ class ProbeCache:
         if per_root is None:
             per_root = weakref.WeakKeyDictionary()
             self._probes[root] = per_root
-        per_right = per_root.get(right)
-        if per_right is None:
-            per_right = {}
-            per_root[right] = per_right
+        pair = per_root.get(right)
+        if pair is None:
+            # The eviction finalizers close over a tiny counter box — not
+            # the probe arrays — so a dead pair's payload is never pinned.
+            box = _PairBox()
+            pair = ({}, box)
+            per_root[right] = pair
+            weakref.finalize(root, self._on_pair_dead, box)
+            weakref.finalize(right, self._on_pair_dead, box)
+        per_right, box = pair
         attrs = (left_attr, right_attr)
         if attrs not in per_right:
             per_right[attrs] = None  # first strike: probe directly
@@ -137,14 +188,37 @@ class ProbeCache:
                 np.searchsorted(sorted_rkeys, keys, side="right"),
             )
             per_right[attrs] = entry
+            box.cached += 1
         else:
             self.hits += 1
         return entry
 
     def clear(self) -> None:
+        # Disarm outstanding finalizers so cleared entries are not counted
+        # as later evictions, and empty the inner dicts they reference.
+        for per_root in self._probes.values():
+            for per_right, box in per_root.values():
+                per_right.clear()
+                box.fired = True
+                box.cached = 0
         self._probes.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict:
+        """Counter snapshot for the profile report's cache section."""
+        entries = sum(
+            sum(1 for v in per_right.values() if v is not None)
+            for per_root in self._probes.values()
+            for per_right, _ in per_root.values()
+        )
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": entries,
+        }
 
 
 # One process-wide cache: tables are keyed by identity, so separate systems
@@ -253,3 +327,11 @@ def clear_caches() -> None:
     """Drop all cached indexes (tests / long-lived sessions)."""
     _GLOBAL_CACHE.clear()
     _PROBE_CACHE.clear()
+
+
+register_cache(
+    "engine.indexes.sort", _GLOBAL_CACHE.clear, _GLOBAL_CACHE.stats
+)
+register_cache(
+    "engine.indexes.probe", _PROBE_CACHE.clear, _PROBE_CACHE.stats
+)

@@ -64,6 +64,23 @@ class Table:
         # Purely an acceleration hint — never consulted for semantics.
         self._lineage: "tuple[Table, np.ndarray | None, bool] | None" = None
 
+    def __getstate__(self) -> dict:
+        """Pickle without lineage.
+
+        Lineage is an in-process acceleration hint: it points at the
+        *root* table a selection came from, so pickling it would drag the
+        full base relation across every process boundary (the parallel
+        runner ships result tables back from pool workers).  Dropping it
+        only means a restored table starts cache-cold — semantics and
+        ``size_bytes`` are untouched.
+        """
+        state = dict(self.__dict__)
+        state["_lineage"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def _derived_lineage(
         self, rows: "np.ndarray | None", monotonic: bool
     ) -> "tuple[Table, np.ndarray | None, bool]":

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.caches import register_cache
 from repro.partitioning.intervals import Interval
 from repro.query.analysis import class_members
 from repro.query.predicates import RangePredicate
@@ -114,3 +115,16 @@ def partition_attr_ranges(
         if resolved is not None:
             out[resolved] = interval
     return out
+
+
+def _match_cache_stats() -> dict:
+    info = match_view.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "evictions": 0,
+        "entries": info.currsize,
+    }
+
+
+register_cache("matching.match_view", match_view.cache_clear, _match_cache_stats)

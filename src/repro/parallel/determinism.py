@@ -1,0 +1,134 @@
+"""Determinism harness: fingerprint and diff experiment result streams.
+
+The hard requirement carried through every performance PR: *simulated-
+second ledgers and result tables must stay byte-identical no matter how
+many workers run*.  This module turns that sentence into machinery:
+
+* :func:`report_fingerprint` reduces one :class:`~repro.core.reports.
+  QueryReport` to a canonical tuple of every externally observable field
+  — both cost ledgers in full, the decision trail (view used, creations,
+  refinements, evictions, pool bytes), and the result table's sorted
+  rows.  Floats enter via ``repr``, so equality is bit-equality, not
+  tolerance.
+* :func:`fingerprint` hashes a whole ``run_systems`` result dict into one
+  hex digest, suitable for a one-line CI assertion.
+* :func:`diff_results` explains a digest mismatch: which system, which
+  query index, which field, both values — the message a failing smoke job
+  prints instead of two opaque hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.bench.harness import RunResult
+    from repro.core.reports import QueryReport
+
+_LEDGER_FIELDS = (
+    "read_s",
+    "write_s",
+    "shuffle_s",
+    "overhead_s",
+    "jobs",
+    "map_tasks",
+    "bytes_read",
+    "bytes_written",
+    "files_written",
+)
+
+
+def _ledger_tuple(ledger) -> tuple:
+    return tuple(repr(getattr(ledger, name)) for name in _LEDGER_FIELDS)
+
+
+def report_fingerprint(report: "QueryReport", *, include_rows: bool = True) -> tuple:
+    """Canonical tuple of one query's observable outputs."""
+    rows: tuple = ()
+    if include_rows:
+        rows = tuple(repr(row) for row in report.result.sorted_rows())
+    return (
+        report.index,
+        _ledger_tuple(report.execution_ledger),
+        _ledger_tuple(report.creation_ledger),
+        report.view_used,
+        report.fragments_read,
+        tuple(report.views_created),
+        report.refinements,
+        report.evictions,
+        repr(report.pool_bytes),
+        rows,
+    )
+
+
+def result_fingerprint(result: "RunResult", *, include_rows: bool = True) -> tuple:
+    """Canonical tuple of one system's whole run."""
+    return (
+        result.label,
+        tuple(
+            report_fingerprint(r, include_rows=include_rows) for r in result.reports
+        ),
+    )
+
+
+def fingerprint(
+    results: "dict[str, RunResult]", *, include_rows: bool = True
+) -> str:
+    """One hex digest over a ``run_systems`` result dict (canonical order)."""
+    digest = hashlib.sha256()
+    for label in sorted(results):
+        digest.update(
+            repr(result_fingerprint(results[label], include_rows=include_rows)).encode()
+        )
+    return digest.hexdigest()
+
+
+def diff_results(
+    a: "dict[str, RunResult]",
+    b: "dict[str, RunResult]",
+    *,
+    a_name: str = "serial",
+    b_name: str = "parallel",
+    max_lines: int = 20,
+) -> list[str]:
+    """Human-readable divergences between two result dicts (empty = equal)."""
+    lines: list[str] = []
+    for label in sorted(set(a) | set(b)):
+        if label not in a or label not in b:
+            lines.append(f"{label}: present only in {a_name if label in a else b_name}")
+            continue
+        ra, rb = a[label], b[label]
+        if len(ra.reports) != len(rb.reports):
+            lines.append(
+                f"{label}: {len(ra.reports)} reports in {a_name} vs "
+                f"{len(rb.reports)} in {b_name}"
+            )
+            continue
+        for qa, qb in zip(ra.reports, rb.reports):
+            if len(lines) >= max_lines:
+                lines.append("... (diff truncated)")
+                return lines
+            fa = report_fingerprint(qa)
+            fb = report_fingerprint(qb)
+            if fa == fb:
+                continue
+            names = (
+                "index",
+                "execution_ledger",
+                "creation_ledger",
+                "view_used",
+                "fragments_read",
+                "views_created",
+                "refinements",
+                "evictions",
+                "pool_bytes",
+                "sorted_rows",
+            )
+            for name, va, vb in zip(names, fa, fb):
+                if va != vb:
+                    lines.append(
+                        f"{label} query {qa.index}: {name} differs — "
+                        f"{a_name}={va!r} vs {b_name}={vb!r}"
+                    )
+    return lines

@@ -1,0 +1,151 @@
+"""The process-pool executor: deterministic fan-out of independent tasks.
+
+Design constraints, in order:
+
+1. **Determinism.**  Results are returned in *task order*, never in
+   completion or submission order.  Workers return ``(index, value)``
+   pairs and the parent slots each value by index, so any interleaving of
+   completions — and any deliberate shuffling of submissions — produces
+   the same output list.  Combined with per-worker cache isolation this
+   makes parallel ledgers byte-identical to serial ones.
+2. **Closures over specs.**  Benchmark factories are lambdas closing over
+   multi-hundred-MB fixtures; pickling them is either impossible or
+   ruinous.  The pool therefore uses the ``fork`` start method and passes
+   tasks to workers *by inheritance*: the parent parks the task list in a
+   module global, forks, and sends only integer indexes over the pipe.
+   Results still cross the pipe by pickling — see
+   :meth:`repro.engine.table.Table.__getstate__` for why that stays
+   cheap.  On platforms without ``fork`` the executor degrades to serial
+   execution (same results, no speedup) unless every task is picklable —
+   use :mod:`repro.parallel.tasks` specs to guarantee that.
+3. **Isolation.**  Every worker starts by calling
+   :func:`repro.caches.clear_all_caches`: nothing cached in the parent
+   before the fork can influence a worker's run, and — because caches
+   auto-register with :mod:`repro.caches` on import — a newly added cache
+   cannot be missed.  The caches are semantically transparent, so this is
+   belt-and-braces for byte-identical ledgers, not a correctness
+   requirement.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+# Tasks inherited by forked workers (see module docstring, point 2).
+# Only ever non-None inside a `fan_out` call; parallel sections do not
+# nest (a worker that calls fan_out again runs its tasks serially, since
+# its own _TASKS is set — the guard in fan_out).
+_TASKS: "Sequence[Callable[[], Any]] | None" = None
+
+
+def _worker_init() -> None:
+    """Per-worker startup: drop every cache forked from the parent."""
+    from repro.caches import clear_all_caches
+
+    clear_all_caches()
+
+
+def _run_indexed(index: int) -> tuple[int, Any]:
+    assert _TASKS is not None
+    return index, _TASKS[index]()
+
+
+def default_workers() -> int:
+    """Worker count when the user asks for "all cores"."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without CPU affinity
+        return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def fan_out(
+    tasks: Sequence[Callable[[], T]],
+    workers: int = 0,
+    *,
+    submission_order: "Sequence[int] | None" = None,
+) -> list[T]:
+    """Run independent thunks, results in task order for any worker count.
+
+    ``workers <= 1`` (or a single task, or a platform without ``fork``,
+    or a nested call from inside a worker) runs serially in-process —
+    the degenerate pool.  ``submission_order`` permutes the order tasks
+    are *handed to* the pool without affecting the order results are
+    *returned* in; it exists so the determinism tests can prove that
+    claim.
+    """
+    global _TASKS
+    tasks = list(tasks)
+    order = (
+        list(range(len(tasks)))
+        if submission_order is None
+        else list(submission_order)
+    )
+    if sorted(order) != list(range(len(tasks))):
+        raise ValueError("submission_order must be a permutation of the task indexes")
+
+    serial = (
+        workers <= 1
+        or len(tasks) <= 1
+        or not fork_available()
+        or _TASKS is not None  # nested fan-out inside a worker
+    )
+    results: list[Any] = [None] * len(tasks)
+    if serial:
+        for index in order:
+            results[index] = tasks[index]()
+        return results
+
+    context = multiprocessing.get_context("fork")
+    _TASKS = tasks
+    try:
+        with context.Pool(
+            processes=min(workers, len(tasks)), initializer=_worker_init
+        ) as pool:
+            for index, value in pool.imap_unordered(_run_indexed, order):
+                results[index] = value
+    finally:
+        _TASKS = None
+    return results
+
+
+def batch_map(
+    fn: Callable[[U], T],
+    items: Sequence[U],
+    workers: int = 0,
+    *,
+    min_items: int = 16,
+) -> list[T]:
+    """Map a pure function over items, fanning out only above a threshold.
+
+    Process fan-out has real fixed cost (fork + pipe per batch); for the
+    optimizer's candidate evaluations — microseconds each, usually a
+    handful per query — the serial path is the fast path.  Only a batch of
+    at least ``min_items`` with ``workers >= 2`` pays for a pool.  Results
+    are in item order either way.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) < max(min_items, 2):
+        return [fn(item) for item in items]
+    return fan_out([_Bound(fn, item) for item in items], workers)
+
+
+class _Bound:
+    """A picklable ``lambda: fn(item)`` (closures defeat spawn pickling)."""
+
+    __slots__ = ("fn", "item")
+
+    def __init__(self, fn: Callable, item: Any) -> None:
+        self.fn = fn
+        self.item = item
+
+    def __call__(self):
+        return self.fn(self.item)

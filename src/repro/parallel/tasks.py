@@ -1,0 +1,122 @@
+"""Picklable task specs: rebuild work from configuration, not live objects.
+
+A forked pool can inherit closures, but a spawned pool — and any future
+distributed runner — needs units of work that survive ``pickle``.  A live
+:class:`~repro.core.deepsea.DeepSea` instance drags a catalog of numpy
+columns with it; a spec is a few dozen bytes that *rebuilds* the same
+system deterministically on the other side:
+
+* :class:`FixtureSpec` — which benchmark instance to (re)build; workers
+  hit the fixture cache of :mod:`repro.bench.harness`, so repeated tasks
+  on one worker share a single build.
+* :class:`SystemSpec` — a factory *name* from :mod:`repro.baselines` plus
+  keyword options.  ``pool_fraction`` is resolved against the fixture's
+  catalog size at build time (the only option that needs the fixture).
+* :class:`WorkloadSpec` — the seeded SDSS-mapped workload and an optional
+  ``[start, stop)`` slice, so one logical workload can be cut into
+  per-worker shards without shipping plan objects.
+* :class:`RunTask` — one (system variant × workload slice) unit: exactly
+  what ``run_systems`` fans out, in pickled form.
+
+Everything here is frozen dataclasses of primitives, hashable and
+byte-stable, which also makes task identity usable as a dedup/cache key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.bench.harness import RunResult
+    from repro.bench.profile import WallClockProfiler
+    from repro.core.deepsea import DeepSea
+    from repro.query.algebra import Plan
+
+
+@dataclass(frozen=True)
+class FixtureSpec:
+    """Recipe for one benchmark fixture (see ``repro.bench.harness``)."""
+
+    kind: str  # "sdss" | "uniform"
+    instance_gb: float
+    seed: int = 1
+    log_queries: int = 10_000  # sdss only
+
+    def build(self):
+        from repro.bench.harness import sdss_fixture, uniform_fixture
+
+        if self.kind == "sdss":
+            return sdss_fixture(
+                self.instance_gb, log_queries=self.log_queries, seed=self.seed
+            )
+        if self.kind == "uniform":
+            return uniform_fixture(self.instance_gb, seed=self.seed)
+        raise ValueError(f"unknown fixture kind: {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A system variant by factory name, e.g. ``SystemSpec("deepsea")``.
+
+    ``options`` are keyword arguments for the factory as a sorted tuple of
+    pairs (kept hashable).  The virtual option ``pool_fraction`` becomes
+    ``smax_bytes = fraction × catalog size`` at build time.
+    """
+
+    factory: str
+    options: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, factory: str, **options: Any) -> "SystemSpec":
+        return cls(factory, tuple(sorted(options.items())))
+
+    def build(self, fixture) -> "DeepSea":
+        import repro.baselines as baselines
+
+        make = getattr(baselines, self.factory, None)
+        if make is None or not callable(make):
+            raise ValueError(f"unknown system factory: {self.factory!r}")
+        kwargs = dict(self.options)
+        fraction = kwargs.pop("pool_fraction", None)
+        if fraction is not None:
+            kwargs["smax_bytes"] = fixture.catalog.total_size_bytes * fraction
+        return make(fixture.catalog, domains=fixture.domains, **kwargs)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A seeded SDSS-mapped workload, optionally sliced to ``[start, stop)``."""
+
+    n_queries: int
+    seed: int = 2
+    start: int = 0
+    stop: "int | None" = None
+
+    def build(self, fixture) -> "list[Plan]":
+        from repro.workloads.generator import sdss_mapped_workload
+
+        plans = sdss_mapped_workload(
+            fixture.log, fixture.item_domain, n_queries=self.n_queries, seed=self.seed
+        )
+        return plans[self.start : self.stop]
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One fan-out unit: run ``system`` over ``workload`` on ``fixture``."""
+
+    label: str
+    system: SystemSpec
+    fixture: FixtureSpec
+    workload: WorkloadSpec
+
+    def __call__(self) -> "RunResult":
+        return self.run()
+
+    def run(self, profiler: "WallClockProfiler | None" = None) -> "RunResult":
+        from repro.bench.harness import run_system
+
+        fixture = self.fixture.build()
+        plans = self.workload.build(fixture)
+        return run_system(self.label, self.system.build(fixture), plans, profiler)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.caches import register_cache
 from repro.errors import PlanError
 from repro.partitioning.intervals import Interval
 from repro.query.algebra import (
@@ -183,3 +184,16 @@ def job_boundaries(plan: Plan) -> frozenset[Plan]:
 def clear_analysis_cache() -> None:
     """Drop memoized plan analyses (tests / long-lived sessions)."""
     analyze_plan.cache_clear()
+
+
+def _analysis_cache_stats() -> dict:
+    info = analyze_plan.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "evictions": 0,
+        "entries": info.currsize,
+    }
+
+
+register_cache("query.analysis", clear_analysis_cache, _analysis_cache_stats)

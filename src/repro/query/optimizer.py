@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro.caches import register_cache
 from repro.query.algebra import Aggregate, Join, Plan, Project, Relation, Select
 from repro.query.analysis import SchemaMap, output_columns
 from repro.query.predicates import RangePredicate
@@ -35,6 +36,21 @@ def _push_down_cached(plan: Plan, schemas_key: tuple) -> Plan:
     while changed:
         plan, changed = _push_once(plan, schemas)
     return plan
+
+
+def _pushdown_cache_stats() -> dict:
+    info = _push_down_cached.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "evictions": 0,
+        "entries": info.currsize,
+    }
+
+
+register_cache(
+    "query.optimizer.pushdown", _push_down_cached.cache_clear, _pushdown_cache_stats
+)
 
 
 def _with_select(plan: Plan, predicates: tuple[RangePredicate, ...]) -> Plan:

@@ -15,6 +15,7 @@ import hashlib
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.caches import register_cache
 from repro.errors import PlanError
 from repro.partitioning.intervals import Interval
 from repro.query.algebra import Aggregate, AggSpec, MaterializedScan, Plan, walk
@@ -129,3 +130,18 @@ def clear_signature_caches() -> None:
     """Drop memoized signatures and view ids (tests / long-lived sessions)."""
     _SIGNATURE_CACHE.clear()
     view_id_for.cache_clear()
+
+
+def _signature_cache_stats() -> dict:
+    info = view_id_for.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "evictions": 0,
+        "entries": len(_SIGNATURE_CACHE) + info.currsize,
+    }
+
+
+register_cache(
+    "query.signature", clear_signature_caches, _signature_cache_stats
+)

@@ -1,0 +1,326 @@
+"""Tests for the deterministic process-parallel runner (repro.parallel)."""
+
+import gc
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import caches
+from repro.baselines import deepsea, hive, non_partitioned
+from repro.bench.harness import clear_caches, run_systems, sdss_fixture
+from repro.bench.profile import WallClockProfiler, check_report_against_baseline
+from repro.engine.indexes import _GLOBAL_CACHE
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.parallel import (
+    FixtureSpec,
+    RunTask,
+    SystemSpec,
+    WorkloadSpec,
+    batch_map,
+    diff_results,
+    fan_out,
+    fingerprint,
+    result_fingerprint,
+)
+from repro.workloads.generator import sdss_mapped_workload
+
+QUERIES = 12
+
+
+def _fixture():
+    return sdss_fixture(10.0, log_queries=500)
+
+
+def _factories(fx):
+    return {
+        "H": lambda: hive(fx.catalog, domains=fx.domains),
+        "NP": lambda: non_partitioned(fx.catalog, domains=fx.domains),
+        "DS": lambda: deepsea(fx.catalog, domains=fx.domains),
+    }
+
+
+def _plans(fx):
+    return sdss_mapped_workload(fx.log, fx.item_domain, n_queries=QUERIES, seed=2)
+
+
+class TestFanOut:
+    def test_results_in_task_order(self):
+        tasks = [(lambda i=i: i * i) for i in range(5)]
+        assert fan_out(tasks, workers=0) == [0, 1, 4, 9, 16]
+        assert fan_out(tasks, workers=2) == [0, 1, 4, 9, 16]
+
+    def test_submission_order_permuted_results_unchanged(self):
+        tasks = [(lambda i=i: i + 10) for i in range(4)]
+        shuffled = fan_out(tasks, workers=2, submission_order=[3, 1, 0, 2])
+        assert shuffled == [10, 11, 12, 13]
+
+    def test_submission_order_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            fan_out([lambda: 1, lambda: 2], submission_order=[0, 0])
+
+    def test_batch_map_serial_below_threshold(self):
+        calls = batch_map(lambda x: x + 1, [1, 2, 3], workers=4, min_items=16)
+        assert calls == [2, 3, 4]
+
+    def test_batch_map_parallel_matches_serial(self):
+        items = list(range(40))
+        expected = [x * 2 for x in items]
+        assert batch_map(lambda x: x * 2, items, workers=2, min_items=16) == expected
+
+
+class TestTaskSpecs:
+    SPEC = RunTask(
+        "DS",
+        SystemSpec.of("deepsea"),
+        FixtureSpec("sdss", 10.0, log_queries=500),
+        WorkloadSpec(QUERIES),
+    )
+
+    def test_specs_pickle_roundtrip(self):
+        clone = pickle.loads(pickle.dumps(self.SPEC))
+        assert clone == self.SPEC
+        assert hash(clone) == hash(self.SPEC)
+
+    def test_spec_runs_like_direct_construction(self):
+        fx = _fixture()
+        direct = run_systems({"DS": _factories(fx)["DS"]}, _plans(fx))["DS"]
+        from_spec = self.SPEC.run()
+        assert result_fingerprint(from_spec) == result_fingerprint(direct)
+
+    def test_unknown_factory_rejected(self):
+        spec = SystemSpec.of("no_such_system")
+        with pytest.raises(ValueError, match="unknown system factory"):
+            spec.build(_fixture())
+
+    def test_pool_fraction_resolved_against_catalog(self):
+        fx = _fixture()
+        system = SystemSpec.of("deepsea", pool_fraction=0.25).build(fx)
+        assert system.pool.smax_bytes == pytest.approx(
+            0.25 * fx.catalog.total_size_bytes
+        )
+
+    def test_workload_slice(self):
+        fx = _fixture()
+        whole = WorkloadSpec(QUERIES).build(fx)
+        shard = WorkloadSpec(QUERIES, start=4, stop=8).build(fx)
+        assert len(whole) == QUERIES
+        assert len(shard) == 4
+
+    def test_table_pickle_strips_lineage(self):
+        schema = Schema.of(Column("a"), Column("b"))
+        base = Table.from_dict(schema, {"a": [3, 1, 2], "b": [9, 8, 7]})
+        selected = base.filter(np.array([True, False, True]))
+        assert selected._lineage is not None
+        clone = pickle.loads(pickle.dumps(selected))
+        assert clone._lineage is None
+        assert clone.sorted_rows() == selected.sorted_rows()
+
+
+class TestDeterminism:
+    def test_run_systems_identical_across_worker_counts(self):
+        fx = _fixture()
+        plans = _plans(fx)
+        clear_caches()
+        serial = run_systems(_factories(fx), plans, workers=0)
+        base = fingerprint(serial)
+        for workers in (1, 4):
+            clear_caches()
+            results = run_systems(_factories(fx), plans, workers=workers)
+            assert fingerprint(results) == base, "\n".join(
+                diff_results(serial, results)
+            )
+
+    def test_shuffled_submission_same_fingerprints(self):
+        fixture = FixtureSpec("sdss", 10.0, log_queries=500)
+        workload = WorkloadSpec(QUERIES)
+        tasks = [
+            RunTask(label, SystemSpec.of(name), fixture, workload)
+            for label, name in (
+                ("H", "hive"),
+                ("NP", "non_partitioned"),
+                ("DS", "deepsea"),
+            )
+        ]
+        serial = fan_out(tasks, workers=0)
+        shuffled = fan_out(tasks, workers=2, submission_order=[2, 0, 1])
+        for a, b in zip(serial, shuffled):
+            assert result_fingerprint(a) == result_fingerprint(b)
+
+    def test_deepsea_parallel_refinement_same_fingerprints(self):
+        # batch_map inside §7.2's refinement filter must never change a
+        # decision, whatever the worker budget.
+        fx = _fixture()
+        plans = _plans(fx)
+
+        def run(workers):
+            system = deepsea(fx.catalog, domains=fx.domains)
+            system.parallel_workers = workers
+            return run_systems({"DS": lambda: system}, plans)
+
+        assert fingerprint(run(0)) == fingerprint(run(2))
+
+    def test_diff_results_names_divergence(self):
+        fx = _fixture()
+        plans = _plans(fx)
+        a = run_systems(_factories(fx), plans[:3])
+        b = run_systems({"H": _factories(fx)["H"]}, plans[:3])
+        lines = diff_results(a, b)
+        assert any("present only in serial" in line for line in lines)
+
+
+class TestCacheRegistry:
+    def test_known_caches_registered(self):
+        names = caches.registered_caches()
+        for expected in (
+            "bench.harness.fixtures",
+            "engine.indexes.probe",
+            "engine.indexes.sort",
+            "matching.match_view",
+            "query.analysis",
+            "query.optimizer.pushdown",
+            "query.signature",
+        ):
+            assert expected in names
+
+    def test_registration_idempotent_latest_wins(self):
+        calls = []
+        try:
+            caches.register_cache("test.dummy", lambda: calls.append("old"))
+            caches.register_cache("test.dummy", lambda: calls.append("new"))
+            caches.clear_all_caches()
+            assert calls == ["new"]
+        finally:
+            caches._CLEARERS.pop("test.dummy", None)
+            caches._STATS.pop("test.dummy", None)
+
+    def test_stats_shape(self):
+        for name, stats in caches.cache_stats().items():
+            for key in ("hits", "misses", "evictions", "entries"):
+                assert key in stats, f"{name} lacks {key!r}"
+                assert stats[key] >= 0
+
+    def test_harness_clear_caches_covers_registry(self):
+        fx = _fixture()
+        run_systems(_factories(fx), _plans(fx))
+        assert any(s["entries"] > 0 for s in caches.cache_stats().values())
+        clear_caches()
+        stats = caches.cache_stats()
+        assert all(s["entries"] == 0 for s in stats.values())
+        assert all(s["hits"] == 0 and s["misses"] == 0 for s in stats.values())
+
+
+class TestCacheCounters:
+    def test_sort_index_hits_and_misses(self):
+        schema = Schema.of(Column("k"))
+        table = Table.from_dict(schema, {"k": [3, 1, 2]})
+        before = _GLOBAL_CACHE.stats()
+        _GLOBAL_CACHE.sort_index(table, "k")
+        _GLOBAL_CACHE.sort_index(table, "k")
+        after = _GLOBAL_CACHE.stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 1
+
+    def test_sort_index_eviction_counted_on_table_death(self):
+        schema = Schema.of(Column("k"))
+        table = Table.from_dict(schema, {"k": [3, 1, 2]})
+        _GLOBAL_CACHE.sort_index(table, "k")
+        before = _GLOBAL_CACHE.stats()["evictions"]
+        del table
+        gc.collect()
+        assert _GLOBAL_CACHE.stats()["evictions"] == before + 1
+
+    def test_workload_populates_counters(self):
+        clear_caches()
+        fx = _fixture()
+        run_systems(_factories(fx), _plans(fx))
+        stats = caches.cache_stats()
+        assert stats["engine.indexes.sort"]["hits"] > 0
+        assert stats["engine.indexes.sort"]["misses"] > 0
+        assert stats["query.signature"]["hits"] > 0
+
+
+class TestProfileIntegration:
+    def test_parallel_profilers_merge(self):
+        fx = _fixture()
+        plans = _plans(fx)
+        profilers = {label: WallClockProfiler() for label in ("H", "NP", "DS")}
+        telemetry = {}
+        run_systems(
+            _factories(fx), plans, profilers, workers=2, telemetry=telemetry
+        )
+        for label, prof in profilers.items():
+            assert prof.queries == QUERIES, label
+            assert prof.total_seconds > 0, label
+        assert set(telemetry) == {"H", "NP", "DS"}
+        for info in telemetry.values():
+            assert info.profile is not None
+            assert "engine.indexes.sort" in info.caches
+
+
+class TestCheckReport:
+    BASELINE = {
+        "total_seconds": 1.0,
+        "stages": {
+            "matching": {"seconds": 0.5, "calls": 10},
+            "materialization": {"seconds": 0.01, "calls": 10},
+        },
+    }
+
+    def test_ok_within_limit(self):
+        report = {
+            "total_seconds": 1.5,
+            "stages": {"matching": {"seconds": 0.8, "calls": 10}},
+        }
+        ok, message = check_report_against_baseline(report, self.BASELINE)
+        assert ok
+        assert message.startswith("OK")
+
+    def test_regression_names_the_phase(self):
+        report = {
+            "total_seconds": 1.5,
+            "stages": {"matching": {"seconds": 4.0, "calls": 10}},
+        }
+        ok, message = check_report_against_baseline(report, self.BASELINE)
+        assert not ok
+        assert "REGRESSION" in message
+        assert "stage matching" in message.splitlines()[0]
+
+    def test_tiny_stages_not_gated(self):
+        # materialization (10 ms baseline) regressing 100x is noise, not
+        # a gate trip, as long as total and the large stages hold.
+        report = {
+            "total_seconds": 1.0,
+            "stages": {
+                "matching": {"seconds": 0.5, "calls": 10},
+                "materialization": {"seconds": 1.0, "calls": 10},
+            },
+        }
+        ok, _ = check_report_against_baseline(report, self.BASELINE)
+        assert ok
+
+    def test_missing_baseline_total_fails(self):
+        ok, message = check_report_against_baseline({"total_seconds": 1.0}, {})
+        assert not ok
+        assert "baseline" in message
+
+
+class TestCliDeterminism:
+    def test_determinism_command_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "determinism",
+                "--queries",
+                "8",
+                "--instance-gb",
+                "10",
+                "--workers",
+                "1,2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "identical" in out
