@@ -36,10 +36,20 @@ class RunResult:
 
     label: str
     reports: list[QueryReport]
+    # Fault-injection event log (repro.faults), one line per fired fault
+    # or completed recovery; empty for fault-free runs.
+    fault_events: tuple[str, ...] = ()
 
     @property
     def total_s(self) -> float:
         return sum(r.total_s for r in self.reports)
+
+    @property
+    def fault_s(self) -> float:
+        return sum(
+            r.execution_ledger.fault_s + r.creation_ledger.fault_s
+            for r in self.reports
+        )
 
     @property
     def execution_s(self) -> float:
@@ -104,7 +114,9 @@ def run_system(
     if profiler is not None:
         system.profiler = profiler
     try:
-        return RunResult(label, [system.execute(p) for p in plans])
+        reports = [system.execute(p) for p in plans]
+        events = system.faults.event_log() if system.faults is not None else ()
+        return RunResult(label, reports, events)
     finally:
         if profiler is not None:
             system.profiler = None

@@ -347,6 +347,126 @@ def cmd_determinism(
     return status
 
 
+def cmd_chaos(
+    schedules: list[str],
+    queries: int,
+    instance_gb: float,
+    seed: int,
+    workers: int = 0,
+    list_schedules: bool = False,
+) -> int:
+    """Run fig5a under fault schedules and verify the chaos invariant.
+
+    For each schedule the H / NP / DS systems run twice over the same
+    workload — fault-free and with the schedule attached — and
+    :func:`repro.faults.verify.verify_run` checks both directions of the
+    contract: result tables and decision trails byte-identical, ledgers
+    strictly costlier.  Exits non-zero on any divergence, printing which
+    query and which field diverged.
+    """
+    from repro.errors import FaultError
+    from repro.faults import FaultSchedule, builtin_schedule_names, verify_run
+    from repro.parallel.pool import fan_out
+    from repro.parallel.tasks import FixtureSpec, RunTask, SystemSpec, WorkloadSpec
+
+    if list_schedules:
+        from repro.faults import BUILTIN_SCHEDULES
+
+        rows = [
+            (
+                name,
+                sched.seed,
+                ", ".join(f"{s.kind}={s.rate:g}" for s in sched.specs),
+            )
+            for name, sched in sorted(BUILTIN_SCHEDULES.items())
+        ]
+        print(
+            format_table(
+                ["schedule", "seed", "fault rates"],
+                rows,
+                title="Built-in fault schedules",
+            )
+        )
+        return 0
+
+    names = schedules or builtin_schedule_names()
+    try:
+        for name in names:
+            FaultSchedule.resolve(name)
+    except FaultError as exc:
+        print(f"bad --schedule: {exc}", file=sys.stderr)
+        return 2
+
+    fixture = FixtureSpec("sdss", instance_gb)
+    workload = WorkloadSpec(queries, seed)
+    systems = (("H", "hive"), ("NP", "non_partitioned"), ("DS", "deepsea"))
+    base_tasks = [
+        RunTask(label, SystemSpec.of(factory), fixture, workload)
+        for label, factory in systems
+    ]
+    chaos_tasks = [
+        RunTask(label, SystemSpec.of(factory), fixture, workload, faults=name)
+        for name in names
+        for label, factory in systems
+    ]
+    # Schedules with a worker_kill rate also attack the harness itself:
+    # pool workers are hard-killed on their first dispatch of the drawn
+    # tasks and the orphaned runs re-dispatch — byte-identical results
+    # (the re-run executes the same spec) or fan_out raises, never hangs.
+    all_tasks = base_tasks + chaos_tasks
+    kill_plan: dict[int, int] = {}
+    for name in names:
+        sched = FaultSchedule.resolve(name)
+        if sched.rate("worker_kill") > 0:
+            for index, crashes in sched.injector().worker_kill_plan(
+                len(all_tasks)
+            ).items():
+                kill_plan[index] = max(kill_plan.get(index, 0), crashes)
+    outputs = fan_out(all_tasks, workers, fault_plan=kill_plan or None)
+    baselines = {
+        task.label: result for task, result in zip(base_tasks, outputs)
+    }
+
+    status = 0
+    rows = []
+    for task, faulted in zip(chaos_tasks, outputs[len(base_tasks) :]):
+        report = verify_run(baselines[task.label], faulted, task.faults)
+        rows.append(
+            (
+                report.schedule,
+                report.label,
+                "ok" if report.ok else "FAIL",
+                report.events,
+                f"{report.baseline_s:.1f}",
+                f"{report.faulted_s:.1f}",
+                f"{report.overhead_s:+.1f}",
+            )
+        )
+        if not report.ok:
+            status = 1
+            for problem in report.problems:
+                print(
+                    f"{report.schedule} / {report.label}: {problem}",
+                    file=sys.stderr,
+                )
+    print(
+        format_table(
+            ["schedule", "system", "verdict", "events", "fault-free (s)",
+             "faulted (s)", "overhead (s)"],
+            rows,
+            title=f"Chaos harness — fig5a, {queries} queries, "
+            f"{instance_gb:.0f}GB, schedules {'/'.join(names)}",
+        )
+    )
+    print(
+        "answers byte-identical under every schedule; all ledgers strictly costlier"
+        if status == 0
+        else "CHAOS INVARIANT VIOLATED — faults changed answers or cost did not rise",
+        file=sys.stderr if status else sys.stdout,
+    )
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -389,6 +509,22 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", default="1,2,4", metavar="N[,N...]",
         help="comma-separated worker counts to check against serial",
     )
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run fig5a under fault schedules; verify answers never change",
+    )
+    chaos_p.add_argument(
+        "--schedule", action="append", default=[], metavar="NAME|JSON",
+        help="fault schedule (built-in name or FaultSchedule JSON); "
+        "repeatable; default: every built-in schedule",
+    )
+    chaos_p.add_argument("--queries", type=int, default=80)
+    chaos_p.add_argument("--instance-gb", type=float, default=20.0)
+    chaos_p.add_argument("--seed", type=int, default=2)
+    chaos_p.add_argument("--workers", type=int, default=0,
+                         help="fan (system x schedule) runs out over N pool workers")
+    chaos_p.add_argument("--list-schedules", action="store_true",
+                         help="print the built-in schedules and exit")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -407,6 +543,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"invalid --workers list: {args.workers!r}", file=sys.stderr)
             return 2
         return cmd_determinism(args.queries, args.instance_gb, args.seed, counts)
+    if args.command == "chaos":
+        return cmd_chaos(
+            args.schedule, args.queries, args.instance_gb, args.seed,
+            args.workers, args.list_schedules,
+        )
     return cmd_compare(args.queries, args.pool, args.instance_gb, args.seed)
 
 

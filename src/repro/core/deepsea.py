@@ -59,6 +59,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.cost import ClusterSpec, CostLedger
 from repro.engine.executor import ExecutionContext, Executor
 from repro.engine.table import Table
+from repro.errors import ControllerCrashError
 from repro.matching.filter_tree import FilterTree
 from repro.matching.matcher import partition_attr_ranges
 from repro.matching.partition_match import greedy_cover
@@ -194,6 +195,14 @@ class DeepSea:
         # the refinement filter (repro.parallel.batch_map).  0 keeps the
         # serial inline path; any value yields identical decisions.
         self.parallel_workers = 0
+        # Optional repro.faults.injector.FaultInjector (attach_faults).
+        # None — the default, and the only configuration the seed
+        # benchmarks use — keeps every path bit-identical to before.
+        self.faults = None
+        # True while a crashed repartitioning step is being retried: the
+        # fresh controller that picks the step up does not immediately
+        # die again, so the retry draws no crash decision.
+        self._retrying = False
 
     _NULL_STAGE = nullcontext()
 
@@ -203,12 +212,41 @@ class DeepSea:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    def attach_faults(self, faults):
+        """Enable deterministic fault injection for the rest of this run.
+
+        ``faults`` is a :class:`~repro.faults.schedule.FaultSchedule`, a
+        built-in schedule name / JSON string, or a ready-made
+        :class:`~repro.faults.injector.FaultInjector`.  Attaching wires
+        all three recovery layers at once: task retry/speculation in the
+        cost ledgers, replica damage and recompute-from-base-tables in
+        the storage stack, and journaled crash/rollback/retry around
+        repartitioning steps.  Returns the injector for inspection.
+        """
+        from repro.faults.injector import FaultInjector
+        from repro.faults.recovery import FragmentRecovery
+        from repro.faults.schedule import FaultSchedule
+
+        injector = (
+            faults
+            if isinstance(faults, FaultInjector)
+            else FaultSchedule.resolve(faults).injector()
+        )
+        self.faults = injector
+        self.pool.hdfs.attach_faults(injector)
+        self.pool.recovery = FragmentRecovery(self.catalog, self.cluster, injector)
+        return injector
+
     def execute(self, plan: Plan) -> QueryReport:
         """Process one query (Algorithm 1) and return its report."""
         self.clock += 1
         t = float(self.clock)
         exec_ledger = CostLedger(self.cluster)
         creation_ledger = CostLedger(self.cluster)
+        if self.faults is not None:
+            exec_ledger.faults = self.faults
+            creation_ledger.faults = self.faults
+            self._inject_pool_faults()
 
         if self.profiler is not None:
             self.profiler.queries += 1
@@ -274,7 +312,11 @@ class DeepSea:
                 table = captured.get(target_map[creation.view_id])
                 if table is None:
                     continue  # the rewriting bypassed this intermediate
-                created, evicted = self._materialize_view(creation, table, t, creation_ledger)
+                created, evicted = self._crash_safe(
+                    "materialize",
+                    partial(self._materialize_view, creation, table, t, creation_ledger),
+                    creation_ledger,
+                )
                 evictions += evicted
                 if created:
                     views_created.append(creation.view_id)
@@ -282,12 +324,20 @@ class DeepSea:
                     self._creation_cooldown[creation.view_id] = t + self.policy.creation_cooldown
             applied_refinements = 0
             for refinement in refinements:
-                done, evicted = self._apply_refinement(refinement, t, creation_ledger)
+                done, evicted = self._crash_safe(
+                    "repartition",
+                    partial(self._apply_refinement, refinement, t, creation_ledger),
+                    creation_ledger,
+                )
                 evictions += evicted
                 applied_refinements += int(done)
             if self.policy.merge_fragments:
                 for merge in self._plan_merges(matches, t):
-                    done, evicted = self._apply_merge(merge, t, creation_ledger)
+                    done, evicted = self._crash_safe(
+                        "merge",
+                        partial(self._apply_merge, merge, t, creation_ledger),
+                        creation_ledger,
+                    )
                     evictions += evicted
                     applied_refinements += int(done)
             if self.policy.multi_attribute:
@@ -337,6 +387,65 @@ class DeepSea:
         )
         self.reports.append(report)
         return report
+
+    # ------------------------------------------------------------------
+    # Fault injection and crash recovery (repro.faults)
+    # ------------------------------------------------------------------
+    def _inject_pool_faults(self) -> None:
+        """Once per query, maybe lose every replica of one pool entry.
+
+        The victim is drawn over the path-sorted entry list, so the draw
+        sequence — and therefore the whole faulted run — is a pure
+        function of the schedule seed.  The loss surfaces lazily: the
+        next read of the entry raises, the attached
+        :class:`~repro.faults.recovery.FragmentRecovery` recomputes it
+        from base tables, and the answer path continues unchanged.
+        """
+        candidates = sorted(
+            (e for e in self.pool.all_entries() if not self.pool.hdfs.is_lost(e.path)),
+            key=lambda e: e.path,
+        )
+        index = self.faults.lose_fragment(len(candidates))
+        if index is not None:
+            self.pool.hdfs.lose_replicas(candidates[index].path)
+
+    def _maybe_crash(self, site: str) -> None:
+        """Die mid-step if the injector says so (never during a retry)."""
+        if self.faults is None or self._retrying:
+            return
+        if self.faults.controller_crash(site):
+            raise ControllerCrashError(site)
+
+    def _crash_safe(self, site: str, fn, ledger: CostLedger):
+        """Run one repartitioning step with journaled crash recovery.
+
+        Without faults this is a plain call — no transaction, no
+        overhead, bit-identical to the seed.  With faults the step runs
+        inside a pool transaction; a mid-step controller crash rolls the
+        journal back (restoring the exact pre-step configuration, with
+        replayed re-writes charged to ``ledger``) and a fresh controller
+        retries the step.  The retry starts from the same state the
+        fault-free run saw, so it makes the same decisions — the crash
+        costs time, never answers.
+        """
+        if self.faults is None:
+            return fn()
+        self.pool.begin(site)
+        try:
+            out = fn()
+        except ControllerCrashError:
+            self.pool.rollback(ledger)
+            self.faults.record_recovery(site, "journal rollback, step retried")
+            self._retrying = True
+            self.pool.begin(site)
+            try:
+                out = fn()
+                self.pool.commit()
+            finally:
+                self._retrying = False
+            return out
+        self.pool.commit()
+        return out
 
     # ------------------------------------------------------------------
     # Candidate registration (Definitions 6 and 7)
@@ -762,6 +871,7 @@ class DeepSea:
         evicted = 0
         total_files = 0
         for index, attr in enumerate(creation.attrs):
+            self._maybe_crash("materialize")
             domain = self.domains(attr)
             intervals = self._creation_intervals(creation, attr, table, domain)
             column = table.column(attr)
@@ -919,7 +1029,7 @@ class DeepSea:
         whole = self.pool.whole_view_entry(view_id)
         if whole is not None:
             ledger.charge_read(whole.size_bytes, nfiles=1)
-            return self.pool.read_entry(whole.fragment_id)
+            return self.pool.read_entry(whole.fragment_id, ledger)
         for attr in self.pool.partition_attrs(view_id):
             domain = self.domains(attr)
             if domain is None:
@@ -934,7 +1044,7 @@ class DeepSea:
             for covered in cover:
                 entry = by_interval[covered.interval]
                 total += entry.size_bytes
-                piece = self.pool.read_entry(entry.fragment_id)
+                piece = self.pool.read_entry(entry.fragment_id, ledger)
                 if covered.clip is not None:
                     piece = piece.filter(covered.clip.mask(piece.column(attr)))
                 pieces.append(piece)
@@ -996,8 +1106,8 @@ class DeepSea:
             FragmentKey(merge.view_id, merge.attr, merge.merged)
         ) is not None:
             return False, 0
-        left_table = self.pool.read_entry(left.fragment_id)
-        right_table = self.pool.read_entry(right.fragment_id)
+        left_table = self.pool.read_entry(left.fragment_id, ledger)
+        right_table = self.pool.read_entry(right.fragment_id, ledger)
         ledger.charge_read(left.size_bytes, nfiles=1)
         ledger.charge_read(right.size_bytes, nfiles=1)
         merged_table = left_table.concat(right_table)
@@ -1016,6 +1126,9 @@ class DeepSea:
         merged_stats.set_actual_size(merged_table.size_bytes)
         self.pool.evict(left.fragment_id)
         self.pool.evict(right.fragment_id)
+        # Same dangerous window as refinement: both halves gone, the
+        # merged entry not yet admitted.
+        self._maybe_crash("merge")
         controller = AdmissionController(
             self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis
         )
@@ -1051,7 +1164,7 @@ class DeepSea:
         )
         if parent_entry is None:
             return False, 0  # parent evicted meanwhile: design-only refinement
-        parent_table = self.pool.read_entry(parent_entry.fragment_id)
+        parent_table = self.pool.read_entry(parent_entry.fragment_id, ledger)
         ledger.charge_read(parent_entry.size_bytes, nfiles=1)
         column_name = refinement.attr
         controller = AdmissionController(self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis)
@@ -1061,6 +1174,10 @@ class DeepSea:
         else:
             self.pool.evict(parent_entry.fragment_id)
             new_intervals = refinement.split_pieces
+        # The dangerous window: the parent is gone, its pieces not yet
+        # admitted.  A crash here must roll back to the parent or the
+        # configuration has a hole the fault-free run never had.
+        self._maybe_crash("repartition")
 
         evicted = 0
         written_bytes = 0.0

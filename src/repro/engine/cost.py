@@ -59,6 +59,10 @@ class ClusterSpec:
     write_s_per_byte: float = 4.0e-7
     shuffle_s_per_byte: float = 5.0e-7
     file_write_overhead_s: float = 5.0
+    # Base wait before a failed map task is re-dispatched; doubles per
+    # attempt (the classic exponential-backoff retry of the MR scheduler).
+    # Only ever charged under fault injection (repro.faults).
+    retry_backoff_s: float = 2.0
 
     # ------------------------------------------------------------------
     def map_tasks(self, nbytes: float, nfiles: int = 1) -> int:
@@ -106,7 +110,15 @@ class ClusterSpec:
 
 @dataclass
 class CostLedger:
-    """Accumulates simulated time and resource counters for one execution."""
+    """Accumulates simulated time and resource counters for one execution.
+
+    When a :class:`~repro.faults.injector.FaultInjector` is attached via
+    ``faults``, every scan additionally draws map-task failures and
+    stragglers from it and charges their retry/speculation cost to
+    ``fault_s`` — cost accounting only; results are never touched.  With
+    ``faults`` left ``None`` (the default, and the only configuration the
+    seed benchmarks use) the ledger behaves bit-identically to before.
+    """
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     read_s: float = 0.0
@@ -118,16 +130,60 @@ class CostLedger:
     bytes_read: float = 0.0
     bytes_written: float = 0.0
     files_written: int = 0
+    # Fault accounting (repro.faults): extra simulated seconds paid to
+    # retries, backoff waits, speculative copies, replica re-reads, and
+    # recovery work, plus how many tasks each mechanism touched.
+    fault_s: float = 0.0
+    task_retries: int = 0
+    speculative_tasks: int = 0
+    fault_events: int = 0
+    faults: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def total_seconds(self) -> float:
-        return self.read_s + self.write_s + self.shuffle_s + self.overhead_s
+        return self.read_s + self.write_s + self.shuffle_s + self.overhead_s + self.fault_s
 
     # ------------------------------------------------------------------
     def charge_read(self, nbytes: float, nfiles: int = 1) -> None:
         self.read_s += self.cluster.read_elapsed(nbytes, nfiles)
-        self.map_tasks += self.cluster.map_tasks(nbytes, nfiles)
+        tasks = self.cluster.map_tasks(nbytes, nfiles)
+        self.map_tasks += tasks
         self.bytes_read += nbytes
+        if self.faults is not None and tasks > 0:
+            self._inject_task_faults(nbytes, tasks)
+
+    def _inject_task_faults(self, nbytes: float, tasks: int) -> None:
+        """Draw map-task failures/stragglers for one scan and charge them.
+
+        Each failed task re-executes serially after an exponential-backoff
+        wait (`retry_backoff_s · 2^(attempt-1)`); each straggler spawns one
+        speculative duplicate paying the task's full cost again.  Both are
+        pure cost: the re-executed task reads the same block and produces
+        the same rows, which is what keeps answers fault-invariant.
+        """
+        chains, stragglers = self.faults.map_task_faults(tasks)
+        if not chains and not stragglers:
+            return
+        c = self.cluster
+        per_task_s = (
+            c.task_overhead_s
+            + c.task_dispatch_s
+            + (nbytes / tasks) * c.read_s_per_byte
+        )
+        extra = 0.0
+        for attempts in chains:
+            for attempt in range(1, attempts + 1):
+                extra += per_task_s + c.retry_backoff_s * (2 ** (attempt - 1))
+            self.task_retries += attempts
+        extra += stragglers * per_task_s
+        self.speculative_tasks += stragglers
+        self.fault_s += extra
+        self.fault_events += len(chains) + stragglers
+
+    def charge_fault(self, seconds: float, events: int = 1) -> None:
+        """Charge recovery/degradation time drawn by the fault layer."""
+        self.fault_s += seconds
+        self.fault_events += events
 
     def charge_write(self, nbytes: float, nfiles: int = 1) -> None:
         self.write_s += self.cluster.write_elapsed(nbytes, nfiles)
@@ -152,3 +208,7 @@ class CostLedger:
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         self.files_written += other.files_written
+        self.fault_s += other.fault_s
+        self.task_retries += other.task_retries
+        self.speculative_tasks += other.speculative_tasks
+        self.fault_events += other.fault_events

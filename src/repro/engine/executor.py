@@ -162,7 +162,7 @@ class Executor:
             if entry is None:
                 raise PlanError(f"whole view not resident: {plan.view_id!r}")
             ledger.charge_read(entry.size_bytes, nfiles=1)
-            return pool.read_entry(entry.fragment_id)
+            return pool.read_entry(entry.fragment_id, ledger)
         total_bytes = 0.0
         pieces: list[Table] = []
         clips = plan.clips or (None,) * len(plan.fragment_ids)
@@ -171,7 +171,7 @@ class Executor:
         for fid, clip in zip(plan.fragment_ids, clips):
             entry = pool.get_fragment(fid)
             total_bytes += entry.size_bytes
-            piece = pool.read_entry(fid)
+            piece = pool.read_entry(fid, ledger)
             if clip is not None:
                 if plan.attr is None:
                     raise PlanError("clipped scan requires the partition attr")

@@ -37,3 +37,49 @@ class PoolError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload specification."""
+
+
+class FaultError(ReproError):
+    """An injected (simulated) fault surfaced to a caller.
+
+    Raised by the fault-injection layer (:mod:`repro.faults`) and by the
+    storage layer when injected damage makes an operation impossible
+    without recovery.  Catching :class:`FaultError` distinctly from
+    :class:`PoolError` separates *recoverable cluster adversity* from
+    caller bugs (unknown paths, duplicate admits), which stay
+    :class:`PoolError`.
+    """
+
+
+class BlockLostError(FaultError):
+    """Every replica of a stored file is gone; a plain read cannot succeed."""
+
+    def __init__(self, path: str):
+        super().__init__(f"all replicas lost: {path!r}")
+        self.path = path
+
+
+class ControllerCrashError(FaultError):
+    """Injected controller death between repartitioning steps."""
+
+    def __init__(self, site: str):
+        super().__init__(f"controller crashed at {site!r}")
+        self.site = site
+
+
+class RecoveryError(FaultError):
+    """A recovery path failed to restore a consistent, equivalent state."""
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died (crash/OOM/timeout) and retries were exhausted.
+
+    Carries the task index that could not be completed and how many times
+    it was dispatched, so callers can report exactly what was lost instead
+    of hanging on a result that will never arrive.
+    """
+
+    def __init__(self, message: str, *, index: int | None = None, dispatches: int = 0):
+        super().__init__(message)
+        self.index = index
+        self.dispatches = dispatches

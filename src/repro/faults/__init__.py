@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the simulated cluster.
+
+DeepSea's design assumptions come from a MapReduce world where map tasks
+fail and restart, stragglers trigger speculative copies, HDFS blocks go
+missing, and controllers die between repartitioning steps.  The seed's
+simulated cluster was perfect, so none of the paper's machinery was ever
+exercised under adversity.  This package makes adversity a first-class,
+*reproducible* input:
+
+* :mod:`repro.faults.schedule` — :class:`FaultSchedule`: a seeded,
+  picklable, JSON-serializable description of what goes wrong and how
+  often, plus a registry of built-in schedules.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: the seeded
+  random stream that turns a schedule into concrete decisions at each
+  injection site, logging every event it fires.
+* :mod:`repro.faults.recovery` — :class:`FragmentRecovery`: the
+  recompute-from-base-tables degradation path used when every replica of
+  a pool entry is lost.
+* :mod:`repro.faults.verify` — the chaos harness's invariant checker:
+  **faults may change cost, never answers** (result tables byte-identical
+  to the fault-free run, ledgers strictly costlier).
+"""
+
+from repro.faults.injector import FaultInjector, InjectedEvent
+from repro.faults.recovery import FragmentRecovery
+from repro.faults.schedule import (
+    BUILTIN_SCHEDULES,
+    FAULT_KINDS,
+    FaultSchedule,
+    FaultSpec,
+    builtin_schedule,
+    builtin_schedule_names,
+)
+from repro.faults.verify import InvariantReport, verify_run, verify_runs
+
+__all__ = [
+    "BUILTIN_SCHEDULES",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FragmentRecovery",
+    "InjectedEvent",
+    "InvariantReport",
+    "builtin_schedule",
+    "builtin_schedule_names",
+    "verify_run",
+    "verify_runs",
+]

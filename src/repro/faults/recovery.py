@@ -1,0 +1,73 @@
+"""Recompute-from-base-tables degradation for lost pool entries.
+
+When every replica of a materialized fragment is gone, the real system
+falls back to the view's defining query: re-run it over the base tables,
+re-filter to the fragment's interval, and heal the file.  The recomputed
+payload is byte-equivalent to the lost one — the definition plan is pure
+over immutable base tables and the interval filter is deterministic — so
+the degradation changes *cost* (a full recompute plus a re-write, charged
+as fault time) but never *answers*.  :meth:`SimulatedHDFS.restore`
+enforces the equivalence with a size check that raises
+:class:`~repro.errors.RecoveryError` on divergence.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.cost import ClusterSpec, CostLedger
+from repro.engine.executor import ExecutionContext, Executor
+from repro.engine.table import Table
+
+if TYPE_CHECKING:
+    from repro.engine.catalog import Catalog
+    from repro.faults.injector import FaultInjector
+    from repro.storage.pool import FragmentEntry, MaterializedViewPool
+
+
+class FragmentRecovery:
+    """Rebuilds a lost entry from its view definition over base tables."""
+
+    def __init__(
+        self,
+        catalog: "Catalog",
+        cluster: ClusterSpec,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
+        self.catalog = catalog
+        self.cluster = cluster
+        self.injector = injector
+        self.recovered = 0
+
+    def recover(
+        self,
+        pool: "MaterializedViewPool",
+        entry: "FragmentEntry",
+        ledger: CostLedger | None,
+    ) -> Table:
+        """Recompute ``entry``'s payload, heal the file, charge the price.
+
+        The recompute runs against the catalog only (no pool), so its plan
+        cannot recurse into other — possibly also damaged — pool entries.
+        Its full simulated cost, plus the re-write of the healed file, is
+        charged to ``ledger`` as fault time: the answer path is unchanged,
+        only the bill grows.
+        """
+        definition = pool.definition(entry.key.view_id)
+        scratch = CostLedger(self.cluster)
+        executor = Executor(ExecutionContext(self.catalog, None, self.cluster))
+        table = executor.execute(definition.plan, scratch).table
+        if entry.key.attr is not None:
+            table = table.filter(
+                entry.key.interval.mask(table.column(entry.key.attr))
+            )
+        scratch.charge_write(table.size_bytes, nfiles=1)
+        pool.hdfs.restore(entry.path, table)  # raises RecoveryError on divergence
+        if ledger is not None:
+            ledger.charge_fault(scratch.total_seconds)
+        self.recovered += 1
+        if self.injector is not None:
+            self.injector.record_recovery(
+                "pool", f"recomputed {entry.fragment_id} from base tables"
+            )
+        return table

@@ -1,0 +1,185 @@
+"""Fault schedules: seeded, serializable descriptions of cluster adversity.
+
+A :class:`FaultSchedule` is pure configuration — frozen dataclasses of
+primitives, picklable and JSON-round-trippable — so the same adversity can
+be replayed bit-for-bit in another process, another worker count, or
+another session.  The schedule never *decides* anything; decisions are
+drawn by :class:`~repro.faults.injector.FaultInjector`, which a schedule
+mints on demand.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+
+#: Every injection site the simulator understands, and where it fires:
+#:
+#: ``task_failure``      map tasks in the cost model; retried with backoff
+#: ``straggler``         map tasks in the cost model; speculative copy
+#: ``replica_loss``      one HDFS replica on read; re-read from a sibling
+#: ``block_corruption``  checksum failure on read; detect + re-read
+#: ``fragment_loss``     all replicas of one pool entry, once per query
+#: ``controller_crash``  between repartitioning steps; journal rollback
+#: ``worker_kill``       parallel-runner worker death; bounded re-dispatch
+FAULT_KINDS = frozenset(
+    {
+        "task_failure",
+        "straggler",
+        "replica_loss",
+        "block_corruption",
+        "fragment_loss",
+        "controller_crash",
+        "worker_kill",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One knob of a schedule: a fault kind and its per-opportunity rate."""
+
+    kind: str
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultError(f"fault rate must be in [0, 1], got {self.rate!r}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named, seeded set of fault rates.
+
+    The seed fully determines every decision an injector minted from this
+    schedule will ever make (given the same sequence of injection-site
+    calls, which the engine guarantees is deterministic per run).
+    """
+
+    name: str
+    seed: int
+    specs: tuple[FaultSpec, ...]
+
+    def __post_init__(self) -> None:
+        kinds = [s.kind for s in self.specs]
+        if len(kinds) != len(set(kinds)):
+            raise FaultError(f"duplicate fault kinds in schedule {self.name!r}")
+
+    @classmethod
+    def of(cls, name: str, seed: int = 0, **rates: float) -> "FaultSchedule":
+        """Build a schedule from keyword rates: ``of("x", task_failure=0.05)``."""
+        specs = tuple(FaultSpec(kind, rate) for kind, rate in sorted(rates.items()))
+        return cls(name, seed, specs)
+
+    def rate(self, kind: str) -> float:
+        for spec in self.specs:
+            if spec.kind == kind:
+                return spec.rate
+        return 0.0
+
+    def injector(self):
+        """Mint a fresh seeded :class:`~repro.faults.injector.FaultInjector`."""
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "seed": self.seed,
+                "faults": {s.kind: s.rate for s in self.specs},
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"invalid schedule JSON: {exc}") from None
+        if not isinstance(data, dict) or "faults" not in data:
+            raise FaultError("schedule JSON must be an object with a 'faults' map")
+        return cls.of(
+            str(data.get("name", "unnamed")),
+            int(data.get("seed", 0)),
+            **{str(k): float(v) for k, v in data["faults"].items()},
+        )
+
+    @classmethod
+    def resolve(cls, ref: "str | FaultSchedule") -> "FaultSchedule":
+        """A schedule from a built-in name, a JSON string, or itself."""
+        if isinstance(ref, FaultSchedule):
+            return ref
+        if ref in BUILTIN_SCHEDULES:
+            return BUILTIN_SCHEDULES[ref]
+        if ref.lstrip().startswith("{"):
+            return cls.from_json(ref)
+        raise FaultError(
+            f"unknown schedule {ref!r}; built-ins: {builtin_schedule_names()}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Built-in schedules (the chaos CLI's defaults)
+# ----------------------------------------------------------------------
+# Rates are calibrated for the small-scale chaos workloads: high enough
+# that every kind fires several times over ~50-150 queries, low enough
+# that recovery (not collapse) dominates.  All include a task-failure
+# floor so *every* system variant — including H, which never touches the
+# pool — pays a strictly positive fault cost.
+BUILTIN_SCHEDULES: dict[str, FaultSchedule] = {
+    s.name: s
+    for s in (
+        FaultSchedule.of(
+            "flaky-tasks", seed=7, task_failure=0.004, straggler=0.002
+        ),
+        FaultSchedule.of(
+            "lossy-blocks",
+            seed=11,
+            task_failure=0.001,
+            replica_loss=0.08,
+            block_corruption=0.04,
+        ),
+        FaultSchedule.of(
+            "amnesiac-pool", seed=13, task_failure=0.001, fragment_loss=0.08
+        ),
+        FaultSchedule.of(
+            "crashy-controller", seed=17, task_failure=0.001, controller_crash=0.25
+        ),
+        FaultSchedule.of(
+            "perfect-storm",
+            seed=23,
+            task_failure=0.002,
+            straggler=0.001,
+            replica_loss=0.04,
+            block_corruption=0.02,
+            fragment_loss=0.05,
+            controller_crash=0.15,
+            worker_kill=0.25,
+        ),
+    )
+}
+
+
+def builtin_schedule(name: str) -> FaultSchedule:
+    try:
+        return BUILTIN_SCHEDULES[name]
+    except KeyError:
+        raise FaultError(
+            f"no built-in schedule {name!r}; known: {builtin_schedule_names()}"
+        ) from None
+
+
+def builtin_schedule_names() -> list[str]:
+    return sorted(BUILTIN_SCHEDULES)

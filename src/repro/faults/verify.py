@@ -1,0 +1,139 @@
+"""The chaos harness's invariant checker.
+
+The contract every recovery path in this codebase is built around:
+**faults may change cost, never answers**.  A run under a fault schedule
+must produce, query for query, the same result rows and the same
+decision trail (views used/created, refinements, evictions, pool bytes)
+as the fault-free run — while its ledgers are *strictly* costlier,
+because retries, re-reads, recomputes, and journal replays are real
+simulated work.
+
+:func:`verify_run` checks both directions for one system and returns an
+:class:`InvariantReport`; ``python -m repro chaos`` prints one line per
+(system × schedule) and exits non-zero if any report has problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.parallel.determinism import report_fingerprint
+
+if TYPE_CHECKING:
+    from repro.bench.harness import RunResult
+
+# Positional names of the report_fingerprint tuple, for diff messages.
+_FIELD_NAMES = (
+    "index",
+    "execution_ledger",
+    "creation_ledger",
+    "view_used",
+    "fragments_read",
+    "views_created",
+    "refinements",
+    "evictions",
+    "pool_bytes",
+    "sorted_rows",
+)
+
+_MAX_PROBLEMS = 8
+
+
+@dataclass
+class InvariantReport:
+    """Verdict for one (system × schedule) chaos run."""
+
+    label: str
+    schedule: str
+    events: int
+    baseline_s: float
+    faulted_s: float
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    @property
+    def overhead_s(self) -> float:
+        return self.faulted_s - self.baseline_s
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else "FAIL"
+        line = (
+            f"{self.label:<10} {self.schedule:<18} {verdict:<5} "
+            f"events={self.events:<4} "
+            f"baseline={self.baseline_s:10.1f}s "
+            f"faulted={self.faulted_s:10.1f}s "
+            f"overhead={self.overhead_s:+9.1f}s"
+        )
+        for problem in self.problems:
+            line += f"\n    ! {problem}"
+        return line
+
+
+def verify_run(
+    baseline: "RunResult", faulted: "RunResult", schedule: str = "?"
+) -> InvariantReport:
+    """Check the answers-never-change / strictly-costlier invariant pair.
+
+    ``baseline`` and ``faulted`` must be the same system over the same
+    workload, with and without a fault schedule attached.  Ledgers are
+    masked out of the answer comparison (they are *supposed* to differ)
+    and checked separately for the strict cost increase.
+    """
+    problems: list[str] = []
+    if len(baseline.reports) != len(faulted.reports):
+        problems.append(
+            f"report count diverged: {len(baseline.reports)} fault-free vs "
+            f"{len(faulted.reports)} faulted"
+        )
+    else:
+        for base, fault in zip(baseline.reports, faulted.reports):
+            if len(problems) >= _MAX_PROBLEMS:
+                problems.append("... (further divergences truncated)")
+                break
+            fp_base = report_fingerprint(base, include_ledgers=False)
+            fp_fault = report_fingerprint(fault, include_ledgers=False)
+            if fp_base == fp_fault:
+                continue
+            for name, vb, vf in zip(_FIELD_NAMES, fp_base, fp_fault):
+                if vb != vf:
+                    problems.append(
+                        f"query {base.index}: {name} diverged under faults"
+                    )
+                    break
+    events = len(faulted.fault_events)
+    if events == 0:
+        problems.append("schedule fired no faults — nothing was exercised")
+    elif faulted.total_s <= baseline.total_s:
+        problems.append(
+            f"faulted ledger not strictly costlier: "
+            f"{faulted.total_s:.3f}s vs {baseline.total_s:.3f}s fault-free"
+        )
+    return InvariantReport(
+        baseline.label,
+        schedule,
+        events,
+        baseline.total_s,
+        faulted.total_s,
+        problems,
+    )
+
+
+def verify_runs(
+    baselines: "dict[str, RunResult]",
+    faulted: "dict[str, RunResult]",
+    schedule: str = "?",
+) -> list[InvariantReport]:
+    """One :class:`InvariantReport` per system label, in baseline order."""
+    reports = []
+    for label, base in baselines.items():
+        if label not in faulted:
+            report = InvariantReport(label, schedule, 0, base.total_s, 0.0)
+            report.problems.append("no faulted run for this system")
+            reports.append(report)
+            continue
+        reports.append(verify_run(base, faulted[label], schedule))
+    return reports

@@ -36,6 +36,10 @@ _LEDGER_FIELDS = (
     "bytes_read",
     "bytes_written",
     "files_written",
+    "fault_s",
+    "task_retries",
+    "speculative_tasks",
+    "fault_events",
 )
 
 
@@ -43,15 +47,26 @@ def _ledger_tuple(ledger) -> tuple:
     return tuple(repr(getattr(ledger, name)) for name in _LEDGER_FIELDS)
 
 
-def report_fingerprint(report: "QueryReport", *, include_rows: bool = True) -> tuple:
-    """Canonical tuple of one query's observable outputs."""
+def report_fingerprint(
+    report: "QueryReport",
+    *,
+    include_rows: bool = True,
+    include_ledgers: bool = True,
+) -> tuple:
+    """Canonical tuple of one query's observable outputs.
+
+    ``include_ledgers=False`` masks both cost ledgers: the chaos harness
+    (:mod:`repro.faults.verify`) compares a faulted run against its
+    fault-free twin, where ledgers are *supposed* to differ while every
+    other field — answers and decisions — must not.
+    """
     rows: tuple = ()
     if include_rows:
         rows = tuple(repr(row) for row in report.result.sorted_rows())
     return (
         report.index,
-        _ledger_tuple(report.execution_ledger),
-        _ledger_tuple(report.creation_ledger),
+        _ledger_tuple(report.execution_ledger) if include_ledgers else "<masked>",
+        _ledger_tuple(report.creation_ledger) if include_ledgers else "<masked>",
         report.view_used,
         report.fragments_read,
         tuple(report.views_created),
@@ -62,24 +77,41 @@ def report_fingerprint(report: "QueryReport", *, include_rows: bool = True) -> t
     )
 
 
-def result_fingerprint(result: "RunResult", *, include_rows: bool = True) -> tuple:
+def result_fingerprint(
+    result: "RunResult",
+    *,
+    include_rows: bool = True,
+    include_ledgers: bool = True,
+) -> tuple:
     """Canonical tuple of one system's whole run."""
     return (
         result.label,
         tuple(
-            report_fingerprint(r, include_rows=include_rows) for r in result.reports
+            report_fingerprint(
+                r, include_rows=include_rows, include_ledgers=include_ledgers
+            )
+            for r in result.reports
         ),
     )
 
 
 def fingerprint(
-    results: "dict[str, RunResult]", *, include_rows: bool = True
+    results: "dict[str, RunResult]",
+    *,
+    include_rows: bool = True,
+    include_ledgers: bool = True,
 ) -> str:
     """One hex digest over a ``run_systems`` result dict (canonical order)."""
     digest = hashlib.sha256()
     for label in sorted(results):
         digest.update(
-            repr(result_fingerprint(results[label], include_rows=include_rows)).encode()
+            repr(
+                result_fingerprint(
+                    results[label],
+                    include_rows=include_rows,
+                    include_ledgers=include_ledgers,
+                )
+            ).encode()
         )
     return digest.hexdigest()
 

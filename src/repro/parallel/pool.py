@@ -25,13 +25,28 @@ Design constraints, in order:
    cannot be missed.  The caches are semantically transparent, so this is
    belt-and-braces for byte-identical ledgers, not a correctness
    requirement.
+4. **No hangs.**  The parent owns one pipe per worker and multiplexes
+   them with :func:`multiprocessing.connection.wait`, so a worker that
+   dies (crash, OOM-kill, ``os._exit``) surfaces as EOF on its pipe
+   instead of a result that never arrives.  The orphaned task is
+   re-dispatched to a fresh worker up to ``retries`` extra times; an
+   optional per-task timeout kills and re-dispatches stuck tasks the same
+   way.  Exhausted retries raise a typed
+   :class:`~repro.errors.WorkerCrashError` naming the task, never a
+   silent ``None`` and never a hang.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection
 from typing import Any, Callable, Sequence, TypeVar
+
+from repro.errors import WorkerCrashError
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -42,6 +57,10 @@ U = TypeVar("U")
 # its own _TASKS is set — the guard in fan_out).
 _TASKS: "Sequence[Callable[[], Any]] | None" = None
 
+# How long to wait for a killed worker process to be reaped before
+# escalating from terminate() to kill().
+_REAP_GRACE_S = 2.0
+
 
 def _worker_init() -> None:
     """Per-worker startup: drop every cache forked from the parent."""
@@ -50,9 +69,72 @@ def _worker_init() -> None:
     clear_all_caches()
 
 
-def _run_indexed(index: int) -> tuple[int, Any]:
-    assert _TASKS is not None
-    return index, _TASKS[index]()
+def _worker_main(conn) -> None:
+    """Worker loop: receive ``(index, attempt, crashes)``, send results.
+
+    ``crashes`` is the task's entry in the caller's ``fault_plan``: while
+    ``attempt <= crashes`` the worker dies via ``os._exit`` *before*
+    running the task — an honest hard crash (no exception, no cleanup,
+    just a dead process and an EOF on the pipe) used by the chaos tests
+    to prove the parent's crash detection end to end.  A ``None`` index
+    is the shutdown sentinel.
+    """
+    _worker_init()
+    while True:
+        try:
+            index, attempt, crashes = conn.recv()
+        except (EOFError, OSError):
+            return
+        if index is None:
+            return
+        if attempt <= crashes:
+            os._exit(17)
+        try:
+            value = _TASKS[index]()
+        except BaseException as exc:  # propagate to the parent, keep serving
+            try:
+                conn.send(("err", index, exc))
+            except Exception:
+                conn.send(("err", index, RuntimeError(repr(exc))))
+            continue
+        conn.send(("ok", index, value))
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle for one worker process."""
+
+    proc: Any
+    conn: Any
+    current: "int | None" = None
+    deadline: "float | None" = None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def shutdown(self) -> None:
+        try:
+            if self.alive:
+                self.conn.send((None, 0, 0))
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(_REAP_GRACE_S)
+        if self.alive:
+            self.proc.terminate()
+            self.proc.join(_REAP_GRACE_S)
+        if self.alive:
+            self.proc.kill()
+            self.proc.join()
+        self.conn.close()
+
+    def kill(self) -> None:
+        self.proc.terminate()
+        self.proc.join(_REAP_GRACE_S)
+        if self.alive:
+            self.proc.kill()
+            self.proc.join()
+        self.conn.close()
 
 
 def default_workers() -> int:
@@ -72,6 +154,9 @@ def fan_out(
     workers: int = 0,
     *,
     submission_order: "Sequence[int] | None" = None,
+    retries: int = 1,
+    task_timeout: "float | None" = None,
+    fault_plan: "dict[int, int] | None" = None,
 ) -> list[T]:
     """Run independent thunks, results in task order for any worker count.
 
@@ -81,6 +166,18 @@ def fan_out(
     are *handed to* the pool without affecting the order results are
     *returned* in; it exists so the determinism tests can prove that
     claim.
+
+    A task whose worker dies mid-run is re-dispatched to a fresh worker
+    up to ``retries`` extra times; ``task_timeout`` (real seconds per
+    dispatch) kills and re-dispatches stuck tasks the same way.  When a
+    task exhausts its dispatches, :class:`~repro.errors.WorkerCrashError`
+    is raised with the task index — the pool never hangs and never
+    silently drops a result.  ``fault_plan`` maps a task index to a
+    number of leading dispatches whose worker hard-crashes before running
+    it (the chaos hook; see :func:`repro.faults.injector.FaultInjector.
+    worker_kill_plan`).  Because results are slotted by index and each
+    re-run executes the identical thunk, crashes perturb scheduling only
+    — outputs are byte-identical to a crash-free run.
     """
     global _TASKS
     tasks = list(tasks)
@@ -91,6 +188,8 @@ def fan_out(
     )
     if sorted(order) != list(range(len(tasks))):
         raise ValueError("submission_order must be a permutation of the task indexes")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
 
     serial = (
         workers <= 1
@@ -105,15 +204,83 @@ def fan_out(
         return results
 
     context = multiprocessing.get_context("fork")
+    fault_plan = dict(fault_plan or {})
+    max_dispatches = retries + 1
+    pending: deque[int] = deque(order)
+    dispatches = [0] * len(tasks)
+
+    def spawn() -> _Worker:
+        parent_conn, child_conn = context.Pipe()
+        proc = context.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        # Close the child end immediately: after this, the only open copy
+        # lives in the child, so its death is an EOF on parent_conn.
+        child_conn.close()
+        return _Worker(proc, parent_conn)
+
     _TASKS = tasks
+    crew = [spawn() for _ in range(min(workers, len(tasks)))]
+    done = 0
     try:
-        with context.Pool(
-            processes=min(workers, len(tasks)), initializer=_worker_init
-        ) as pool:
-            for index, value in pool.imap_unordered(_run_indexed, order):
-                results[index] = value
+        while done < len(tasks):
+            for worker in crew:
+                if worker.current is None and pending:
+                    index = pending.popleft()
+                    if dispatches[index] >= max_dispatches:
+                        raise WorkerCrashError(
+                            f"task {index} lost its worker "
+                            f"{dispatches[index]} time(s); retry limit "
+                            f"({retries}) exhausted",
+                            index=index,
+                            dispatches=dispatches[index],
+                        )
+                    dispatches[index] += 1
+                    worker.current = index
+                    worker.deadline = (
+                        time.monotonic() + task_timeout
+                        if task_timeout is not None
+                        else None
+                    )
+                    worker.conn.send(
+                        (index, dispatches[index], fault_plan.get(index, 0))
+                    )
+            busy = [w for w in crew if w.current is not None]
+            wait_for = None
+            if task_timeout is not None:
+                soonest = min(w.deadline for w in busy)
+                wait_for = max(soonest - time.monotonic(), 0.0)
+            ready = set(connection.wait([w.conn for w in busy], wait_for))
+            now = time.monotonic()
+            for slot, worker in enumerate(crew):
+                if worker.current is None:
+                    continue
+                crashed = None
+                if worker.conn in ready:
+                    try:
+                        kind, index, payload = worker.conn.recv()
+                    except (EOFError, OSError):
+                        crashed = "died"
+                    else:
+                        if kind == "err":
+                            raise payload
+                        results[index] = payload
+                        worker.current = None
+                        done += 1
+                elif worker.deadline is not None and now >= worker.deadline:
+                    crashed = f"exceeded task_timeout={task_timeout}s"
+                if crashed is not None:
+                    index = worker.current
+                    worker.kill()
+                    # Orphaned task goes to the queue front so its retry
+                    # budget is settled before new work is started.
+                    pending.appendleft(index)
+                    crew[slot] = spawn()
     finally:
         _TASKS = None
+        for worker in crew:
+            worker.shutdown()
     return results
 
 

@@ -104,12 +104,20 @@ class WorkloadSpec:
 
 @dataclass(frozen=True)
 class RunTask:
-    """One fan-out unit: run ``system`` over ``workload`` on ``fixture``."""
+    """One fan-out unit: run ``system`` over ``workload`` on ``fixture``.
+
+    ``faults`` is an optional fault-schedule reference — a built-in name
+    or a ``FaultSchedule.to_json()`` string, kept as a plain string so
+    the spec stays hashable and byte-stable across pickling.  The worker
+    resolves it and mints a fresh seeded injector, so any worker count
+    replays the identical fault sequence.
+    """
 
     label: str
     system: SystemSpec
     fixture: FixtureSpec
     workload: WorkloadSpec
+    faults: "str | None" = None
 
     def __call__(self) -> "RunResult":
         return self.run()
@@ -119,4 +127,7 @@ class RunTask:
 
         fixture = self.fixture.build()
         plans = self.workload.build(fixture)
-        return run_system(self.label, self.system.build(fixture), plans, profiler)
+        system = self.system.build(fixture)
+        if self.faults is not None:
+            system.attach_faults(self.faults)
+        return run_system(self.label, system, plans, profiler)

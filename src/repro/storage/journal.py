@@ -1,0 +1,97 @@
+"""Write-ahead journal for the materialized-view pool.
+
+A repartitioning step is a multi-operation pool mutation (evict the
+parent, admit the pieces, possibly evict victims for space).  A controller
+that dies between those operations must not leave the catalog half-moved —
+the paper's progressive repartitioning only makes sense if the
+configuration ``(V, P)`` is always one of the states the fault-free
+controller would have produced.
+
+The journal records an *undo image* for every operation inside an open
+transaction: admits log the entry (undo = remove), evicts log the entry
+plus its payload (undo = re-write and re-register).  On a crash the pool
+rolls the open transaction back in reverse order, restoring exactly the
+pre-transaction configuration; the controller then retries the step, so
+the faulted run converges to the same catalog trajectory as the fault-free
+run — at strictly higher cost, which is the whole point.
+
+The journal is process-local state, not a persisted file: the simulated
+"disk" it would live on is this process's memory, and what matters for the
+reproduction is the recovery *protocol*, not the serialization format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import PoolError
+
+if TYPE_CHECKING:
+    from repro.engine.table import Table
+    from repro.storage.pool import FragmentEntry
+
+
+@dataclass
+class JournalOp:
+    """One journaled pool mutation with enough state to undo it."""
+
+    op: str  # "admit" | "evict"
+    entry: "FragmentEntry"
+    payload: "Table | None" = None  # undo image; evicts only
+
+
+@dataclass
+class Transaction:
+    """One open repartitioning step."""
+
+    tag: str
+    seq: int
+    ops: list[JournalOp] = field(default_factory=list)
+
+
+class PoolJournal:
+    """Undo log for multi-operation pool mutations."""
+
+    def __init__(self) -> None:
+        self.active: Transaction | None = None
+        self.committed = 0
+        self.rolled_back = 0
+        self._seq = 0
+
+    @property
+    def journaling(self) -> bool:
+        return self.active is not None
+
+    def begin(self, tag: str) -> Transaction:
+        if self.active is not None:
+            raise PoolError(
+                f"transaction {self.active.tag!r} already open; "
+                f"repartitioning steps do not nest"
+            )
+        self._seq += 1
+        self.active = Transaction(tag, self._seq)
+        return self.active
+
+    def record_admit(self, entry: "FragmentEntry") -> None:
+        if self.active is not None:
+            self.active.ops.append(JournalOp("admit", entry))
+
+    def record_evict(self, entry: "FragmentEntry", payload: "Table") -> None:
+        if self.active is not None:
+            self.active.ops.append(JournalOp("evict", entry, payload))
+
+    def commit(self) -> None:
+        if self.active is None:
+            raise PoolError("commit without an open transaction")
+        self.committed += 1
+        self.active = None
+
+    def take_for_rollback(self) -> Transaction:
+        """Detach the open transaction so the pool can undo its ops."""
+        if self.active is None:
+            raise PoolError("rollback without an open transaction")
+        txn = self.active
+        self.active = None
+        self.rolled_back += 1
+        return txn

@@ -18,12 +18,18 @@ from __future__ import annotations
 import itertools
 from bisect import insort
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.engine.table import Table
-from repro.errors import PoolError
+from repro.errors import BlockLostError, PoolError, RecoveryError
 from repro.partitioning.intervals import Interval, sort_key
 from repro.query.algebra import Plan
 from repro.storage.hdfs import SimulatedHDFS
+from repro.storage.journal import PoolJournal
+
+if TYPE_CHECKING:
+    from repro.engine.cost import CostLedger
+    from repro.faults.recovery import FragmentRecovery
 
 WHOLE_VIEW_ATTR = None
 
@@ -86,6 +92,14 @@ class MaterializedViewPool:
         # path of refinement planning and re-creation checks.
         self._by_key: dict[FragmentKey, str] = {}
         self._counter = itertools.count()
+        # Crash consistency: mutations inside an open transaction are
+        # journaled with undo images; rollback() restores the exact
+        # pre-transaction configuration (see repro.storage.journal).
+        self.journal = PoolJournal()
+        # Degradation path when every replica of an entry is lost: a
+        # repro.faults.recovery.FragmentRecovery recomputes the payload
+        # from base tables.  None (the default) surfaces the loss.
+        self.recovery: "FragmentRecovery | None" = None
 
     # ------------------------------------------------------------------
     # View definitions (exist independently of residency)
@@ -187,23 +201,89 @@ class MaterializedViewPool:
     def evict(self, fragment_id: str) -> None:
         """Remove one entry (fragment or whole view) from the pool."""
         entry = self.get_fragment(fragment_id)
+        if self.journal.journaling:
+            # Undo image first — classic WAL discipline: log before act.
+            self.journal.record_evict(entry, self.hdfs.peek(entry.path))
+        self._remove_entry(entry)
+
+    def _remove_entry(self, entry: FragmentEntry) -> None:
         view = self._views[entry.key.view_id]
         if entry.key.attr is None:
             view.whole_id = None
         else:
-            view.partitions[entry.key.attr].remove(fragment_id)
+            view.partitions[entry.key.attr].remove(entry.fragment_id)
             if not view.partitions[entry.key.attr]:
                 del view.partitions[entry.key.attr]
         if view.whole_id is None and not view.partitions:
             del self._views[entry.key.view_id]
         self.hdfs.delete(entry.path)
-        del self._fragments[fragment_id]
+        del self._fragments[entry.fragment_id]
         self._by_key.pop(entry.key, None)
 
-    def read_entry(self, fragment_id: str) -> Table:
-        """Payload of an entry, without charging cost (executor charges)."""
+    def read_entry(self, fragment_id: str, ledger: "CostLedger | None" = None) -> Table:
+        """Payload of an entry, without charging the base read (executor charges).
+
+        ``ledger`` is the fault-accounting context: replica-damage
+        penalties and — when every replica is gone and a recovery is
+        attached — the full recompute-from-base-tables cost land on it.
+        """
         entry = self.get_fragment(fragment_id)
-        return self.hdfs.read(entry.path)
+        try:
+            return self.hdfs.read(entry.path, ledger, charge_payload=False)
+        except BlockLostError:
+            if self.recovery is None:
+                raise RecoveryError(
+                    f"entry {fragment_id!r} lost all replicas and no recovery "
+                    f"path is attached"
+                ) from None
+            return self.recovery.recover(self, entry, ledger)
+
+    # ------------------------------------------------------------------
+    # Crash consistency (write-ahead journal)
+    # ------------------------------------------------------------------
+    def begin(self, tag: str) -> None:
+        """Open a journaled transaction around one repartitioning step."""
+        self.journal.begin(tag)
+
+    def commit(self) -> None:
+        self.journal.commit()
+
+    def rollback(self, ledger: "CostLedger | None" = None) -> int:
+        """Undo the open transaction, restoring the pre-step configuration.
+
+        Replaying an evicted entry re-writes its bytes (charged to
+        ``ledger`` — journal replay is real cluster work); undoing an
+        admit deletes the file it created.  Returns the number of
+        operations undone.
+        """
+        txn = self.journal.take_for_rollback()
+        for op in reversed(txn.ops):
+            if op.op == "admit":
+                self._remove_entry(op.entry)
+            else:
+                self._restore_entry(op.entry, op.payload, ledger)
+        return len(txn.ops)
+
+    def _restore_entry(
+        self, entry: FragmentEntry, payload: Table, ledger: "CostLedger | None"
+    ) -> None:
+        self.hdfs.write(entry.path, payload)
+        self._fragments[entry.fragment_id] = entry
+        view = self._views.setdefault(
+            entry.key.view_id, _PooledView(self.definition(entry.key.view_id))
+        )
+        if entry.key.attr is None:
+            view.whole_id = entry.fragment_id
+        else:
+            ids = view.partitions.setdefault(entry.key.attr, [])
+            insort(
+                ids,
+                entry.fragment_id,
+                key=lambda f: sort_key(self._fragments[f].key.interval),
+            )
+            self._by_key[entry.key] = entry.fragment_id
+        if ledger is not None:
+            ledger.charge_write(entry.size_bytes, nfiles=1)
 
     # ------------------------------------------------------------------
     # Internals
@@ -234,6 +314,7 @@ class MaterializedViewPool:
             # insertion instead of re-sorting the whole list on every admit.
             insort(ids, fid, key=lambda f: sort_key(self._fragments[f].key.interval))
             self._by_key[key] = fid
+        self.journal.record_admit(entry)
         return entry
 
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ from repro.bench.profile import WallClockProfiler, check_report_against_baseline
 from repro.engine.indexes import _GLOBAL_CACHE
 from repro.engine.schema import Column, Schema
 from repro.engine.table import Table
+from repro.errors import WorkerCrashError
 from repro.parallel import (
     FixtureSpec,
     RunTask,
@@ -68,6 +69,86 @@ class TestFanOut:
         items = list(range(40))
         expected = [x * 2 for x in items]
         assert batch_map(lambda x: x * 2, items, workers=2, min_items=16) == expected
+
+
+class TestWorkerCrashRecovery:
+    def test_fault_plan_crash_then_retry_succeeds(self):
+        tasks = [(lambda i=i: i * i) for i in range(6)]
+        out = fan_out(tasks, workers=3, fault_plan={2: 1, 5: 1})
+        assert out == [0, 1, 4, 9, 16, 25]
+
+    def test_retry_budget_exhausted_raises_typed(self):
+        tasks = [(lambda i=i: i) for i in range(4)]
+        with pytest.raises(WorkerCrashError, match="retry limit"):
+            fan_out(tasks, workers=2, retries=1, fault_plan={1: 99})
+        try:
+            fan_out(tasks, workers=2, retries=1, fault_plan={1: 99})
+        except WorkerCrashError as exc:
+            assert exc.index == 1
+            assert exc.dispatches == 2
+
+    def test_retries_zero_fails_on_first_crash(self):
+        with pytest.raises(WorkerCrashError):
+            fan_out(
+                [lambda: 1, lambda: 2], workers=2, retries=0, fault_plan={0: 1}
+            )
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            fan_out([lambda: 1, lambda: 2], workers=2, retries=-1)
+
+    def test_worker_death_mid_batch_recovered(self, tmp_path):
+        # A task that hard-kills its own worker on the first dispatch
+        # (os._exit: no exception, no cleanup — just EOF on the pipe)
+        # must be re-dispatched and complete, never hang the pool.
+        marker = tmp_path / "died-once"
+
+        def victim():
+            import os
+
+            if not marker.exists():
+                marker.write_text("x")
+                os._exit(23)
+            return "survived"
+
+        out = fan_out([lambda: "a", victim, lambda: "c"], workers=3)
+        assert out == ["a", "survived", "c"]
+
+    def test_task_timeout_kills_and_redispatches(self, tmp_path):
+        marker = tmp_path / "slow-once"
+
+        def slow_once():
+            import time
+
+            if not marker.exists():
+                marker.write_text("x")
+                time.sleep(60)
+            return "done"
+
+        out = fan_out([slow_once, lambda: "fast"], workers=2, task_timeout=3.0)
+        assert out == ["done", "fast"]
+
+    def test_task_exception_propagates_to_caller(self):
+        def boom():
+            raise ValueError("boom in worker")
+
+        with pytest.raises(ValueError, match="boom in worker"):
+            fan_out([lambda: 1, boom, lambda: 3], workers=2)
+
+    def test_crashes_do_not_change_engine_results(self):
+        # Worker kills perturb scheduling only: a re-dispatched RunTask
+        # rebuilds the same system and replays the same workload, so the
+        # crashed run's fingerprints match the crash-free run's exactly.
+        fixture = FixtureSpec("sdss", 10.0, log_queries=500)
+        workload = WorkloadSpec(QUERIES)
+        tasks = [
+            RunTask(label, SystemSpec.of(name), fixture, workload)
+            for label, name in (("H", "hive"), ("DS", "deepsea"))
+        ]
+        plain = fan_out(tasks, workers=0)
+        crashed = fan_out(tasks, workers=2, fault_plan={0: 1, 1: 1})
+        for a, b in zip(plain, crashed):
+            assert result_fingerprint(a) == result_fingerprint(b)
 
 
 class TestTaskSpecs:
