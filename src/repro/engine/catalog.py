@@ -8,24 +8,41 @@ not here; the executor resolves ``Relation`` leaves against the catalog and
 
 from __future__ import annotations
 
+import itertools
+
 from repro.engine.table import Table
 from repro.errors import CatalogError
 
+# Monotonic catalog identities for cross-query cache keys.  A plain
+# counter — never ``id()``, which the allocator can reuse after a catalog
+# is garbage collected, silently aliasing two different catalogs.
+_CATALOG_UIDS = itertools.count(1)
+
 
 class Catalog:
-    """A registry of base tables."""
+    """A registry of base tables.
+
+    ``uid`` names this catalog instance process-uniquely and ``version``
+    increments on every mutation; together they key the subplan result
+    cache (:mod:`repro.engine.result_cache`) so an entry computed against
+    one catalog state can never be served against another.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        self.uid: int = next(_CATALOG_UIDS)
+        self.version: int = 0
 
     def register(self, name: str, table: Table) -> None:
         if name in self._tables:
             raise CatalogError(f"table already registered: {name!r}")
         self._tables[name] = table
+        self.version += 1
 
     def replace(self, name: str, table: Table) -> None:
         """Register or overwrite (used by tests and workload rescaling)."""
         self._tables[name] = table
+        self.version += 1
 
     def get(self, name: str) -> Table:
         try:

@@ -27,12 +27,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine import result_cache
 from repro.engine.catalog import Catalog
 from repro.engine.cost import ClusterSpec, CostLedger
 from repro.engine.indexes import join_probe
 from repro.engine.schema import Column, Schema
-from repro.engine.table import Table
-from repro.engine.types import ColumnKind
+from repro.engine.table import JoinView, Table, TableView, lazy_views_enabled
+from repro.engine.types import ColumnKind, EncodedColumn, decoded, sort_key
 from repro.errors import PlanError, SchemaError
 from repro.query.algebra import (
     Aggregate,
@@ -81,13 +82,30 @@ class Executor:
 
     # ------------------------------------------------------------------
     def execute(self, plan: Plan, ledger: CostLedger | None = None) -> ExecutionResult:
-        """Run ``plan`` and return its result table and cost ledger."""
+        """Run ``plan`` and return its result table and cost ledger.
+
+        Whole-plan executions go through the cross-query result cache
+        (:mod:`repro.engine.result_cache`) when it is safe: no live
+        capture targets, no fault injection, and a pristine ledger to
+        replay into.  A hit returns the cached table and merges the
+        recorded simulated charges — bit-identical to re-executing.
+        """
         ledger = ledger if ledger is not None else CostLedger(self.context.cluster)
         analysis = analyze_plan(plan)  # boundaries + job count, one traversal
+        key = None
+        if not self._capture_targets and result_cache.eligible(ledger):
+            key = result_cache.ResultCache.key_for(plan, analysis, self.context)
+            if key is not None:
+                entry = result_cache.GLOBAL.lookup(key)
+                if entry is not None:
+                    table = result_cache.ResultCache.replay(entry, ledger)
+                    return ExecutionResult(table, ledger)
         self._boundaries = analysis.boundaries
         table = self._eval(plan, ledger)
         if analysis.job_ops == 0:
             ledger.charge_jobs(1)
+        if key is not None:
+            result_cache.GLOBAL.store(key, table, ledger)
         return ExecutionResult(table, ledger)
 
     def execute_with_capture(
@@ -154,6 +172,15 @@ class Executor:
         return table
 
     def _eval_materialized(self, plan: MaterializedScan, ledger: CostLedger) -> Table:
+        # Charging invariant (audited, pinned by a regression test in
+        # tests/test_executor_costing.py): the *executor* owns the base
+        # read charge for pool scans — one ``charge_read`` for the whole
+        # view, or one batched ``charge_read(total, nfiles=n)`` across all
+        # fragments.  ``pool.read_entry`` reads the payload with
+        # ``charge_payload=False``, so it contributes **zero** base read
+        # seconds / map tasks / bytes; it exists to route *fault* costs
+        # (replica-damage penalties, lost-block recovery) onto the same
+        # ledger.  There is no double charge.
         pool = self.context.pool
         if pool is None:
             raise PlanError("MaterializedScan requires a pool")
@@ -208,20 +235,58 @@ def hash_join(left: Table, right: Table, left_attr: str, right_attr: str) -> Tab
     if total == 0:
         return Table.empty(schema, max(left.scale, right.scale))
 
-    left_idx = np.repeat(np.arange(left.nrows), counts)
-    offsets = np.zeros(left.nrows, dtype=np.int64)
-    np.cumsum(counts[:-1], out=offsets[1:])
-    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
-    right_idx = order[np.repeat(starts, counts) + within]
+    if total == int(np.count_nonzero(counts)):
+        # Foreign-key fast path: every probe row matches at most one build
+        # row (the workload's fact⋈dim shape).  The general repeat/cumsum
+        # expansion degenerates to ``within ≡ 0``, so the match indices
+        # collapse to two direct gathers — bit-identical output order.
+        left_idx = np.flatnonzero(counts)
+        right_idx = order[starts[left_idx]]
+    else:
+        left_idx = np.repeat(np.arange(left.nrows), counts)
+        offsets = np.zeros(left.nrows, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+        right_idx = order[np.repeat(starts, counts) + within]
+
+    # Gather fusion: when an input is a late-materialized single-root
+    # view, compose its selection vector with the join indices so output
+    # columns gather straight from the view's root — the payload columns
+    # of a Select→Project→Join chain are touched at most once.
+    lsrc, lrows = _gather_source(left)
+    if lrows is not None:
+        left_idx = lrows[left_idx]
+    rsrc, rrows = _gather_source(right)
+    if rrows is not None:
+        right_idx = rrows[right_idx]
+
+    scale = max(left.scale, right.scale)
+    if lazy_views_enabled():
+        # The join output itself stays late-materialized: columns the
+        # plan projects away downstream are never gathered at all.
+        side_of = {name: 0 for name in left.schema.names}
+        side_of.update(
+            {name: 1 for name in right.schema.names if name not in drop_right}
+        )
+        return JoinView(schema, scale, [(lsrc, left_idx), (rsrc, right_idx)], side_of)
 
     cols: dict[str, np.ndarray] = {}
     for name in left.schema.names:
-        cols[name] = left.columns[name][left_idx]
+        cols[name] = lsrc.column(name)[left_idx]
     for name in right.schema.names:
         if name in drop_right:
             continue
-        cols[name] = right.columns[name][right_idx]
-    return Table(schema, cols, max(left.scale, right.scale))
+        cols[name] = rsrc.column(name)[right_idx]
+    return Table(schema, cols, scale)
+
+
+def _gather_source(table: Table) -> "tuple[Table, np.ndarray | None]":
+    """``(source, rows)`` such that ``table.column(n) == source.column(n)[rows]``
+    (``rows is None`` meaning identity).  Multi-root views are their own
+    source — their columns gather lazily per name."""
+    if isinstance(table, TableView):
+        return table.gather_plan()
+    return table, None
 
 
 def _agg_output_column(table: Table, spec: AggSpec) -> Column:
@@ -232,8 +297,85 @@ def _agg_output_column(table: Table, spec: AggSpec) -> Column:
     return Column(spec.alias, table.schema.column(spec.attr).kind)
 
 
+def _aggregate_bincount(
+    table: Table,
+    out_schema: Schema,
+    group_name: str,
+    raw_key: np.ndarray,
+    key: np.ndarray,
+    aggregates: tuple[AggSpec, ...],
+) -> "Table | None":
+    """Sort-free grouping for a single compact integer key, or ``None``.
+
+    ``np.bincount`` buckets rows directly, so the stable argsort the
+    general path pays per call disappears.  The result is **bit-identical**
+    to sort+``reduceat``, which constrains when this path may run:
+
+    * Bins come out in ascending key order — exactly the group order the
+      sorted path produces.  ``count`` (pure integer arithmetic) is
+      always safe.
+    * ``sum``/``avg`` accumulate through ``bincount``'s float64 weights,
+      a *different addition order* than ``reduceat``.  That is only
+      bit-safe when every partial sum is exact, i.e. for integer inputs
+      whose absolute row total stays below 2**53 — then every
+      intermediate in either order is an exactly-represented integer and
+      the results are equal bit-for-bit, not just approximately.
+      Float inputs, ``min``/``max``, and unbounded magnitudes fall back
+      to the sorted path.
+    * The key span must be small (compact dictionary codes or dense
+      dimension keys) so the bucket array stays O(rows).
+    """
+    lo = int(key.min())
+    span = int(key.max()) - lo
+    if span > 8 * len(key) + 1024:
+        return None
+    plans: list[tuple[AggSpec, "np.ndarray | None"]] = []
+    for spec in aggregates:
+        if spec.func == "count":
+            plans.append((spec, None))
+            continue
+        if spec.func not in ("sum", "avg"):
+            return None
+        vals = decoded(table.column(spec.attr))
+        if vals.dtype.kind not in "iu":
+            return None
+        if vals.size and int(np.abs(vals).max()) * vals.size >= 2**53:
+            return None
+        plans.append((spec, vals))
+
+    shifted = (key - lo).astype(np.int64, copy=False)
+    bucket_counts = np.bincount(shifted)
+    present = np.flatnonzero(bucket_counts)
+    sizes = bucket_counts[present]
+
+    cols: dict[str, np.ndarray] = {}
+    head = (present + lo).astype(key.dtype)
+    if isinstance(raw_key, EncodedColumn):
+        cols[group_name] = EncodedColumn(head, raw_key.values)
+    else:
+        cols[group_name] = head.astype(raw_key.dtype)
+    for spec, vals in plans:
+        if vals is None:
+            cols[spec.alias] = sizes.astype(np.int64)
+            continue
+        sums = np.bincount(shifted, weights=vals)[present]
+        if spec.func == "avg":
+            cols[spec.alias] = sums / sizes
+        else:
+            out_dtype = vals.dtype if vals.dtype == np.uint64 else np.int64
+            cols[spec.alias] = sums.astype(out_dtype)
+    return Table(out_schema, cols, table.scale)
+
+
 def aggregate(table: Table, group_by: tuple[str, ...], aggregates: tuple[AggSpec, ...]) -> Table:
-    """Group-by aggregation via sort + ``reduceat``."""
+    """Group-by aggregation via sort + ``reduceat``.
+
+    Encoded string group keys sort and compare by their int32 codes
+    (sorted dictionaries make code order equal value order), and the
+    output group columns stay encoded — no decode anywhere.  The row
+    gather for aggregate inputs is computed once per distinct source
+    attribute, not once per :class:`AggSpec`.
+    """
     out_schema = Schema(
         tuple(table.schema.column(g) for g in group_by)
         + tuple(_agg_output_column(table, spec) for spec in aggregates)
@@ -242,8 +384,21 @@ def aggregate(table: Table, group_by: tuple[str, ...], aggregates: tuple[AggSpec
         return Table.empty(out_schema, table.scale)
 
     if group_by:
-        keys = [table.column(g) for g in group_by]
-        order = np.lexsort(keys[::-1])
+        raw_keys = [table.column(g) for g in group_by]
+        keys = [sort_key(k) for k in raw_keys]
+        if len(keys) == 1 and keys[0].dtype.kind in "iu":
+            fast = _aggregate_bincount(
+                table, out_schema, group_by[0], raw_keys[0], keys[0], aggregates
+            )
+            if fast is not None:
+                return fast
+        if len(keys) == 1:
+            # Stable argsort is the same permutation lexsort produces for
+            # a single key; spelled directly so integer keys can take
+            # numpy's non-comparison stable path.
+            order = np.argsort(keys[0], kind="stable")
+        else:
+            order = np.lexsort(keys[::-1])
         sorted_keys = [k[order] for k in keys]
         is_new = np.zeros(table.nrows, dtype=bool)
         is_new[0] = True
@@ -257,16 +412,37 @@ def aggregate(table: Table, group_by: tuple[str, ...], aggregates: tuple[AggSpec
     group_sizes = np.diff(np.append(starts, table.nrows))
     cols: dict[str, np.ndarray] = {}
     if group_by:
-        for name, k in zip(group_by, sorted_keys):
-            cols[name] = k[starts]
+        for name, raw, k in zip(group_by, raw_keys, sorted_keys):
+            head = k[starts]
+            if isinstance(raw, EncodedColumn):
+                head = EncodedColumn(head, raw.values)
+            cols[name] = head
+
+    # One gather per distinct aggregate input attribute: several AggSpecs
+    # over the same column (sum+avg of sales is the workload's common
+    # shape) share a single ``values[order]`` materialization.
+    gathered: dict[str, np.ndarray] = {}
+
+    def sorted_values(attr: str) -> np.ndarray:
+        values = gathered.get(attr)
+        if values is None:
+            values = decoded(table.column(attr))[order]
+            gathered[attr] = values
+        return values
 
     for spec in aggregates:
         if spec.func == "count":
             cols[spec.alias] = group_sizes.astype(np.int64)
             continue
-        values = table.column(spec.attr)[order]
+        values = sorted_values(spec.attr)
         if spec.func == "sum":
-            cols[spec.alias] = np.add.reduceat(values, starts)
+            acc = values
+            # Accumulate narrow integers in int64 to rule out silent
+            # overflow; int64/float64 inputs pass through unchanged, so
+            # existing results stay bit-identical.
+            if acc.dtype.kind in "iu" and acc.dtype.itemsize < 8:
+                acc = acc.astype(np.int64)
+            cols[spec.alias] = np.add.reduceat(acc, starts)
         elif spec.func == "avg":
             cols[spec.alias] = np.add.reduceat(values.astype(np.float64), starts) / group_sizes
         elif spec.func == "min":

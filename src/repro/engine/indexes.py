@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.caches import register_cache
 from repro.engine.table import Table
+from repro.engine.types import decoded, sort_key
 
 
 @dataclass(frozen=True)
@@ -71,8 +72,11 @@ class IndexCache:
         if index is None:
             self.misses += 1
             keys = table.column(column)
-            order = np.argsort(keys, kind="stable")
-            index = SortIndex(order, keys[order])
+            # Encoded string columns sort by their int32 codes (sorted
+            # dictionary ⇒ identical order); sorted_keys stays decoded so
+            # probes from *other* dictionaries binary-search correctly.
+            order = np.argsort(sort_key(keys), kind="stable")
+            index = SortIndex(order, decoded(keys)[order])
             per_table[column] = index
         else:
             self.hits += 1
@@ -182,7 +186,7 @@ class ProbeCache:
         entry = per_right[attrs]
         if entry is None:
             self.misses += 1
-            keys = root.column(left_attr)
+            keys = decoded(root.column(left_attr))
             entry = (
                 np.searchsorted(sorted_rkeys, keys, side="left"),
                 np.searchsorted(sorted_rkeys, keys, side="right"),
@@ -285,7 +289,7 @@ def join_probe(
         else:
             index = _GLOBAL_CACHE.sort_index(right, right_attr)
             order, sorted_rkeys = index.order, index.sorted_keys
-        keys = left.column(left_attr)
+        keys = decoded(left.column(left_attr))
         return (
             np.searchsorted(sorted_rkeys, keys, side="left"),
             np.searchsorted(sorted_rkeys, keys, side="right"),

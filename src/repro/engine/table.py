@@ -1,4 +1,4 @@
-"""Columnar, numpy-backed tables.
+"""Columnar, numpy-backed tables with late-materialized selection views.
 
 A :class:`Table` holds one numpy array per column plus a *scale factor*.
 The scale factor maps in-memory rows to the nominal dataset size the table
@@ -8,8 +8,20 @@ generated to stand in for a 100 GB instance carries ``scale`` such that
 ``size_bytes`` reports the nominal (simulated) size.  All cost-model
 accounting uses ``size_bytes``; all query answers use the actual rows.
 
+Row-level operators (``filter``/``take``) do not copy column data: they
+return a :class:`TableView` — a selection vector (row-index array) over
+the root table, with per-column gathers deferred until a column is
+actually touched and cached once gathered.  A ``Select→Project→Join``
+chain therefore materializes each payload column exactly once, at the
+join gather or at an explicit :meth:`materialize` boundary (capture,
+pickling, simulated-disk writes).  Views promote the old ``_lineage``
+acceleration hint into the primary representation; the hint itself is
+still maintained so the join-probe caches keep working unchanged.
+
 Tables are immutable by convention: operators return new tables and never
-mutate column arrays in place.
+mutate column arrays in place.  ``ColumnKind.STRING`` columns are stored
+dictionary-encoded (:class:`~repro.engine.types.EncodedColumn`); decoding
+happens only in :meth:`to_rows` and at pickle boundaries.
 """
 
 from __future__ import annotations
@@ -19,8 +31,33 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.schema import Schema
-from repro.engine.types import coerce_array
+from repro.engine.types import (
+    ColumnKind,
+    EncodedColumn,
+    coerce_array,
+    concat_columns,
+    decoded,
+    sort_key,
+)
 from repro.errors import SchemaError
+
+# Module-level switch for the zero-copy path.  The eager path is kept
+# (a) as the reference implementation for the equivalence property tests
+# and (b) as an escape hatch; both paths produce bit-identical rows,
+# ledgers, and lineage.
+_LAZY_VIEWS = True
+
+
+def set_lazy_views(enabled: bool) -> bool:
+    """Toggle late materialization; returns the previous setting."""
+    global _LAZY_VIEWS
+    previous = _LAZY_VIEWS
+    _LAZY_VIEWS = enabled
+    return previous
+
+
+def lazy_views_enabled() -> bool:
+    return _LAZY_VIEWS
 
 
 @dataclass(eq=False)
@@ -29,8 +66,9 @@ class Table:
 
     Attributes:
         schema: Column definitions; order defines row layout.
-        columns: Mapping from column name to a numpy array. All arrays
-            must have equal length.
+        columns: Mapping from column name to a numpy array (or
+            :class:`EncodedColumn` for STRING columns). All columns must
+            have equal length.
         scale: Multiplier applied when converting actual in-memory bytes
             to nominal (simulated) bytes.
 
@@ -55,6 +93,14 @@ class Table:
         if len(lengths) > 1:
             raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
         self._nrows = lengths.pop() if lengths else 0
+        # Normalize STRING columns to the dictionary-encoded form so every
+        # downstream kernel can rely on integer codes.  Numeric columns
+        # pass through untouched.
+        for col in self.schema.columns:
+            if col.kind is ColumnKind.STRING:
+                value = self.columns[col.name]
+                if not isinstance(value, EncodedColumn):
+                    self.columns[col.name] = EncodedColumn.encode(value)
         # Row lineage: (root table, row indices into root | None for "all
         # rows in order", monotonic flag).  Set by filter/take/project so
         # the join-key probe cache (repro.engine.indexes) can reuse
@@ -65,21 +111,32 @@ class Table:
         self._lineage: "tuple[Table, np.ndarray | None, bool] | None" = None
 
     def __getstate__(self) -> dict:
-        """Pickle without lineage.
+        """Pickle without lineage and with strings decoded.
 
         Lineage is an in-process acceleration hint: it points at the
         *root* table a selection came from, so pickling it would drag the
         full base relation across every process boundary (the parallel
         runner ships result tables back from pool workers).  Dropping it
-        only means a restored table starts cache-cold — semantics and
-        ``size_bytes`` are untouched.
+        only means a restored table starts cache-cold.  Dictionary-encoded
+        columns are decoded to plain object arrays — the wire format stays
+        representation-independent — and re-encoded on restore; both
+        directions are deterministic, so semantics and ``size_bytes`` are
+        untouched.
         """
         state = dict(self.__dict__)
         state["_lineage"] = None
+        state["columns"] = {
+            name: decoded(col) for name, col in self.columns.items()
+        }
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        for col in self.schema.columns:
+            if col.kind is ColumnKind.STRING:
+                value = self.columns[col.name]
+                if not isinstance(value, EncodedColumn):
+                    self.columns[col.name] = EncodedColumn.encode(value)
 
     def _derived_lineage(
         self, rows: "np.ndarray | None", monotonic: bool
@@ -122,32 +179,50 @@ class Table:
         """Nominal (simulated) size of this table in bytes."""
         return self._nrows * self.schema.row_bytes * self.scale
 
+    def memory_bytes(self) -> int:
+        """Actual in-process bytes held by this table's own arrays.
+
+        Used by byte-bounded caches; an estimate, not an accounting
+        quantity (never feeds the simulated ledgers).
+        """
+        return int(sum(col.nbytes for col in self.columns.values()))
+
     def column(self, name: str) -> np.ndarray:
         try:
             return self.columns[name]
         except KeyError:
             raise SchemaError(f"no such column: {name!r}") from None
 
+    def materialize(self) -> "Table":
+        """This table with every column gathered (no-op for plain tables)."""
+        return self
+
     # ------------------------------------------------------------------
     # Row-level operations (all return new tables)
     # ------------------------------------------------------------------
-    def filter(self, mask: np.ndarray) -> "Table":
-        """Rows where ``mask`` is true."""
-        rows = np.flatnonzero(mask)
+    def _select_rows(self, rows: np.ndarray, monotonic: bool) -> "Table":
+        """Rows at ``rows`` — a TableView when lazy, a copy otherwise."""
+        if _LAZY_VIEWS:
+            return TableView(self, self.schema, rows, monotonic)
         cols = {name: arr[rows] for name, arr in self.columns.items()}
         out = Table(self.schema, cols, self.scale)
-        out._lineage = self._derived_lineage(rows, True)
+        out._lineage = self._derived_lineage(rows, monotonic)
         return out
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Rows where ``mask`` is true."""
+        return self._select_rows(np.flatnonzero(mask), True)
 
     def take(self, indices: np.ndarray) -> "Table":
         """Rows at ``indices`` (with repetition allowed)."""
-        cols = {name: arr[indices] for name, arr in self.columns.items()}
-        out = Table(self.schema, cols, self.scale)
-        out._lineage = self._derived_lineage(np.asarray(indices), False)
-        return out
+        return self._select_rows(np.asarray(indices), False)
 
     def project(self, names: tuple[str, ...] | list[str]) -> "Table":
-        """Restrict to the given columns, in order."""
+        """Restrict to the given columns, in order.
+
+        Always zero-copy: the projected table shares the parent's column
+        arrays (plain tables) or its selection vector (views).
+        """
         schema = self.schema.subset(tuple(names))
         cols = {name: self.columns[name] for name in names}
         out = Table(schema, cols, self.scale)
@@ -156,22 +231,16 @@ class Table:
 
     def concat(self, other: "Table") -> "Table":
         """Vertical concatenation; schemas must have identical names."""
-        if self.schema.names != other.schema.names:
-            raise SchemaError("cannot concat tables with different schemas")
-        cols = {
-            name: np.concatenate([self.columns[name], other.columns[name]])
-            for name in self.schema.names
-        }
-        return Table(self.schema, cols, max(self.scale, other.scale))
+        return Table.concat_many([self, other])
 
     @classmethod
     def concat_many(cls, tables: "list[Table]") -> "Table":
         """Vertical concatenation of any number of tables in one pass.
 
-        Unlike folding :meth:`concat` pairwise (which copies the growing
-        prefix once per piece, O(n²) bytes moved), this allocates each
-        output column exactly once.  Column values and row order are
-        identical to the pairwise fold.
+        Unlike folding pairwise concat (which copies the growing prefix
+        once per piece, O(n²) bytes moved), this allocates each output
+        column exactly once.  Column values and row order are identical
+        to the pairwise fold.  Views gather each needed column once.
         """
         if not tables:
             raise SchemaError("concat_many requires at least one table")
@@ -182,21 +251,25 @@ class Table:
             if other.schema.names != first.schema.names:
                 raise SchemaError("cannot concat tables with different schemas")
         cols = {
-            name: np.concatenate([t.columns[name] for t in tables])
+            name: concat_columns([t.column(name) for t in tables])
             for name in first.schema.names
         }
-        return cls(first.schema, cols, max(t.scale for t in tables))
+        return Table(first.schema, cols, max(t.scale for t in tables))
 
     def distinct(self) -> "Table":
         """Remove duplicate rows (used for overlapping-fragment unions)."""
         if self._nrows == 0:
             return self
-        order = np.lexsort([self.columns[n] for n in reversed(self.schema.names)])
+        # sort_key: encoded string columns sort by their int32 codes —
+        # bit-identical row order to sorting decoded values, because the
+        # dictionary is sorted.
+        keys = [sort_key(self.column(n)) for n in self.schema.names]
+        order = np.lexsort(keys[::-1])
         keep = np.ones(self._nrows, dtype=bool)
-        sorted_cols = [self.columns[n][order] for n in self.schema.names]
         same_as_prev = np.ones(self._nrows - 1, dtype=bool)
-        for arr in sorted_cols:
-            same_as_prev &= arr[1:] == arr[:-1]
+        for arr in keys:
+            s = arr[order]
+            same_as_prev &= s[1:] == s[:-1]
         keep[1:] = ~same_as_prev
         return self.take(order[keep])
 
@@ -205,9 +278,191 @@ class Table:
     # ------------------------------------------------------------------
     def to_rows(self) -> list[tuple]:
         """Materialize as a list of row tuples (tests only)."""
-        arrays = [self.columns[name] for name in self.schema.names]
+        arrays = [decoded(self.column(name)) for name in self.schema.names]
         return list(zip(*(arr.tolist() for arr in arrays))) if arrays else []
 
     def sorted_rows(self) -> list[tuple]:
         """Rows sorted canonically, for multiset comparison in tests."""
         return sorted(self.to_rows(), key=repr)
+
+
+class TableView(Table):
+    """A late-materialized row selection over a root :class:`Table`.
+
+    Holds ``(root, rows)`` — a selection vector of row indices into a
+    *plain* (non-view) root table — plus the view's own (possibly
+    narrowed) schema.  Column gathers happen on first access via
+    :meth:`column` and are cached, so chained ``filter``/``take``/
+    ``project`` calls compose index arrays instead of copying payload
+    columns.  Semantically a ``TableView`` is indistinguishable from the
+    eager table it stands for; every operator accepts either.
+    """
+
+    def __init__(
+        self,
+        root: Table,
+        schema: Schema,
+        rows: np.ndarray,
+        monotonic: bool,
+        _cache: "dict[str, np.ndarray] | None" = None,
+    ):
+        # Deliberately does not call the dataclass __init__: a view has
+        # no columns dict of its own.
+        self.schema = schema
+        self.scale = root.scale
+        self._root = root
+        self._rows = rows
+        self._monotonic = monotonic
+        self._nrows = len(rows)
+        self._gathered = {} if _cache is None else _cache
+        self._lineage = root._derived_lineage(rows, monotonic)
+
+    def __repr__(self) -> str:  # dataclass __repr__ would materialize
+        return (
+            f"TableView(nrows={self._nrows}, schema={self.schema.names}, "
+            f"root_nrows={self._root.nrows})"
+        )
+
+    # -- materialization ------------------------------------------------
+    @property
+    def columns(self) -> dict[str, np.ndarray]:
+        """Materialized column dict (gathers every schema column)."""
+        return {name: self.column(name) for name in self.schema.names}
+
+    def column(self, name: str) -> np.ndarray:
+        # Membership check first: the gather cache may be shared with a
+        # wider projection of the same selection vector.
+        if name not in self.schema:
+            raise SchemaError(f"no such column: {name!r}")
+        arr = self._gathered.get(name)
+        if arr is None:
+            arr = self._root.columns[name][self._rows]
+            self._gathered[name] = arr
+        return arr
+
+    def materialize(self) -> Table:
+        out = Table(self.schema, self.columns, self.scale)
+        out._lineage = self._lineage
+        return out
+
+    def memory_bytes(self) -> int:
+        own = int(self._rows.nbytes)
+        own += int(sum(col.nbytes for col in self._gathered.values()))
+        return own
+
+    def gather_plan(self) -> "tuple[Table, np.ndarray]":
+        """The ``(source, indices)`` pair a consumer can gather from
+        directly — lets joins fuse the selection vector into their own
+        output gather so each payload column is touched exactly once."""
+        return self._root, self._rows
+
+    def __reduce__(self):
+        # Views never cross a pickle boundary as views: ship the decoded,
+        # materialized state (the root may be an entire base relation).
+        plain = {
+            name: decoded(self.column(name)) for name in self.schema.names
+        }
+        return (_unpickle_table, (self.schema, plain, self.scale))
+
+    # -- row-level operations -------------------------------------------
+    def _select_rows(self, rows: np.ndarray, monotonic: bool) -> Table:
+        composed = self._rows[rows]
+        mono = monotonic and self._monotonic
+        if _LAZY_VIEWS:
+            return TableView(self._root, self.schema, composed, mono)
+        cols = {
+            name: self._root.columns[name][composed] for name in self.schema.names
+        }
+        out = Table(self.schema, cols, self.scale)
+        out._lineage = self._root._derived_lineage(composed, mono)
+        return out
+
+    def project(self, names: tuple[str, ...] | list[str]) -> Table:
+        schema = self.schema.subset(tuple(names))
+        # Same selection vector, narrower schema; the gather cache is
+        # shared so a column materialized through either view is gathered
+        # at most once.
+        return TableView(
+            self._root, schema, self._rows, self._monotonic, _cache=self._gathered
+        )
+
+
+class JoinView(Table):
+    """A late-materialized equi-join output: two gather sides, one row space.
+
+    Every output row is a pair ``(left source row, right source row)``;
+    the view holds the two index arrays plus a name→side map, and gathers
+    an output column from its side's source on first access.  A
+    ``Join→Project→Aggregate`` chain therefore touches only the columns
+    the aggregate actually consumes — columns projected away are never
+    gathered at all.
+
+    ``filter``/``take`` compose row selections into both index arrays
+    (two integer gathers, no payload copies); ``project`` narrows the
+    schema and shares the gather cache.  Like the seed's eager join
+    output, a ``JoinView`` is a fresh root for lineage purposes.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        scale: float,
+        sides: "list[tuple[Table, np.ndarray]]",
+        side_of: dict[str, int],
+        _cache: "dict[str, np.ndarray] | None" = None,
+    ):
+        self.schema = schema
+        self.scale = scale
+        self._sides = sides
+        self._side_of = side_of
+        self._nrows = len(sides[0][1])
+        self._gathered = {} if _cache is None else _cache
+        self._lineage = None
+
+    def __repr__(self) -> str:
+        return f"JoinView(nrows={self._nrows}, schema={self.schema.names})"
+
+    @property
+    def columns(self) -> dict[str, np.ndarray]:
+        return {name: self.column(name) for name in self.schema.names}
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self.schema:
+            raise SchemaError(f"no such column: {name!r}")
+        arr = self._gathered.get(name)
+        if arr is None:
+            source, rows = self._sides[self._side_of[name]]
+            arr = source.column(name)[rows]
+            self._gathered[name] = arr
+        return arr
+
+    def materialize(self) -> Table:
+        return Table(self.schema, self.columns, self.scale)
+
+    def memory_bytes(self) -> int:
+        own = int(sum(rows.nbytes for _, rows in self._sides))
+        own += int(sum(col.nbytes for col in self._gathered.values()))
+        return own
+
+    def __reduce__(self):
+        plain = {
+            name: decoded(self.column(name)) for name in self.schema.names
+        }
+        return (_unpickle_table, (self.schema, plain, self.scale))
+
+    def _select_rows(self, rows: np.ndarray, monotonic: bool) -> Table:
+        if _LAZY_VIEWS:
+            sides = [(source, idx[rows]) for source, idx in self._sides]
+            return JoinView(self.schema, self.scale, sides, self._side_of)
+        cols = {name: self.column(name)[rows] for name in self.schema.names}
+        return Table(self.schema, cols, self.scale)
+
+    def project(self, names: tuple[str, ...] | list[str]) -> Table:
+        schema = self.schema.subset(tuple(names))
+        return JoinView(
+            schema, self.scale, self._sides, self._side_of, _cache=self._gathered
+        )
+
+
+def _unpickle_table(schema: Schema, columns: dict, scale: float) -> Table:
+    return Table(schema, columns, scale)

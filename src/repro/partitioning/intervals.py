@@ -231,11 +231,14 @@ class Interval:
     # ------------------------------------------------------------------
     def mask(self, values: np.ndarray) -> np.ndarray:
         """Boolean mask of array elements that fall inside the interval."""
-        mask = np.ones(len(values), dtype=bool)
+        mask: "np.ndarray | None" = None
         if self.low is not None:
-            mask &= values > self.low if self.low_open else values >= self.low
+            mask = values > self.low if self.low_open else values >= self.low
         if self.high is not None:
-            mask &= values < self.high if self.high_open else values <= self.high
+            high = values < self.high if self.high_open else values <= self.high
+            mask = high if mask is None else np.logical_and(mask, high, out=mask)
+        if mask is None:
+            mask = np.ones(len(values), dtype=bool)
         return mask
 
     def clamp(self, domain: "Interval") -> "Interval | None":

@@ -134,6 +134,10 @@ class PlanAnalysis:
 
     boundaries: frozenset[Plan]
     job_ops: int  # Join/Aggregate node count (each tree occurrence counts)
+    # Whether any leaf reads the materialized-view pool.  The subplan
+    # result cache keys such plans on the pool's (uid, epoch) and pure
+    # base-relation plans on the catalog alone.
+    has_materialized: bool = False
 
 
 @lru_cache(maxsize=4096)
@@ -148,6 +152,7 @@ def analyze_plan(plan: Plan) -> PlanAnalysis:
     projected = {node.child for node in nodes if isinstance(node, Project)}
     boundaries: set[Plan] = set()
     job_ops = 0
+    has_materialized = any(isinstance(node, MaterializedScan) for node in nodes)
     for node in nodes:
         if isinstance(node, (Join, Aggregate)):
             job_ops += 1
@@ -160,7 +165,7 @@ def analyze_plan(plan: Plan) -> PlanAnalysis:
                 base = base.child
             if isinstance(base, (Join, Aggregate)):
                 boundaries.add(node)
-    return PlanAnalysis(frozenset(boundaries), job_ops)
+    return PlanAnalysis(frozenset(boundaries), job_ops, has_materialized)
 
 
 def job_boundaries(plan: Plan) -> frozenset[Plan]:

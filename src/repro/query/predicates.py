@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine.table import Table
+from repro.engine.types import decoded
 from repro.partitioning.intervals import Interval
 
 
@@ -26,7 +27,10 @@ class RangePredicate:
     interval: Interval
 
     def mask(self, table: Table) -> np.ndarray:
-        return self.interval.mask(table.column(self.attr))
+        # ``decoded`` unwraps dictionary-encoded string columns so the
+        # interval's value comparisons see actual values, not codes; on a
+        # TableView, ``column`` gathers only the predicate's attribute.
+        return self.interval.mask(decoded(table.column(self.attr)))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.attr} in {self.interval}"
@@ -53,10 +57,18 @@ def at_most(attr: str, high: float) -> RangePredicate:
 
 
 def conjunction_mask(predicates: tuple[RangePredicate, ...], table: Table) -> np.ndarray:
-    """Boolean mask for the conjunction of all predicates."""
+    """Boolean mask for the conjunction of all predicates.
+
+    Feeding this mask to ``Table.filter`` yields a late-materialized
+    row-index view — selection never copies payload columns.  An
+    already-empty conjunction short-circuits the remaining column
+    gathers; the result is the same all-false mask either way.
+    """
     mask = np.ones(table.nrows, dtype=bool)
     for pred in predicates:
         mask &= pred.mask(table)
+        if not mask.any():
+            break
     return mask
 
 

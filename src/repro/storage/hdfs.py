@@ -54,9 +54,16 @@ class SimulatedHDFS:
         self._faults = injector
 
     def write(self, path: str, table: Table, ledger: CostLedger | None = None) -> StoredFile:
-        """Store ``table`` at ``path``, charging write cost if a ledger is given."""
+        """Store ``table`` at ``path``, charging write cost if a ledger is given.
+
+        A simulated disk write is a natural materialization boundary:
+        late-materialized views are gathered into plain tables here, so a
+        stored fragment is self-contained and never pins the (possibly
+        much larger) root table its selection vector pointed into.
+        """
         if path in self._files:
             raise PoolError(f"file already exists: {path!r}")
+        table = table.materialize()
         stored = StoredFile(path, table, table.size_bytes)
         self._files[path] = stored
         if ledger is not None:

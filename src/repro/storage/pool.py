@@ -27,6 +27,10 @@ from repro.query.algebra import Plan
 from repro.storage.hdfs import SimulatedHDFS
 from repro.storage.journal import PoolJournal
 
+# Process-unique pool identities for result-cache keys (see
+# MaterializedViewPool.uid).
+_POOL_UIDS = itertools.count(1)
+
 if TYPE_CHECKING:
     from repro.engine.cost import CostLedger
     from repro.faults.recovery import FragmentRecovery
@@ -84,6 +88,15 @@ class MaterializedViewPool:
     def __init__(self, smax_bytes: float | None = None, hdfs: SimulatedHDFS | None = None):
         self.smax_bytes = smax_bytes
         self.hdfs = hdfs or SimulatedHDFS()
+        # Cache-invalidation identity: ``uid`` names this pool process-
+        # uniquely (fragment ids like "frag-3" repeat across pools) and
+        # ``epoch`` increments on *every* residency mutation — admit,
+        # evict, rollback restore.  The subplan result cache keys
+        # MaterializedScan-bearing plans on (uid, epoch), so a cached
+        # result can never outlive the pool configuration it was computed
+        # against.  Monotonic counters, never ``id()`` (reusable).
+        self.uid: int = next(_POOL_UIDS)
+        self.epoch: int = 0
         self._views: dict[str, _PooledView] = {}
         self._definitions: dict[str, ViewDefinition] = {}
         self._fragments: dict[str, FragmentEntry] = {}
@@ -207,6 +220,7 @@ class MaterializedViewPool:
         self._remove_entry(entry)
 
     def _remove_entry(self, entry: FragmentEntry) -> None:
+        self.epoch += 1
         view = self._views[entry.key.view_id]
         if entry.key.attr is None:
             view.whole_id = None
@@ -267,6 +281,7 @@ class MaterializedViewPool:
     def _restore_entry(
         self, entry: FragmentEntry, payload: Table, ledger: "CostLedger | None"
     ) -> None:
+        self.epoch += 1
         self.hdfs.write(entry.path, payload)
         self._fragments[entry.fragment_id] = entry
         view = self._views.setdefault(
@@ -293,6 +308,7 @@ class MaterializedViewPool:
             raise PoolError(f"view {view_id!r} has no registered definition")
 
     def _admit(self, key: FragmentKey, table: Table) -> FragmentEntry:
+        self.epoch += 1
         size = table.size_bytes
         if not self.fits(size):
             raise PoolError(

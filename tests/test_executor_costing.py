@@ -145,6 +145,85 @@ class TestCapture:
         assert captured[plan].sorted_rows() == result.table.sorted_rows()
 
 
+LEDGER_FIELDS = (
+    "read_s", "write_s", "shuffle_s", "overhead_s", "jobs", "map_tasks",
+    "bytes_read", "bytes_written", "files_written", "fault_s",
+    "task_retries", "speculative_tasks", "fault_events",
+)
+
+
+def ledger_tuple(ledger: CostLedger) -> tuple:
+    return tuple(getattr(ledger, f) for f in LEDGER_FIELDS)
+
+
+class TestMaterializedScanChargePinning:
+    """Pin the exact charge sequence of ``Executor._eval_materialized``.
+
+    The executor owns the base read charge for pool entries; the pool's
+    ``read_entry`` fetches the payload with ``charge_payload=False``, so a
+    scan must charge each entry's bytes exactly once.  These tests replay
+    the documented sequence onto a fresh ledger by hand and require the
+    executed ledger to be bit-identical — any accidental double charge (or
+    dropped charge) in either layer breaks them.
+    """
+
+    def test_whole_view_scan_charges_one_read_and_one_job(self, catalog):
+        pool = MaterializedViewPool()
+        pool.define_view("v", Relation("sales"))
+        entry = pool.add_whole_view("v", catalog.get("sales"))
+        ctx = ExecutionContext(catalog, pool)
+        result = Executor(ctx).execute(MaterializedScan("v"))
+
+        expected = CostLedger(ctx.cluster)
+        expected.charge_read(entry.size_bytes, nfiles=1)  # the one base read
+        expected.charge_jobs(1)  # scan-only plan: the compensating job
+        assert ledger_tuple(result.ledger) == ledger_tuple(expected)
+
+    def test_fragment_scan_charges_one_batched_read(self, catalog):
+        pool = MaterializedViewPool()
+        pool.define_view("v", Relation("sales"))
+        sales = catalog.get("sales")
+        col = sales.column("s_item_sk")
+        a = Interval.closed(0, 50)
+        b = Interval(50, 99, True, False)
+        fa = pool.add_fragment("v", "s_item_sk", a, sales.filter(a.mask(col)))
+        fb = pool.add_fragment("v", "s_item_sk", b, sales.filter(b.mask(col)))
+        ctx = ExecutionContext(catalog, pool)
+        scan = MaterializedScan("v", (fa.fragment_id, fb.fragment_id), "s_item_sk")
+        result = Executor(ctx).execute(scan)
+
+        expected = CostLedger(ctx.cluster)
+        # One batched charge over the summed fragment bytes with
+        # nfiles=len(fragments) — not one charge per fragment, and no
+        # second payload charge from pool.read_entry.
+        expected.charge_read(fa.size_bytes + fb.size_bytes, nfiles=2)
+        expected.charge_jobs(1)
+        assert ledger_tuple(result.ledger) == ledger_tuple(expected)
+
+    def test_clipped_fragment_scan_still_charges_full_fragments(self, catalog):
+        pool = MaterializedViewPool()
+        pool.define_view("v", Relation("sales"))
+        sales = catalog.get("sales")
+        col = sales.column("s_item_sk")
+        a = Interval.closed(0, 60)
+        b = Interval.closed(40, 99)
+        fa = pool.add_fragment("v", "s_item_sk", a, sales.filter(a.mask(col)))
+        fb = pool.add_fragment("v", "s_item_sk", b, sales.filter(b.mask(col)))
+        ctx = ExecutionContext(catalog, pool)
+        clip = Interval(60, None, True, False)
+        scan = MaterializedScan(
+            "v", (fa.fragment_id, fb.fragment_id), "s_item_sk", (None, clip)
+        )
+        result = Executor(ctx).execute(scan)
+
+        expected = CostLedger(ctx.cluster)
+        # Clips drop rows after the file is read: charged bytes are the
+        # full fragment sizes, untouched by the clip.
+        expected.charge_read(fa.size_bytes + fb.size_bytes, nfiles=2)
+        expected.charge_jobs(1)
+        assert ledger_tuple(result.ledger) == ledger_tuple(expected)
+
+
 class TestMaterializedScanClips:
     def test_clip_filters_duplicate_region(self, catalog):
         pool = MaterializedViewPool()

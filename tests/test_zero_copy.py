@@ -1,0 +1,548 @@
+"""Zero-copy execution core: encoded strings, views, and the result cache.
+
+Three families of guarantees:
+
+* representation — dictionary-encoded string columns and late-materialized
+  selection/join views behave exactly like the eager tables they stand for;
+* equivalence — randomized plans produce bit-identical rows *and* ledgers
+  through the eager and zero-copy paths (``set_lazy_views`` toggles the
+  reference implementation);
+* reuse — the cross-query result cache replays recorded charges
+  bit-identically and is invalidated by catalog versions and pool epochs.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine.catalog import Catalog
+from repro.engine.cost import ClusterSpec, CostLedger
+from repro.engine.executor import ExecutionContext, Executor, aggregate, hash_join
+from repro.engine import result_cache
+from repro.engine.schema import Column, Schema
+from repro.engine.table import JoinView, Table, TableView, set_lazy_views
+from repro.engine.types import ColumnKind, EncodedColumn, coerce_array, concat_columns
+from repro.errors import SchemaError
+from repro.faults.schedule import FaultSchedule
+from repro.partitioning.intervals import Interval
+from repro.query.algebra import (
+    Aggregate,
+    AggSpec,
+    Join,
+    MaterializedScan,
+    Project,
+    Relation,
+    Select,
+)
+from repro.query.predicates import between
+from repro.storage.pool import MaterializedViewPool
+
+LEDGER_FIELDS = (
+    "read_s", "write_s", "shuffle_s", "overhead_s", "jobs", "map_tasks",
+    "bytes_read", "bytes_written", "files_written", "fault_s",
+    "task_retries", "speculative_tasks", "fault_events",
+)
+
+
+def ledger_tuple(ledger: CostLedger) -> tuple:
+    return tuple(getattr(ledger, f) for f in LEDGER_FIELDS)
+
+
+@pytest.fixture(autouse=True)
+def _clean_result_cache():
+    result_cache.GLOBAL.clear()
+    yield
+    result_cache.GLOBAL.clear()
+
+
+# ----------------------------------------------------------------------
+# EncodedColumn
+# ----------------------------------------------------------------------
+class TestEncodedColumn:
+    def test_roundtrip_and_sorted_dictionary(self):
+        col = EncodedColumn.encode(["pear", "apple", "pear", "fig"])
+        assert col.tolist() == ["pear", "apple", "pear", "fig"]
+        assert col.values.tolist() == sorted(set(["pear", "apple", "fig"]))
+        assert col.codes.dtype == np.int32
+
+    def test_code_order_equals_value_order(self):
+        col = EncodedColumn.encode(["b", "c", "a", "c"])
+        by_codes = np.argsort(col.codes, kind="stable")
+        by_values = np.argsort(col.decode(), kind="stable")
+        assert by_codes.tolist() == by_values.tolist()
+
+    def test_fancy_index_shares_dictionary(self):
+        col = EncodedColumn.encode(["x", "y", "x", "z"])
+        sub = col[np.array([2, 0])]
+        assert isinstance(sub, EncodedColumn)
+        assert sub.values is col.values
+        assert sub.tolist() == ["x", "x"]
+        assert col[3] == "z"  # scalar access decodes
+
+    def test_elementwise_eq_across_dictionaries(self):
+        a = EncodedColumn.encode(["u", "v", "w"])
+        b = EncodedColumn.encode(["u", "x", "w"])  # different dictionary
+        assert (a == b).tolist() == [True, False, True]
+        assert (a == np.array(["u", "v", "q"], dtype=object)).tolist() == [
+            True, True, False,
+        ]
+
+    def test_min_max_decode(self):
+        col = EncodedColumn.encode(["m", "a", "z"])[np.array([0, 2])]
+        assert col.min() == "m"
+        assert col.max() == "z"
+
+    def test_empty(self):
+        col = EncodedColumn.encode([])
+        assert len(col) == 0
+        assert col.decode().tolist() == []
+
+    def test_coerce_array_encodes_strings(self):
+        assert isinstance(coerce_array(ColumnKind.STRING, ["a"]), EncodedColumn)
+        assert coerce_array(ColumnKind.INT64, [1]).dtype == np.int64
+
+    def test_concat_same_dictionary_keeps_it(self):
+        col = EncodedColumn.encode(["a", "b", "a"])
+        out = concat_columns([col[np.array([0, 1])], col[np.array([2])]])
+        assert out.values is col.values
+        assert out.tolist() == ["a", "b", "a"]
+
+    def test_concat_rebuilds_sorted_union_dictionary(self):
+        a = EncodedColumn.encode(["b", "d"])
+        b = EncodedColumn.encode(["a", "c", "d"])
+        out = concat_columns([a, b])
+        assert out.tolist() == ["b", "d", "a", "c", "d"]
+        assert out.values.tolist() == ["a", "b", "c", "d"]
+
+
+# ----------------------------------------------------------------------
+# Views
+# ----------------------------------------------------------------------
+STR_SCHEMA = Schema.of(
+    Column("k", ColumnKind.INT64),
+    Column("name", ColumnKind.STRING),
+    Column("v", ColumnKind.FLOAT64),
+)
+
+
+def str_table() -> Table:
+    return Table.from_dict(
+        STR_SCHEMA,
+        {
+            "k": [3, 1, 2, 1, 3],
+            "name": ["cherry", "apple", "beet", "apple", "date"],
+            "v": [0.5, 1.5, 2.5, 3.5, 4.5],
+        },
+    )
+
+
+class TestTableView:
+    def test_filter_returns_view_with_equal_rows(self):
+        t = str_table()
+        view = t.filter(np.array([True, False, True, True, False]))
+        assert isinstance(view, TableView)
+        eager = set_lazy_views(False)
+        try:
+            reference = t.filter(np.array([True, False, True, True, False]))
+        finally:
+            set_lazy_views(eager)
+        assert type(reference) is Table
+        assert view.to_rows() == reference.to_rows()
+
+    def test_composed_selections_stay_one_level_deep(self):
+        t = str_table()
+        v = t.filter(np.array([True, True, True, True, False])).take([3, 0])
+        assert isinstance(v, TableView)
+        assert v.gather_plan()[0] is t
+        assert v.to_rows() == [t.to_rows()[3], t.to_rows()[0]]
+
+    def test_projected_away_column_raises_despite_shared_cache(self):
+        # Regression: the gather cache is shared between a view and its
+        # narrowed projection; schema membership must be checked first.
+        t = str_table()
+        wide = t.filter(np.array([True] * 5))
+        wide.column("v")  # populate the shared cache
+        narrow = wide.project(("k", "name"))
+        with pytest.raises(SchemaError):
+            narrow.column("v")
+
+    def test_pickle_materializes_and_reencodes(self):
+        t = str_table()
+        view = t.filter(np.array([False, True, False, True, False]))
+        restored = pickle.loads(pickle.dumps(view))
+        assert type(restored) is Table
+        assert restored.to_rows() == view.to_rows()
+        assert isinstance(restored.column("name"), EncodedColumn)
+
+    def test_view_lineage_matches_eager_lineage(self):
+        t = str_table()
+        mask = np.array([True, False, True, True, False])
+        view = t.filter(mask)
+        eager = set_lazy_views(False)
+        try:
+            reference = t.filter(mask)
+        finally:
+            set_lazy_views(eager)
+        vroot, vrows, vmono = view._lineage
+        eroot, erows, emono = reference._lineage
+        assert vroot is eroot is t
+        assert vrows.tolist() == erows.tolist()
+        assert vmono == emono
+
+    def test_empty_selection(self):
+        t = str_table()
+        view = t.filter(np.zeros(5, dtype=bool))
+        assert view.nrows == 0
+        assert view.to_rows() == []
+        assert view.materialize().nrows == 0
+
+    def test_empty_table_filter(self):
+        t = Table.empty(STR_SCHEMA)
+        assert t.filter(np.zeros(0, dtype=bool)).to_rows() == []
+
+    def test_concat_many_single_piece_is_identity(self):
+        t = str_table()
+        assert Table.concat_many([t]) is t
+
+    def test_concat_many_gathers_views(self):
+        t = str_table()
+        a = t.filter(np.array([True, True, False, False, False]))
+        b = t.filter(np.array([False, False, True, True, True]))
+        out = Table.concat_many([a, b])
+        assert out.to_rows() == t.to_rows()
+
+
+class TestJoinView:
+    def make_join(self):
+        left_schema = Schema.of(
+            Column("k"), Column("lv"), Column("tag", ColumnKind.STRING)
+        )
+        right_schema = Schema.of(Column("k"), Column("rv"))
+        left = Table.from_dict(
+            left_schema,
+            {"k": [1, 2, 3, 2], "lv": [10, 20, 30, 21], "tag": list("abca")},
+        )
+        right = Table.from_dict(right_schema, {"k": [2, 3, 5], "rv": [200, 300, 500]})
+        return left, right
+
+    def test_join_output_is_lazy_and_correct(self):
+        left, right = self.make_join()
+        out = hash_join(left, right, "k", "k")
+        assert isinstance(out, JoinView)
+        assert sorted(out.to_rows()) == [
+            (2, 20, "b", 200), (2, 21, "a", 200), (3, 30, "c", 300),
+        ]
+
+    def test_unconsumed_columns_never_gathered(self):
+        left, right = self.make_join()
+        out = hash_join(left, right, "k", "k").project(("rv",))
+        assert out.column("rv").tolist() == [200, 300, 200]
+        assert "lv" not in out._gathered  # never touched, never copied
+
+    def test_filter_composes_into_both_sides(self):
+        left, right = self.make_join()
+        out = hash_join(left, right, "k", "k")
+        picked = out.take(np.array([2, 0]))
+        assert isinstance(picked, JoinView)
+        assert picked.to_rows() == [out.to_rows()[2], out.to_rows()[0]]
+
+    def test_pickle_ships_plain_decoded_table(self):
+        left, right = self.make_join()
+        out = hash_join(left, right, "k", "k")
+        restored = pickle.loads(pickle.dumps(out))
+        assert type(restored) is Table
+        assert restored.sorted_rows() == out.sorted_rows()
+
+    def test_matches_eager_join_bitwise(self):
+        left, right = self.make_join()
+        lazy = hash_join(left, right, "k", "k")
+        eager = set_lazy_views(False)
+        try:
+            reference = hash_join(left, right, "k", "k")
+        finally:
+            set_lazy_views(eager)
+        assert lazy.to_rows() == reference.to_rows()
+        for name in reference.schema.names:
+            a = lazy.column(name)
+            b = reference.column(name)
+            if isinstance(a, EncodedColumn):
+                assert a.tolist() == b.tolist()
+            else:
+                assert a.dtype == b.dtype
+                assert np.array_equal(a, b)
+
+    def test_hdfs_write_is_a_materialization_boundary(self):
+        from repro.storage.hdfs import SimulatedHDFS
+
+        left, right = self.make_join()
+        out = hash_join(left, right, "k", "k")
+        hdfs = SimulatedHDFS()
+        stored = hdfs.write("/views/j", out)
+        assert type(stored.table) is Table  # self-contained, pins no roots
+        assert stored.table.to_rows() == out.to_rows()
+
+
+# ----------------------------------------------------------------------
+# Aggregation over encoded keys / bincount fast path
+# ----------------------------------------------------------------------
+class TestAggregate:
+    def test_string_group_keys_stay_encoded_and_sorted(self):
+        t = str_table()
+        out = aggregate(t, ("name",), (AggSpec("count", None, "n"),))
+        assert isinstance(out.column("name"), EncodedColumn)
+        assert out.to_rows() == [
+            ("apple", 2), ("beet", 1), ("cherry", 1), ("date", 1),
+        ]
+
+    def test_bincount_path_matches_sorted_path(self):
+        rng = np.random.default_rng(3)
+        schema = Schema.of(Column("g"), Column("x"))
+        t = Table.from_dict(
+            schema,
+            {"g": rng.integers(10, 40, 200), "x": rng.integers(-50, 50, 200)},
+        )
+        specs = (
+            AggSpec("sum", "x", "s"),
+            AggSpec("count", None, "n"),
+            AggSpec("avg", "x", "m"),
+        )
+        fast = aggregate(t, ("g",), specs)
+        # Force the sorted reference path by making the key span huge.
+        wide = Table.from_dict(
+            schema,
+            {"g": t.column("g") * 10**9, "x": t.column("x")},
+        )
+        slow = aggregate(wide, ("g",), specs)
+        assert fast.column("s").tolist() == slow.column("s").tolist()
+        assert fast.column("n").tolist() == slow.column("n").tolist()
+        assert fast.column("m").tolist() == slow.column("m").tolist()
+        assert fast.column("s").dtype == slow.column("s").dtype == np.int64
+
+    def test_min_max_and_floats_use_sorted_path(self):
+        schema = Schema.of(Column("g"), Column("x", ColumnKind.FLOAT64))
+        t = Table.from_dict(
+            schema, {"g": [1, 2, 1, 2], "x": [0.5, 1.5, 2.5, 3.5]}
+        )
+        out = aggregate(
+            t, ("g",), (AggSpec("min", "x", "lo"), AggSpec("max", "x", "hi"))
+        )
+        assert out.to_rows() == [(1, 0.5, 2.5), (2, 1.5, 3.5)]
+
+    def test_narrow_int_sums_widen(self):
+        # Satellite: int accumulation happens in int64 even when the input
+        # column arrives as a narrower dtype.
+        schema = Schema.of(Column("g"), Column("x"))
+        big = np.full(4, 2**30, dtype=np.int64)
+        t = Table(
+            schema,
+            {"g": np.array([1, 1, 1, 1]), "x": big.astype(np.int32)},
+        )
+        out = aggregate(t, ("g",), (AggSpec("sum", "x", "s"),))
+        assert out.column("s").tolist() == [4 * 2**30]
+
+
+# ----------------------------------------------------------------------
+# Eager vs zero-copy equivalence (randomized, fixed seeds via hypothesis)
+# ----------------------------------------------------------------------
+EQ_SCHEMA_FACT = Schema.of(
+    Column("f_k"), Column("f_v"), Column("f_name", ColumnKind.STRING)
+)
+EQ_SCHEMA_DIM = Schema.of(Column("d_k"), Column("d_c"))
+
+
+def eq_catalog(seed: int) -> Catalog:
+    rng = np.random.default_rng(seed)
+    n = 240
+    names = np.array(["ash", "birch", "cedar", "doum", "elm"], dtype=object)
+    fact = Table.from_dict(
+        EQ_SCHEMA_FACT,
+        {
+            "f_k": rng.integers(0, 60, n),
+            "f_v": rng.integers(0, 100, n),
+            "f_name": names[rng.integers(0, len(names), n)],
+        },
+    )
+    dim = Table.from_dict(
+        EQ_SCHEMA_DIM, {"d_k": np.arange(60), "d_c": rng.integers(0, 5, 60)}
+    )
+    catalog = Catalog()
+    catalog.register("fact", fact)
+    catalog.register("dim", dim)
+    return catalog
+
+
+def eq_plan(kind: int, lo: int, hi: int):
+    joined = Join(Relation("fact"), Relation("dim"), "f_k", "d_k")
+    selected = Select(joined, (between("f_k", lo, hi),))
+    if kind == 0:
+        return Project(selected, ("f_name", "f_v"))
+    if kind == 1:
+        return Aggregate(selected, ("f_name",), (AggSpec("sum", "f_v", "s"),))
+    if kind == 2:
+        return Aggregate(
+            Select(Relation("fact"), (between("f_k", lo, hi),)),
+            ("f_k",),
+            (AggSpec("count", None, "n"), AggSpec("avg", "f_v", "m")),
+        )
+    return Aggregate(
+        selected, ("d_c",), (AggSpec("min", "f_v", "lo"), AggSpec("max", "f_v", "hi"))
+    )
+
+
+@given(
+    seed=st.integers(0, 5),
+    queries=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 60), st.integers(0, 60)),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_eager_and_zero_copy_paths_are_bit_identical(seed, queries):
+    catalog = eq_catalog(seed)
+    for kind, a, b in queries:
+        plan = eq_plan(kind, min(a, b), max(a, b))
+        rows, ledgers = [], []
+        for lazy in (True, False):
+            result_cache.GLOBAL.clear()  # no cross-path replay shortcuts
+            previous = set_lazy_views(lazy)
+            try:
+                executor = Executor(ExecutionContext(catalog))
+                result = executor.execute(plan)
+            finally:
+                set_lazy_views(previous)
+            rows.append(result.table.sorted_rows())
+            ledgers.append(ledger_tuple(result.ledger))
+    assert rows[0] == rows[1]
+    assert ledgers[0] == ledgers[1]
+
+
+def test_all_rows_filtered_equivalence():
+    catalog = eq_catalog(0)
+    plan = Aggregate(
+        Select(Relation("fact"), (between("f_k", 1000, 2000),)),
+        ("f_name",),
+        (AggSpec("sum", "f_v", "s"),),
+    )
+    outputs = []
+    for lazy in (True, False):
+        result_cache.GLOBAL.clear()
+        previous = set_lazy_views(lazy)
+        try:
+            result = Executor(ExecutionContext(catalog)).execute(plan)
+        finally:
+            set_lazy_views(previous)
+        outputs.append((result.table.sorted_rows(), ledger_tuple(result.ledger)))
+    assert outputs[0] == outputs[1]
+    assert outputs[0][0] == []
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+def cache_stats():
+    return result_cache.GLOBAL.stats()
+
+
+class TestResultCache:
+    def plan(self):
+        return Aggregate(
+            Select(
+                Join(Relation("sales"), Relation("item"), "s_item_sk", "i_item_sk"),
+                (between("i_item_sk", 0, 50),),
+            ),
+            ("i_category",),
+            (AggSpec("sum", "s_qty", "q"),),
+        )
+
+    def test_hit_replays_table_and_charges_bitwise(self, catalog):
+        ctx = ExecutionContext(catalog)
+        first = Executor(ctx).execute(self.plan())
+        again = Executor(ctx).execute(self.plan())
+        assert cache_stats()["hits"] == 1
+        assert again.table.sorted_rows() == first.table.sorted_rows()
+        assert ledger_tuple(again.ledger) == ledger_tuple(first.ledger)
+
+    def test_catalog_version_invalidates(self, catalog, sales_table):
+        ctx = ExecutionContext(catalog)
+        Executor(ctx).execute(self.plan())
+        catalog.replace("sales", sales_table.take(np.arange(10)))
+        Executor(ctx).execute(self.plan())
+        assert cache_stats()["hits"] == 0
+        assert cache_stats()["misses"] == 2
+
+    def test_pool_epoch_invalidates_materialized_scans(self, catalog):
+        pool = MaterializedViewPool()
+        pool.define_view("v", Relation("sales"))
+        sales = catalog.get("sales")
+        f = pool.add_fragment(
+            "v", "s_item_sk", Interval.closed(0, 99), sales
+        )
+        ctx = ExecutionContext(catalog, pool)
+        scan = MaterializedScan("v", (f.fragment_id,), "s_item_sk", (None,))
+        Executor(ctx).execute(scan)
+        Executor(ctx).execute(scan)
+        assert cache_stats()["hits"] == 1
+        pool.add_fragment(  # bumps the pool epoch
+            "v", "s_item_sk", Interval(100, 200, True, False), sales.take(np.arange(3))
+        )
+        Executor(ctx).execute(scan)
+        assert cache_stats()["hits"] == 1
+        assert cache_stats()["misses"] == 2
+
+    def test_pool_independent_plans_share_entries_across_pools(self, catalog):
+        plain = Executor(ExecutionContext(catalog)).execute(self.plan())
+        pooled = Executor(
+            ExecutionContext(catalog, MaterializedViewPool())
+        ).execute(self.plan())
+        assert cache_stats()["hits"] == 1
+        assert pooled.table.sorted_rows() == plain.table.sorted_rows()
+
+    def test_faulted_ledger_bypasses_cache(self, catalog):
+        ctx = ExecutionContext(catalog)
+        ledger = CostLedger(ctx.cluster)
+        ledger.faults = FaultSchedule.of("t", seed=1, task_failure=0.5).injector()
+        Executor(ctx).execute(self.plan(), ledger)
+        assert cache_stats()["misses"] == 0  # never even consulted
+
+    def test_capture_bypasses_cache(self, catalog):
+        executor = Executor(ExecutionContext(catalog))
+        executor.execute_with_capture(self.plan(), [self.plan()])
+        assert cache_stats()["misses"] == 0
+
+    def test_dirty_ledger_bypasses_cache(self, catalog):
+        ctx = ExecutionContext(catalog)
+        dirty = CostLedger(ctx.cluster)
+        dirty.charge_jobs(1)
+        Executor(ctx).execute(self.plan(), dirty)
+        assert cache_stats()["misses"] == 0
+
+    def test_lru_eviction_is_byte_bounded(self):
+        cache = result_cache.ResultCache(max_bytes=1024)
+        schema = Schema.of(Column("a"))
+        cluster = ClusterSpec()
+        for i in range(8):
+            t = Table.from_dict(schema, {"a": np.arange(32) + i})
+            cache.store((i,), t, CostLedger(cluster))
+        assert cache.stats()["bytes"] <= 1024
+        assert cache.stats()["evictions"] > 0
+        assert cache.lookup((0,)) is None  # oldest evicted first
+
+    def test_oversized_result_not_cached(self):
+        cache = result_cache.ResultCache(max_bytes=64)
+        schema = Schema.of(Column("a"))
+        t = Table.from_dict(schema, {"a": np.arange(1000)})
+        cache.store(("big",), t, CostLedger(ClusterSpec()))
+        assert cache.stats()["entries"] == 0
+
+    def test_registry_clear_resets_everything(self, catalog):
+        from repro.caches import clear_all_caches
+
+        ctx = ExecutionContext(catalog)
+        Executor(ctx).execute(self.plan())
+        clear_all_caches()
+        assert cache_stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 0, "bytes": 0,
+        }
