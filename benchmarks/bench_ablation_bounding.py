@@ -26,9 +26,7 @@ def run_experiment():
     out = {}
     for phi in PHIS:
         bounds = SizeBounds(phi=phi) if phi is not None else None
-        system = DeepSea(
-            fx.catalog, domains=fx.domains, policy=Policy(bounds=bounds)
-        )
+        system = DeepSea(fx.catalog, domains=fx.domains, policy=Policy(bounds=bounds))
         reports = [system.execute(p) for p in plans]
         steady = [
             r.total_s

@@ -49,10 +49,7 @@ def run_experiment():
 
 def test_ablation_decay(once):
     results = once(run_experiment)
-    rows = [
-        (label, r["total"], r["phase2"], r["phase2_reuse"])
-        for label, r in results.items()
-    ]
+    rows = [(label, r["total"], r["phase2"], r["phase2_reuse"]) for label, r in results.items()]
     print()
     print(
         format_table(

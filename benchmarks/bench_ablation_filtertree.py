@@ -7,8 +7,6 @@ a query against a pool of many registered view signatures, with and
 without the index.
 """
 
-import itertools
-
 from repro.matching.filter_tree import FilterTree
 from repro.matching.matcher import match_view
 from repro.bench.reporting import format_table

@@ -24,9 +24,7 @@ def run_experiment():
     fx = uniform_fixture(500.0)
     # jitter phase-2 endpoints so each query is distinct (no whole-result
     # aggregate reuse) and covers must read the fragment pair every time
-    plans = [q30(*PHASE1)] * 3 + [
-        q30(PHASE2[0] + 7 * i, PHASE2[1] - 5 * i) for i in range(40)
-    ]
+    plans = [q30(*PHASE1)] * 3 + [q30(PHASE2[0] + 7 * i, PHASE2[1] - 5 * i) for i in range(40)]
     out = {}
     for label, merge in (("merging", True), ("no merging", False)):
         system = DeepSea(

@@ -42,9 +42,7 @@ def run_experiment():
 
 def test_ablation_mle(once):
     results = once(run_experiment)
-    rows = [
-        (label, r["total"], r["phase2_reuse"]) for label, r in results.items()
-    ]
+    rows = [(label, r["total"], r["phase2_reuse"]) for label, r in results.items()]
     print()
     print(
         format_table(

@@ -57,9 +57,7 @@ def run_experiment():
 
 def test_fig10a_adaptation(once):
     results = once(run_experiment)
-    rows = [
-        (label, r["total"], r["phase2"]) for label, r in results.items()
-    ]
+    rows = [(label, r["total"], r["phase2"]) for label, r in results.items()]
     print()
     print(
         format_table(

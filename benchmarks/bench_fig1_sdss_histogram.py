@@ -20,9 +20,7 @@ def build_histogram():
 
 def test_fig1_sdss_histogram(once):
     edges, hits = once(build_histogram)
-    rows = [
-        (f"{edges[i]:.0f}..{edges[i + 1]:.0f}", int(hits[i])) for i in range(len(hits))
-    ]
+    rows = [(f"{edges[i]:.0f}..{edges[i + 1]:.0f}", int(hits[i])) for i in range(len(hits))]
     print()
     print(format_table(["ra range (deg)", "hits"], rows, title="Figure 1 — SDSS hits"))
 

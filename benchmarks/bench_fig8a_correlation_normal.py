@@ -29,9 +29,7 @@ def run_experiment():
     )
     out = {}
     for label, factory in (("N", nectar), ("DS", deepsea)):
-        system = factory(
-            fx.catalog, domains=fx.domains, smax_bytes=POOL_GB * 1e9
-        )
+        system = factory(fx.catalog, domains=fx.domains, smax_bytes=POOL_GB * 1e9)
         times = [system.execute(p).total_s for p in plans]
         out[label] = list(np.cumsum(times))
     return out

@@ -4,9 +4,10 @@ Q30 queries with small selectivity and heavy skew whose midpoints march
 across the domain in three phases (the paper uses 20 000 → 40 000 →
 60 000 over [0, 400 000]; we use the same 5 % / 10 % / 15 % positions of
 our item domain, on the 500 GB instance where fragment reads are in the
-byte-proportional regime — see EXPERIMENTS.md).  Horizontal partitioning must split-and-rewrite a large
-fragment at each shift; overlapping partitioning writes only the small
-newly hot fragment and keeps the old one (Example 2 / Fig 3), so its
+byte-proportional regime — see EXPERIMENTS.md).  Horizontal
+partitioning must split-and-rewrite a large fragment at each shift;
+overlapping partitioning writes only the small newly hot fragment and
+keeps the old one (Example 2 / Fig 3), so its
 cumulative time stays lower.
 """
 
@@ -33,9 +34,7 @@ def run_experiment():
     plans = build_plans(fx)
     out = {}
     for label, overlapping in (("Horizontal", False), ("Overlapping", True)):
-        system = deepsea(
-            fx.catalog, domains=fx.domains, overlapping=overlapping, bounds=None
-        )
+        system = deepsea(fx.catalog, domains=fx.domains, overlapping=overlapping, bounds=None)
         reports = [system.execute(p) for p in plans]
         out[label] = {
             "cumulative": list(np.cumsum([r.total_s for r in reports])),
@@ -77,6 +76,4 @@ def test_fig9_overlapping(once):
     assert overlapping[-1] < horizontal[-1]
     # The adaptation pays off inside the shifted phases (last two thirds).
     phase1 = len(overlapping) // 3
-    assert (overlapping[-1] - overlapping[phase1]) < (
-        horizontal[-1] - horizontal[phase1]
-    )
+    assert (overlapping[-1] - overlapping[phase1]) < (horizontal[-1] - horizontal[phase1])

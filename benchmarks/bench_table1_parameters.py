@@ -22,9 +22,7 @@ def build_grid():
         assert abs(instance.catalog.total_size_bytes - size_gb * 1e9) < 0.02 * size_gb * 1e9
         for sel in ("S", "M", "B"):
             for skew in ("U", "L", "H"):
-                sampler = RangeSampler(
-                    instance.item_domain, selectivity_for(sel), skew_for(skew)
-                )
+                sampler = RangeSampler(instance.item_domain, selectivity_for(sel), skew_for(skew))
                 ranges = sampler.sample_many(50, rng)
                 widths = {round(iv.width, 6) for iv in ranges}
                 assert len(widths) == 1  # fixed-selectivity widths

@@ -1,0 +1,94 @@
+"""CI gate: the matching-stage memo hit rate must clear a checked-in floor.
+
+The cover-delta invalidation work keys `match_view` skeletons on
+range-free signature shapes and greedy covers on per-view cover versions,
+so pool mutations of one view no longer flush everyone else's entries.
+On the fig-5a profile this pushes the `matching.match_view` hit rate from
+~55% (whole-cover invalidation) to >95%; the floor locks the property in
+and fails with the observed rate so a regression is diagnosable from the
+CI log alone.
+
+The gate also requires the `matching.cover_cache` per-view invalidation
+counters to be present in the JSON — they are the observable part of the
+delta protocol.
+
+Runnable locally:
+
+    PYTHONPATH=src python -m repro profile --queries 150 --instance-gb 100 \
+        --seed 2 --output /tmp/profile_smoke.json
+    python benchmarks/ci_checks/check_matching_memo.py /tmp/profile_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_FLOOR = 0.80
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="profile JSON written by `python -m repro profile`")
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR,
+        help=f"minimum aggregate match_view hit rate (default {DEFAULT_FLOOR})",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+
+    total_hits = 0
+    total_misses = 0
+    cover_cache_seen = False
+    for label, info in sorted(report["per_worker"].items()):
+        caches = info["caches"]
+        memo = caches.get("matching.match_view")
+        if memo is None:
+            print(f"FAIL {label}: matching.match_view not in cache stats", file=sys.stderr)
+            return 1
+        hits, misses = memo["hits"], memo["misses"]
+        total_hits += hits
+        total_misses += misses
+        if hits + misses:
+            print(f"{label}: matching.match_view hits={hits} misses={misses}")
+        cover = caches.get("matching.cover_cache")
+        if cover is not None:
+            cover_cache_seen = True
+            if "invalidations" not in cover or "by_view" not in cover:
+                print(
+                    f"FAIL {label}: matching.cover_cache lacks per-view "
+                    f"invalidation counters: {sorted(cover)}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"{label}: matching.cover_cache hits={cover['hits']} "
+                f"misses={cover['misses']} invalidations={cover['invalidations']} "
+                f"by_view={cover['by_view']}"
+            )
+
+    if not cover_cache_seen:
+        print("FAIL matching.cover_cache missing from every worker", file=sys.stderr)
+        return 1
+    calls = total_hits + total_misses
+    if calls == 0:
+        print("FAIL no match_view calls recorded — profile ran no matching", file=sys.stderr)
+        return 1
+    rate = total_hits / calls
+    print(f"aggregate match_view hit rate: {rate:.3f} ({total_hits}/{calls})")
+    if rate < args.floor:
+        print(
+            f"FAIL match_view hit rate {rate:.3f} below floor {args.floor:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

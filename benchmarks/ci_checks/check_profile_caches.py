@@ -1,0 +1,59 @@
+"""CI gate: the profile JSON must carry per-system cache telemetry.
+
+Regressions that silently disable a cache (a renamed registry key, a
+cache that stops registering) would otherwise only show up as "slower" —
+this asserts the counters are present and saw traffic, so the failure
+names the missing cache instead.
+
+Runnable locally:
+
+    PYTHONPATH=src python -m repro profile --queries 80 --instance-gb 20 \
+        --seed 2 --output /tmp/profile_smoke.json
+    python benchmarks/ci_checks/check_profile_caches.py /tmp/profile_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="profile JSON written by `python -m repro profile`")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=None,
+        help="cache name that must be present with traffic (repeatable; "
+        "default: engine.result_cache)",
+    )
+    args = parser.parse_args(argv)
+    required = args.require or ["engine.result_cache"]
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+
+    failures: list[str] = []
+    for label, info in sorted(report["per_worker"].items()):
+        caches = info["caches"]
+        for name in required:
+            if name not in caches:
+                failures.append(f"{label}: cache {name!r} missing (have {sorted(caches)})")
+                continue
+            counters = caches[name]
+            if counters["hits"] + counters["misses"] <= 0:
+                failures.append(f"{label}: cache {name!r} saw no traffic: {counters}")
+            else:
+                print(f"{label}: {name} {counters}")
+
+    if failures:
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""CI gate: each pool worker starts with an empty result cache.
+
+The profile report's per-worker cache counters prove isolation: every
+worker must record its own misses (no cross-process sharing), while the
+determinism harness separately proves the isolated caches still
+fingerprint-match the serial run.
+
+Runnable locally:
+
+    PYTHONPATH=src python -m repro profile --queries 80 --instance-gb 20 \
+        --seed 2 --workers 2 --output /tmp/profile_workers.json
+    python benchmarks/ci_checks/check_worker_isolation.py /tmp/profile_workers.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="profile JSON from a --workers N run")
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+
+    failures: list[str] = []
+    for label, info in sorted(report["per_worker"].items()):
+        counters = info["caches"]["engine.result_cache"]
+        if counters["misses"] <= 0:
+            failures.append(f"{label}: no result-cache misses recorded: {counters}")
+        else:
+            print(f"{label}: pid={info['pid']} engine.result_cache {counters}")
+
+    if failures:
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,9 +80,7 @@ def no_repartition(
     bounds: SizeBounds | None = SizeBounds(),
 ) -> DeepSea:
     """NR — adaptive initial partitioning, never refined (§10.4)."""
-    policy = Policy(
-        repartition=False, evidence_factor=evidence_factor, bounds=bounds
-    )
+    policy = Policy(repartition=False, evidence_factor=evidence_factor, bounds=bounds)
     return _make(catalog, cluster, smax_bytes, domains, policy)
 
 
@@ -95,9 +93,7 @@ def nectar(
     evidence_factor: float = 1.0,
 ) -> DeepSea:
     """N — Nectar's selection strategy (no benefit, no decay, no MLE)."""
-    policy = Policy(
-        value_model="nectar", use_mle=False, evidence_factor=evidence_factor
-    )
+    policy = Policy(value_model="nectar", use_mle=False, evidence_factor=evidence_factor)
     return _make(catalog, cluster, smax_bytes, domains, policy)
 
 
@@ -110,9 +106,7 @@ def nectar_plus(
     evidence_factor: float = 1.0,
 ) -> DeepSea:
     """N+ — Nectar extended with accumulated (undecayed) benefit."""
-    policy = Policy(
-        value_model="nectar+", use_mle=False, evidence_factor=evidence_factor
-    )
+    policy = Policy(value_model="nectar+", use_mle=False, evidence_factor=evidence_factor)
     return _make(catalog, cluster, smax_bytes, domains, policy)
 
 

@@ -7,7 +7,7 @@ the paper-shaped table with :mod:`repro.bench.reporting`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -46,10 +46,7 @@ class RunResult:
 
     @property
     def fault_s(self) -> float:
-        return sum(
-            r.execution_ledger.fault_s + r.creation_ledger.fault_s
-            for r in self.reports
-        )
+        return sum(r.execution_ledger.fault_s + r.creation_ledger.fault_s for r in self.reports)
 
     @property
     def execution_s(self) -> float:
@@ -69,10 +66,7 @@ class RunResult:
 
     @property
     def map_tasks(self) -> int:
-        return sum(
-            r.execution_ledger.map_tasks + r.creation_ledger.map_tasks
-            for r in self.reports
-        )
+        return sum(r.execution_ledger.map_tasks + r.creation_ledger.map_tasks for r in self.reports)
 
     @property
     def reuse_count(self) -> int:
@@ -162,9 +156,7 @@ def run_systems(
 
                 prof = WallClockProfiler() if profiled else None
                 result = run_system(label, make(), plans, prof)
-                info = WorkerTelemetry(
-                    os.getpid(), prof.report() if prof else None, cache_stats()
-                )
+                info = WorkerTelemetry(os.getpid(), prof.report() if prof else None, cache_stats())
                 return result, prof, info
 
             return run
@@ -301,9 +293,7 @@ def _fixture_cache_stats() -> dict:
     }
 
 
-caches.register_cache(
-    "bench.harness.fixtures", _clear_fixture_caches, _fixture_cache_stats
-)
+caches.register_cache("bench.harness.fixtures", _clear_fixture_caches, _fixture_cache_stats)
 
 
 def clear_caches() -> None:

@@ -10,9 +10,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 
-def format_table(
-    headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None
-) -> str:
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
     """A fixed-width text table."""
     str_rows = [[_fmt(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
@@ -29,9 +27,7 @@ def format_table(
     return "\n".join(lines)
 
 
-def format_series(
-    label: str, values: Sequence[float], every: int = 1, unit: str = "s"
-) -> str:
+def format_series(label: str, values: Sequence[float], every: int = 1, unit: str = "s") -> str:
     """A compact one-line rendering of a cumulative/per-query series."""
     shown = values[::every]
     body = ", ".join(f"{v:,.0f}" for v in shown)

@@ -278,17 +278,13 @@ def cmd_profile(
         write_report(output, report)
         print(f"report written to {output}")
     if check:
-        ok, message = check_report_against_baseline(
-            report, load_report(check), max_slowdown
-        )
+        ok, message = check_report_against_baseline(report, load_report(check), max_slowdown)
         print(message)
         return 0 if ok else 1
     return 0
 
 
-def cmd_determinism(
-    queries: int, instance_gb: float, seed: int, worker_counts: list[int]
-) -> int:
+def cmd_determinism(queries: int, instance_gb: float, seed: int, worker_counts: list[int]) -> int:
     """Verify parallel runs are byte-identical to serial (CI smoke gate).
 
     Runs the Figure-5a (H / NP / DS) task specs serially, then once per
@@ -418,14 +414,10 @@ def cmd_chaos(
     for name in names:
         sched = FaultSchedule.resolve(name)
         if sched.rate("worker_kill") > 0:
-            for index, crashes in sched.injector().worker_kill_plan(
-                len(all_tasks)
-            ).items():
+            for index, crashes in sched.injector().worker_kill_plan(len(all_tasks)).items():
                 kill_plan[index] = max(kill_plan.get(index, 0), crashes)
     outputs = fan_out(all_tasks, workers, fault_plan=kill_plan or None)
-    baselines = {
-        task.label: result for task, result in zip(base_tasks, outputs)
-    }
+    baselines = {task.label: result for task, result in zip(base_tasks, outputs)}
 
     status = 0
     rows = []
@@ -484,16 +476,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="pool budget as a fraction of base size")
     cmp_p.add_argument("--instance-gb", type=float, default=500.0)
     cmp_p.add_argument("--seed", type=int, default=2)
-    prof_p = sub.add_parser(
-        "profile", help="wall-clock profile of the engine (real seconds)"
-    )
+    prof_p = sub.add_parser("profile", help="wall-clock profile of the engine (real seconds)")
     prof_p.add_argument("--queries", type=int, default=400)
     prof_p.add_argument("--instance-gb", type=float, default=500.0)
     prof_p.add_argument("--seed", type=int, default=2)
     prof_p.add_argument("--workers", type=int, default=0,
                         help="fan system variants out over N pool workers")
-    prof_p.add_argument("--output", default=None, metavar="PATH",
-                        help="write the JSON report here")
+    prof_p.add_argument("--output", default=None, metavar="PATH", help="write the JSON report here")
     prof_p.add_argument("--check", default=None, metavar="PATH",
                         help="fail if slower than this baseline report")
     prof_p.add_argument("--max-slowdown", type=float, default=2.0,

@@ -44,7 +44,9 @@ class AdmissionController:
         self.value_fn = value_fn
         self.hysteresis = hysteresis
 
-    def plan_eviction(self, needed_bytes: float, candidate_value: float) -> list[FragmentEntry] | None:
+    def plan_eviction(
+        self, needed_bytes: float, candidate_value: float
+    ) -> list[FragmentEntry] | None:
         """Entries to evict so ``needed_bytes`` fit, or ``None`` if impossible.
 
         Only entries whose value is clearly below ``candidate_value`` may

@@ -48,7 +48,6 @@ from repro.costmodel.nectar import (
 )
 from repro.costmodel.stats import StatisticsStore, ViewStats
 from repro.costmodel.value import (
-    fragment_hits,
     realizing_hits,
     fragment_value,
     partition_distribution,
@@ -275,9 +274,7 @@ class DeepSea:
             # 5. Selection: creations and refinements.
             usable = {r.view_id for r in rewritings}
             creations = self._plan_view_creations(candidates, usable, t)
-            refinements = (
-                self._plan_refinements(matches, t) if self.policy.repartition else []
-            )
+            refinements = self._plan_refinements(matches, t) if self.policy.repartition else []
 
         # 6. Execute (with capture for instrumentation).
         #
@@ -464,9 +461,7 @@ class DeepSea:
                 vstats.size_bytes = max(estimate.bytes_out, 1.0)
                 # COST(V) is the full recreation price: recompute the
                 # defining query and write the partitioned result (§7.1).
-                vstats.creation_cost_s = estimate.cost_s + self.cluster.write_elapsed(
-                    0.0, nfiles=4
-                )
+                vstats.creation_cost_s = estimate.cost_s + self.cluster.write_elapsed(0.0, nfiles=4)
             self._refine_tentative_designs(view_id, query_sig)
             registered.append((view_id, sub))
         return registered
@@ -497,9 +492,7 @@ class DeepSea:
                 if current is not None and candidate.parent in current.intervals:
                     self.tentative.apply_split(view_id, attr, candidate)
 
-    def _inherit_fragment_stats(
-        self, view_id: str, attr: str, candidate: SplitCandidate
-    ) -> None:
+    def _inherit_fragment_stats(self, view_id: str, attr: str, candidate: SplitCandidate) -> None:
         """Give split pieces the parent's hit history.
 
         Each piece inherits the hits whose recorded query range touched it
@@ -530,9 +523,7 @@ class DeepSea:
             if vstats is None:
                 continue
             attrs = self.tentative.attrs_of(match.view_id)
-            saving = self.rewriter.estimate_saving(
-                plan, match, vstats.size_bytes, attrs
-            )
+            saving = self.rewriter.estimate_saving(plan, match, vstats.size_bytes, attrs)
             current = best.get(match.view_id)
             specificity = len(match.attr_ranges)
             if current is None or (saving, specificity) > (
@@ -600,7 +591,9 @@ class DeepSea:
         if self.pool.smax_bytes is None:
             return True
         vstats = self.stats.view(view_id)
-        controller = AdmissionController(self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis)
+        controller = AdmissionController(
+            self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis
+        )
         if attr is None:
             value = self._view_admission_value(vstats, t)
             return controller.plan_eviction(vstats.size_bytes, value) is not None
@@ -671,9 +664,7 @@ class DeepSea:
                 if theta is None:
                     continue
                 design = self.tentative.ensure(view_id, attr, domain)
-                for candidate in partition_candidates(
-                    theta, list(design.intervals), domain
-                ):
+                for candidate in partition_candidates(theta, list(design.intervals), domain):
                     key = (view_id, attr, candidate.parent)
                     if key in seen:
                         continue
@@ -697,10 +688,7 @@ class DeepSea:
         vstats = self.stats.view(view_id)
         if vstats is None:
             return None
-        resident = [
-            (e.key.interval, e.size_bytes)
-            for e in self.pool.fragments_of(view_id, attr)
-        ]
+        resident = [(e.key.interval, e.size_bytes) for e in self.pool.fragments_of(view_id, attr)]
         hot = [p for p in candidate.pieces if theta.contains(p)]
         if not hot:
             return None
@@ -713,10 +701,7 @@ class DeepSea:
             # which past queries the new fragment would have served, and
             # that must be judged against the fragment actually created.
             jitter = self._observed_jitter(view_id, attr, candidate.parent, theta)
-            hot = [
-                self._widen_piece(p, theta, candidate.parent, domain, jitter)
-                for p in hot
-            ]
+            hot = [self._widen_piece(p, theta, candidate.parent, domain, jitter) for p in hot]
         if not self._refinement_passes(
             view_id, attr, candidate.parent, hot, resident, domain, vstats, t
         ):
@@ -736,9 +721,7 @@ class DeepSea:
         self.tentative.apply_split(view_id, attr, candidate)
         return Refinement(view_id, attr, candidate.parent, candidate.pieces, None)
 
-    def _observed_jitter(
-        self, view_id: str, attr: str, parent: Interval, theta: Interval
-    ) -> float:
+    def _observed_jitter(self, view_id: str, attr: str, parent: Interval, theta: Interval) -> float:
         """Standard deviation of recent query midpoints around ``theta``.
 
         Measured from the parent fragment's recorded hit ranges, so the
@@ -781,9 +764,7 @@ class DeepSea:
         margin = max(self.policy.refinement_margin * theta.width, 2.0 * jitter)
         if margin <= 0:
             return piece
-        widened = Interval(
-            piece.lo - margin, piece.hi + margin, False, False
-        ).intersect(parent)
+        widened = Interval(piece.lo - margin, piece.hi + margin, False, False).intersect(parent)
         widened = widened.intersect(domain) if widened is not None else None
         return widened if widened is not None else piece
 
@@ -824,10 +805,7 @@ class DeepSea:
             decay=decay,
             safety=self.policy.refinement_safety,
         )
-        if (
-            self.parallel_workers >= 2
-            and len(hot) >= _PARALLEL_PIECE_THRESHOLD
-        ):
+        if self.parallel_workers >= 2 and len(hot) >= _PARALLEL_PIECE_THRESHOLD:
             from repro.parallel.pool import batch_map
 
             return any(
@@ -852,7 +830,9 @@ class DeepSea:
     ) -> tuple[bool, int]:
         vstats = self.stats.view(creation.view_id)
         vstats.set_actual_size(max(table.size_bytes, 1.0))
-        controller = AdmissionController(self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis)
+        controller = AdmissionController(
+            self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis
+        )
 
         if not creation.attrs:
             candidate_value = self._view_admission_value(vstats, t)
@@ -862,9 +842,7 @@ class DeepSea:
                 # keeping it costs one extra file creation.
                 ledger.charge_write(0.0, nfiles=1)
                 if not vstats.cost_is_actual:
-                    vstats.set_actual_cost(
-                        self.rewriter.estimate_plan_cost(creation.plan).cost_s
-                    )
+                    vstats.set_actual_cost(self.rewriter.estimate_plan_cost(creation.plan).cost_s)
             return result.admitted, len(result.evicted)
 
         admitted_any = False
@@ -936,17 +914,13 @@ class DeepSea:
         if self.policy.bounds is None:
             return intervals
         column = table.column(attr)
-        sizes = [
-            table.filter(iv.mask(column)).size_bytes for iv in intervals
-        ]
+        sizes = [table.filter(iv.mask(column)).size_bytes for iv in intervals]
         if design.is_disjoint():
             intervals = merge_undersized(intervals, sizes, self.policy.bounds.min_bytes)
             sizes = [table.filter(iv.mask(column)).size_bytes for iv in intervals]
         bounded: list[Interval] = []
         for interval, size in zip(intervals, sizes):
-            bounded.extend(
-                bound_fragment(interval, size, table.size_bytes, self.policy.bounds)
-            )
+            bounded.extend(bound_fragment(interval, size, table.size_bytes, self.policy.bounds))
         bounded = sorted(set(bounded), key=sort_key)
         self.tentative.replace_design(
             creation.view_id, attr, Fragmentation(attr, domain, tuple(bounded))
@@ -1001,9 +975,7 @@ class DeepSea:
                 written_bytes = 0.0
                 written_files = 0
                 for interval in intervals:
-                    if self.pool.find_fragment(
-                        FragmentKey(view_id, attr, interval)
-                    ) is not None:
+                    if self.pool.find_fragment(FragmentKey(view_id, attr, interval)) is not None:
                         continue
                     piece = table.filter(interval.mask(column))
                     fstats = self.stats.ensure_fragment(view_id, attr, interval)
@@ -1035,7 +1007,7 @@ class DeepSea:
             if domain is None:
                 continue
             entries = self.pool.fragments_of(view_id, attr)
-            cover = greedy_cover(domain, [e.key.interval for e in entries])
+            cover = self.rewriter.cover_cache.cover(view_id, attr, domain)
             if cover is None:
                 continue
             by_interval = {e.key.interval: e for e in entries}
@@ -1091,15 +1063,9 @@ class DeepSea:
                 )
         return merges
 
-    def _apply_merge(
-        self, merge: MergeCandidate, t: float, ledger: CostLedger
-    ) -> tuple[bool, int]:
-        left = self.pool.find_fragment(
-            FragmentKey(merge.view_id, merge.attr, merge.left)
-        )
-        right = self.pool.find_fragment(
-            FragmentKey(merge.view_id, merge.attr, merge.right)
-        )
+    def _apply_merge(self, merge: MergeCandidate, t: float, ledger: CostLedger) -> tuple[bool, int]:
+        left = self.pool.find_fragment(FragmentKey(merge.view_id, merge.attr, merge.left))
+        right = self.pool.find_fragment(FragmentKey(merge.view_id, merge.attr, merge.right))
         if left is None or right is None:
             return False, 0
         if self.pool.find_fragment(
@@ -1112,9 +1078,7 @@ class DeepSea:
         ledger.charge_read(right.size_bytes, nfiles=1)
         merged_table = left_table.concat(right_table)
         # union the pair's hit history into the merged fragment's stats
-        merged_stats = self.stats.ensure_fragment(
-            merge.view_id, merge.attr, merge.merged
-        )
+        merged_stats = self.stats.ensure_fragment(merge.view_id, merge.attr, merge.merged)
         if not merged_stats.hit_times:
             events = set()
             for interval in (merge.left, merge.right):
@@ -1167,7 +1131,9 @@ class DeepSea:
         parent_table = self.pool.read_entry(parent_entry.fragment_id, ledger)
         ledger.charge_read(parent_entry.size_bytes, nfiles=1)
         column_name = refinement.attr
-        controller = AdmissionController(self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis)
+        controller = AdmissionController(
+            self.pool, lambda e: self._entry_value(e, t), self.policy.admission_hysteresis
+        )
 
         if refinement.overlap_pieces is not None:
             new_intervals = refinement.overlap_pieces
@@ -1189,9 +1155,7 @@ class DeepSea:
             ) is not None:
                 continue
             piece = parent_table.filter(interval.mask(column))
-            fstats = self.stats.ensure_fragment(
-                refinement.view_id, refinement.attr, interval
-            )
+            fstats = self.stats.ensure_fragment(refinement.view_id, refinement.attr, interval)
             fstats.set_actual_size(piece.size_bytes)
             result = controller.admit_fragment(
                 refinement.view_id,
@@ -1213,9 +1177,7 @@ class DeepSea:
     # ------------------------------------------------------------------
     # Entry values (admission and eviction ranking, §7.3 / §10.1)
     # ------------------------------------------------------------------
-    def _partition_distribution(
-        self, view_id: str, attr: str, domain: Interval, t: float
-    ):
+    def _partition_distribution(self, view_id: str, attr: str, domain: Interval, t: float):
         key = (self.clock, view_id, attr)
         if key not in self._dist_cache:
             self._dist_cache[key] = partition_distribution(
@@ -1231,9 +1193,7 @@ class DeepSea:
 
     def _mean_fragment_width(self, view_id: str, attr: str, domain: Interval) -> float:
         """Mean resident fragment width — the density-normalization scale."""
-        intervals = self.pool.intervals_of(view_id, attr) or self.tentative.intervals(
-            view_id, attr
-        )
+        intervals = self.pool.intervals_of(view_id, attr) or self.tentative.intervals(view_id, attr)
         widths = [iv.intersect(domain).width for iv in intervals if iv.intersect(domain)]
         positive = [w for w in widths if w > 0]
         if not positive:
@@ -1277,9 +1237,7 @@ class DeepSea:
                         interval, fitted, total, domain,
                         self._mean_fragment_width(view_id, attr, domain),
                     )
-        return fragment_value(
-            fstats, vstats, t, self.policy.effective_decay, hits_override
-        )
+        return fragment_value(fstats, vstats, t, self.policy.effective_decay, hits_override)
 
     def _entry_value(self, entry, t: float) -> float:
         vstats = self.stats.view(entry.key.view_id)
@@ -1287,9 +1245,7 @@ class DeepSea:
             return 0.0
         if entry.key.attr is None:
             return self._view_admission_value(vstats, t)
-        fstats = self.stats.ensure_fragment(
-            entry.key.view_id, entry.key.attr, entry.key.interval
-        )
+        fstats = self.stats.ensure_fragment(entry.key.view_id, entry.key.attr, entry.key.interval)
         if not fstats.size_is_actual:
             fstats.set_actual_size(entry.size_bytes)
         model = self.policy.value_model
@@ -1301,9 +1257,7 @@ class DeepSea:
         if self.policy.smoothing_enabled:
             domain = self.domains(entry.key.attr)
             if domain is not None:
-                dist = self._partition_distribution(
-                    entry.key.view_id, entry.key.attr, domain, t
-                )
+                dist = self._partition_distribution(entry.key.view_id, entry.key.attr, domain, t)
                 if dist is not None:
                     fitted, total = dist
                     hits_override = adjusted_hits_density(
@@ -1312,6 +1266,4 @@ class DeepSea:
                             entry.key.view_id, entry.key.attr, domain
                         ),
                     )
-        return fragment_value(
-            fstats, vstats, t, self.policy.effective_decay, hits_override
-        )
+        return fragment_value(fstats, vstats, t, self.policy.effective_decay, hits_override)

@@ -47,9 +47,7 @@ class MergeCandidate:
         return self.left.hull(self.right)
 
 
-def co_access_fraction(
-    a: FragmentStats, b: FragmentStats, t_now: float, decay: Decay
-) -> float:
+def co_access_fraction(a: FragmentStats, b: FragmentStats, t_now: float, decay: Decay) -> float:
     """Decayed fraction of hits the two fragments share.
 
     A hit timestamp present on both fragments means one query touched
@@ -68,9 +66,7 @@ def co_access_fraction(
     return weight(shared) / denominator
 
 
-def merge_saving_per_hit(
-    left_bytes: float, right_bytes: float, cluster: ClusterSpec
-) -> float:
+def merge_saving_per_hit(left_bytes: float, right_bytes: float, cluster: ClusterSpec) -> float:
     """Per-co-accessed-query saving of reading one file instead of two."""
     separate = cluster.read_elapsed(left_bytes, nfiles=1) + cluster.read_elapsed(
         right_bytes, nfiles=1
@@ -79,9 +75,7 @@ def merge_saving_per_hit(
     return max(separate - together, 0.0)
 
 
-def merge_cost(
-    left_bytes: float, right_bytes: float, cluster: ClusterSpec
-) -> float:
+def merge_cost(left_bytes: float, right_bytes: float, cluster: ClusterSpec) -> float:
     """One-off price: read both fragments, write the coalesced file."""
     return (
         cluster.read_elapsed(left_bytes, nfiles=1)
@@ -135,9 +129,7 @@ def find_merge_candidates(
         cost = merge_cost(left.size_bytes, right.size_bytes, cluster)
         if shared_weight * saving < safety * cost:
             continue
-        candidate = MergeCandidate(
-            left.key.view_id, left.key.attr, a, b
-        )
+        candidate = MergeCandidate(left.key.view_id, left.key.attr, a, b)
         candidates.append((shared_weight * saving - cost, candidate))
         used.add(left.fragment_id)
         used.add(right.fragment_id)

@@ -77,7 +77,4 @@ class WorkloadSummary:
 
     @property
     def map_tasks(self) -> int:
-        return sum(
-            r.execution_ledger.map_tasks + r.creation_ledger.map_tasks
-            for r in self.reports
-        )
+        return sum(r.execution_ledger.map_tasks + r.creation_ledger.map_tasks for r in self.reports)

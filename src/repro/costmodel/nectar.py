@@ -46,9 +46,7 @@ def nectar_fragment_value(fragment: FragmentStats, view: ViewStats, t_now: float
     return view.creation_cost_s / (size * _delta_t(fragment.last_access_t, t_now))
 
 
-def nectar_plus_fragment_value(
-    fragment: FragmentStats, view: ViewStats, t_now: float
-) -> float:
+def nectar_plus_fragment_value(fragment: FragmentStats, view: ViewStats, t_now: float) -> float:
     """Nectar+ for fragments: §7.1 formulas with DEC removed."""
     hits = float(len(fragment.hit_times))
     view_size = max(view.size_bytes, _EPS_BYTES)

@@ -94,9 +94,7 @@ class FragmentStats:
     hit_times: list[float] = field(default_factory=list)
     hit_ranges: list["Interval | None"] = field(default_factory=list)
     last_access_t: float = 0.0
-    _times_arr: "np.ndarray | None" = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    _times_arr: "np.ndarray | None" = field(default=None, init=False, repr=False, compare=False)
     # (decay, t_now, value) memo for fragment_hits — see repro.costmodel.value
     _hits_memo: "tuple | None" = field(default=None, init=False, repr=False, compare=False)
 
@@ -180,9 +178,7 @@ class StatisticsStore:
         """PSTAT(V, A): all fragment intervals tracked for this partition."""
         return list(self._partitions.get((view_id, attr), []))
 
-    def overlapping_intervals(
-        self, view_id: str, attr: str, theta: Interval
-    ) -> list[Interval]:
+    def overlapping_intervals(self, view_id: str, attr: str, theta: Interval) -> list[Interval]:
         """The tracked intervals of PSTAT(V, A) that overlap ``theta``.
 
         Equivalent to ``[iv for iv in intervals_for(...) if
@@ -211,10 +207,7 @@ class StatisticsStore:
         return [ivs[i] for i in np.flatnonzero(lo_ok & hi_ok)]
 
     def fragments_for(self, view_id: str, attr: str) -> list[FragmentStats]:
-        return [
-            self._fragments[(view_id, attr, iv)]
-            for iv in self.intervals_for(view_id, attr)
-        ]
+        return [self._fragments[(view_id, attr, iv)] for iv in self.intervals_for(view_id, attr)]
 
     def partition_attrs(self, view_id: str) -> list[str]:
         return sorted(a for (v, a) in self._partitions if v == view_id)

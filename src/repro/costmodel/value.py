@@ -173,9 +173,7 @@ def partition_distribution(
     arrs = [f.times_array() for f in fragments]
     nonempty = [a for a in arrs if a.size]
     if nonempty:
-        w_all = decay.weights(
-            t_now, np.concatenate(nonempty) if len(nonempty) > 1 else nonempty[0]
-        )
+        w_all = decay.weights(t_now, np.concatenate(nonempty) if len(nonempty) > 1 else nonempty[0])
     raw = []
     off = 0
     for f, a in zip(fragments, arrs):

@@ -201,11 +201,7 @@ class CostLedger:
         if not chains and not stragglers:
             return
         c = self.cluster
-        per_task_s = (
-            c.task_overhead_s
-            + c.task_dispatch_s
-            + (nbytes / tasks) * c.read_s_per_byte
-        )
+        per_task_s = c.task_overhead_s + c.task_dispatch_s + (nbytes / tasks) * c.read_s_per_byte
         extra = 0.0
         for attempts in chains:
             for attempt in range(1, attempts + 1):

@@ -265,9 +265,7 @@ def hash_join(left: Table, right: Table, left_attr: str, right_attr: str) -> Tab
         # The join output itself stays late-materialized: columns the
         # plan projects away downstream are never gathered at all.
         side_of = {name: 0 for name in left.schema.names}
-        side_of.update(
-            {name: 1 for name in right.schema.names if name not in drop_right}
-        )
+        side_of.update({name: 1 for name in right.schema.names if name not in drop_right})
         return JoinView(schema, scale, [(lsrc, left_idx), (rsrc, right_idx)], side_of)
 
     cols: dict[str, np.ndarray] = {}

@@ -276,9 +276,7 @@ def join_probe(
             rroot, rrows = right, None  # reordered subset: underivable
 
     root_index = sort_index(rroot, right_attr)
-    entry = _PROBE_CACHE.starts_ends(
-        lroot, left_attr, rroot, right_attr, root_index.sorted_keys
-    )
+    entry = _PROBE_CACHE.starts_ends(lroot, left_attr, rroot, right_attr, root_index.sorted_keys)
 
     if entry is None:
         # First sighting of this (probe root, build root) pair: compute
@@ -333,9 +331,5 @@ def clear_caches() -> None:
     _PROBE_CACHE.clear()
 
 
-register_cache(
-    "engine.indexes.sort", _GLOBAL_CACHE.clear, _GLOBAL_CACHE.stats
-)
-register_cache(
-    "engine.indexes.probe", _PROBE_CACHE.clear, _PROBE_CACHE.stats
-)
+register_cache("engine.indexes.sort", _GLOBAL_CACHE.clear, _GLOBAL_CACHE.stats)
+register_cache("engine.indexes.probe", _PROBE_CACHE.clear, _PROBE_CACHE.stats)

@@ -86,9 +86,7 @@ class Table:
     def __post_init__(self) -> None:
         names = set(self.schema.names)
         if set(self.columns) != names:
-            raise SchemaError(
-                f"columns {sorted(self.columns)} do not match schema {sorted(names)}"
-            )
+            raise SchemaError(f"columns {sorted(self.columns)} do not match schema {sorted(names)}")
         lengths = {len(arr) for arr in self.columns.values()}
         if len(lengths) > 1:
             raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
@@ -125,9 +123,7 @@ class Table:
         """
         state = dict(self.__dict__)
         state["_lineage"] = None
-        state["columns"] = {
-            name: decoded(col) for name, col in self.columns.items()
-        }
+        state["columns"] = {name: decoded(col) for name, col in self.columns.items()}
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -157,9 +153,7 @@ class Table:
     @classmethod
     def from_dict(cls, schema: Schema, data: dict, scale: float = 1.0) -> "Table":
         """Build a table from plain Python sequences, coercing dtypes."""
-        cols = {
-            col.name: coerce_array(col.kind, data[col.name]) for col in schema.columns
-        }
+        cols = {col.name: coerce_array(col.kind, data[col.name]) for col in schema.columns}
         return cls(schema, cols, scale)
 
     @classmethod
@@ -359,9 +353,7 @@ class TableView(Table):
     def __reduce__(self):
         # Views never cross a pickle boundary as views: ship the decoded,
         # materialized state (the root may be an entire base relation).
-        plain = {
-            name: decoded(self.column(name)) for name in self.schema.names
-        }
+        plain = {name: decoded(self.column(name)) for name in self.schema.names}
         return (_unpickle_table, (self.schema, plain, self.scale))
 
     # -- row-level operations -------------------------------------------
@@ -370,9 +362,7 @@ class TableView(Table):
         mono = monotonic and self._monotonic
         if _LAZY_VIEWS:
             return TableView(self._root, self.schema, composed, mono)
-        cols = {
-            name: self._root.columns[name][composed] for name in self.schema.names
-        }
+        cols = {name: self._root.columns[name][composed] for name in self.schema.names}
         out = Table(self.schema, cols, self.scale)
         out._lineage = self._root._derived_lineage(composed, mono)
         return out
@@ -382,9 +372,7 @@ class TableView(Table):
         # Same selection vector, narrower schema; the gather cache is
         # shared so a column materialized through either view is gathered
         # at most once.
-        return TableView(
-            self._root, schema, self._rows, self._monotonic, _cache=self._gathered
-        )
+        return TableView(self._root, schema, self._rows, self._monotonic, _cache=self._gathered)
 
 
 class JoinView(Table):
@@ -445,9 +433,7 @@ class JoinView(Table):
         return own
 
     def __reduce__(self):
-        plain = {
-            name: decoded(self.column(name)) for name in self.schema.names
-        }
+        plain = {name: decoded(self.column(name)) for name in self.schema.names}
         return (_unpickle_table, (self.schema, plain, self.scale))
 
     def _select_rows(self, rows: np.ndarray, monotonic: bool) -> Table:
@@ -459,9 +445,7 @@ class JoinView(Table):
 
     def project(self, names: tuple[str, ...] | list[str]) -> Table:
         schema = self.schema.subset(tuple(names))
-        return JoinView(
-            schema, self.scale, self._sides, self._side_of, _cache=self._gathered
-        )
+        return JoinView(schema, self.scale, self._sides, self._side_of, _cache=self._gathered)
 
 
 def _unpickle_table(schema: Schema, columns: dict, scale: float) -> Table:

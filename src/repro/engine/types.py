@@ -85,9 +85,7 @@ class EncodedColumn:
         # Element-wise, mirroring ndarray semantics (used by tests and
         # run-boundary detection on same-dictionary columns).
         if isinstance(other, EncodedColumn):
-            if self.values is other.values or np.array_equal(
-                self.values, other.values
-            ):
+            if self.values is other.values or np.array_equal(self.values, other.values):
                 return self.codes == other.codes
             return self.decode() == other.decode()
         return self.decode() == other
@@ -167,15 +165,8 @@ def concat_columns(parts: list):
         return np.concatenate(parts)
     parts = [p if isinstance(p, EncodedColumn) else EncodedColumn.encode(p) for p in parts]
     first_values = parts[0].values
-    if all(
-        p.values is first_values or np.array_equal(p.values, first_values)
-        for p in parts[1:]
-    ):
-        return EncodedColumn(
-            np.concatenate([p.codes for p in parts]), first_values
-        )
+    if all(p.values is first_values or np.array_equal(p.values, first_values) for p in parts[1:]):
+        return EncodedColumn(np.concatenate([p.codes for p in parts]), first_values)
     union = np.unique(np.concatenate([p.values for p in parts]))
-    remapped = [
-        np.searchsorted(union, p.values).astype(np.int32)[p.codes] for p in parts
-    ]
+    remapped = [np.searchsorted(union, p.values).astype(np.int32)[p.codes] for p in parts]
     return EncodedColumn(np.concatenate(remapped), union)

@@ -84,9 +84,7 @@ class FaultInjector:
             failures = int(self._rng.binomial(tasks, frate))
             for _ in range(failures):
                 attempts = 1
-                while (
-                    attempts < _MAX_TASK_ATTEMPTS and self._rng.random() < frate
-                ):
+                while attempts < _MAX_TASK_ATTEMPTS and self._rng.random() < frate:
                     attempts += 1
                 chains.append(attempts)
             if failures:
@@ -106,9 +104,7 @@ class FaultInjector:
                 )
         return chains, stragglers
 
-    def block_read_faults(
-        self, path: str, size_bytes: float, ledger: "CostLedger"
-    ) -> None:
+    def block_read_faults(self, path: str, size_bytes: float, ledger: "CostLedger") -> None:
         """Replica-level damage on one file read, charged to ``ledger``.
 
         A lost replica costs a full re-read from a surviving sibling; a
@@ -135,9 +131,7 @@ class FaultInjector:
         if self._rng.random() >= rate:
             return None
         index = int(self._rng.integers(n_candidates))
-        self._record(
-            "pool", "fragment_loss", f"entry {index} of {n_candidates}"
-        )
+        self._record("pool", "fragment_loss", f"entry {index} of {n_candidates}")
         return index
 
     def controller_crash(self, site: str) -> bool:
@@ -161,9 +155,7 @@ class FaultInjector:
                 if self._rng.random() < rate:
                     plan[index] = 1
         if plan:
-            self._record(
-                "parallel", "worker_kill", f"tasks {sorted(plan)} of {n_tasks}"
-            )
+            self._record("parallel", "worker_kill", f"tasks {sorted(plan)} of {n_tasks}")
         return plan
 
     # ------------------------------------------------------------------

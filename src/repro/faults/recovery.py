@@ -58,9 +58,7 @@ class FragmentRecovery:
         executor = Executor(ExecutionContext(self.catalog, None, self.cluster))
         table = executor.execute(definition.plan, scratch).table
         if entry.key.attr is not None:
-            table = table.filter(
-                entry.key.interval.mask(table.column(entry.key.attr))
-            )
+            table = table.filter(entry.key.interval.mask(table.column(entry.key.attr)))
         scratch.charge_write(table.size_bytes, nfiles=1)
         pool.hdfs.restore(entry.path, table)  # raises RecoveryError on divergence
         if ledger is not None:

@@ -46,9 +46,7 @@ class FaultSpec:
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
-            raise FaultError(
-                f"unknown fault kind {self.kind!r}; known: {sorted(FAULT_KINDS)}"
-            )
+            raise FaultError(f"unknown fault kind {self.kind!r}; known: {sorted(FAULT_KINDS)}")
         if not 0.0 <= self.rate <= 1.0:
             raise FaultError(f"fault rate must be in [0, 1], got {self.rate!r}")
 
@@ -125,9 +123,7 @@ class FaultSchedule:
             return BUILTIN_SCHEDULES[ref]
         if ref.lstrip().startswith("{"):
             return cls.from_json(ref)
-        raise FaultError(
-            f"unknown schedule {ref!r}; built-ins: {builtin_schedule_names()}"
-        )
+        raise FaultError(f"unknown schedule {ref!r}; built-ins: {builtin_schedule_names()}")
 
 
 # ----------------------------------------------------------------------

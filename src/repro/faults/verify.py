@@ -73,9 +73,7 @@ class InvariantReport:
         return line
 
 
-def verify_run(
-    baseline: "RunResult", faulted: "RunResult", schedule: str = "?"
-) -> InvariantReport:
+def verify_run(baseline: "RunResult", faulted: "RunResult", schedule: str = "?") -> InvariantReport:
     """Check the answers-never-change / strictly-costlier invariant pair.
 
     ``baseline`` and ``faulted`` must be the same system over the same
@@ -100,9 +98,7 @@ def verify_run(
                 continue
             for name, vb, vf in zip(_FIELD_NAMES, fp_base, fp_fault):
                 if vb != vf:
-                    problems.append(
-                        f"query {base.index}: {name} diverged under faults"
-                    )
+                    problems.append(f"query {base.index}: {name} diverged under faults")
                     break
     events = len(faulted.fault_events)
     if events == 0:

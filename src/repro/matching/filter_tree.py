@@ -14,7 +14,7 @@ and partition candidates").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.query.signature import Signature
 

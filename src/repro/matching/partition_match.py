@@ -30,7 +30,11 @@ class CoveredFragment:
     clip: Interval | None  # None: read the whole fragment
 
 
-def greedy_cover(theta: Interval, fragments: list[Interval]) -> list[CoveredFragment] | None:
+def greedy_cover(
+    theta: Interval,
+    fragments: list[Interval],
+    index: IntervalIndex | None = None,
+) -> list[CoveredFragment] | None:
     """Algorithm 2.  Returns ``None`` when no cover of θ exists.
 
     A fragment qualifies while the next uncovered point of θ lies inside
@@ -47,6 +51,12 @@ def greedy_cover(theta: Interval, fragments: list[Interval]) -> list[CoveredFrag
     visited once (union-find style jump pointers keep rescans amortized
     constant).  Chosen fragments and clips are identical to the naive
     implementation's.
+
+    ``index`` optionally supplies a prebuilt :class:`IntervalIndex` over
+    the fragments (``fragments`` is then ignored).  The index is read-only
+    here — per-call scan state lives in the local ``jump`` list — so a
+    caller-side cache (:mod:`repro.matching.cover_cache`) can reuse one
+    index across calls.
     """
     target_hi = theta._upper_key()
     lo_key = theta._lower_key()
@@ -54,7 +64,8 @@ def greedy_cover(theta: Interval, fragments: list[Interval]) -> list[CoveredFrag
     # (v, flag) with flag 0 = v covered, -1 = v excluded.
     covered = (lo_key[0], -1 if lo_key[1] == 0 else 0)
     chosen: list[CoveredFragment] = []
-    index = IntervalIndex(fragments)
+    if index is None:
+        index = IntervalIndex(fragments)
     # jump[p] = rightmost not-consumed position ≤ p (with path compression);
     # jump[0] == -1 means everything to the left is consumed.
     jump = list(range(-1, len(index)))  # position p maps to slot p + 1

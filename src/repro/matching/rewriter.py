@@ -21,9 +21,9 @@ from typing import Callable
 from repro.engine.catalog import Catalog
 from repro.engine.cost import ClusterSpec
 from repro.errors import MatchError
+from repro.matching.cover_cache import CoverCache
 from repro.matching.filter_tree import FilterTree
 from repro.matching.matcher import Compensation, match_view, partition_attr_ranges
-from repro.matching.partition_match import greedy_cover
 from repro.partitioning.intervals import Interval
 from repro.query.algebra import (
     Aggregate,
@@ -34,7 +34,6 @@ from repro.query.algebra import (
     Relation,
     Select,
     replace_subplan,
-    walk,
 )
 from repro.query.analysis import SchemaMap, job_boundaries
 from repro.query.optimizer import push_down
@@ -108,6 +107,9 @@ class Rewriter:
         self.cluster = cluster
         self.domain_lookup = domain_lookup
         self._signature_cache: dict[Plan, Signature] = {}
+        # Greedy-cover memo invalidated by pool cover deltas (per-view
+        # versions), shared with DeepSea's reconstruction planning.
+        self.cover_cache = CoverCache(pool)
 
     # ------------------------------------------------------------------
     def signature_of(self, plan: Plan) -> Signature:
@@ -179,9 +181,7 @@ class Rewriter:
             replacement=replacement,
         )
 
-    def _partition_rewriting(
-        self, query: Plan, match: ViewMatch, attr: str
-    ) -> Rewriting | None:
+    def _partition_rewriting(self, query: Plan, match: ViewMatch, attr: str) -> Rewriting | None:
         entries = self.pool.fragments_of(match.view_id, attr)
         if not entries:
             return None
@@ -197,7 +197,7 @@ class Rewriter:
             if clamped is None:
                 return None  # selection entirely outside the domain
             theta = clamped
-        cover = greedy_cover(theta, [e.key.interval for e in entries])
+        cover = self.cover_cache.cover(match.view_id, attr, theta)
         if cover is None:
             return None  # eviction holes: the partition cannot answer this
         by_interval = {e.key.interval: e for e in entries}

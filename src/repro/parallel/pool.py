@@ -181,11 +181,7 @@ def fan_out(
     """
     global _TASKS
     tasks = list(tasks)
-    order = (
-        list(range(len(tasks)))
-        if submission_order is None
-        else list(submission_order)
-    )
+    order = list(range(len(tasks))) if submission_order is None else list(submission_order)
     if sorted(order) != list(range(len(tasks))):
         raise ValueError("submission_order must be a permutation of the task indexes")
     if retries < 0:
@@ -243,9 +239,7 @@ def fan_out(
                         if task_timeout is not None
                         else None
                     )
-                    worker.conn.send(
-                        (index, dispatches[index], fault_plan.get(index, 0))
-                    )
+                    worker.conn.send((index, dispatches[index], fault_plan.get(index, 0)))
             busy = [w for w in crew if w.current is not None]
             wait_for = None
             if task_timeout is not None:

@@ -24,7 +24,7 @@ byte-stable, which also makes task identity usable as a dedup/cache key.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
@@ -47,9 +47,7 @@ class FixtureSpec:
         from repro.bench.harness import sdss_fixture, uniform_fixture
 
         if self.kind == "sdss":
-            return sdss_fixture(
-                self.instance_gb, log_queries=self.log_queries, seed=self.seed
-            )
+            return sdss_fixture(self.instance_gb, log_queries=self.log_queries, seed=self.seed)
         if self.kind == "uniform":
             return uniform_fixture(self.instance_gb, seed=self.seed)
         raise ValueError(f"unknown fixture kind: {self.kind!r}")

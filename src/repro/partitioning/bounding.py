@@ -108,9 +108,7 @@ def merge_undersized(
         raise PartitionError("intervals and sizes must parallel each other")
     merged: list[tuple[Interval, float]] = []
     for interval, size in zip(intervals, sizes):
-        if merged and merged[-1][1] < min_bytes and (
-            merged[-1][0].adjacent_to(interval)
-        ):
+        if merged and merged[-1][1] < min_bytes and (merged[-1][0].adjacent_to(interval)):
             prev_iv, prev_size = merged[-1]
             merged[-1] = (prev_iv.hull(interval), prev_size + size)
         else:

@@ -40,8 +40,7 @@ def equidepth_intervals(values: np.ndarray, k: int, domain: Interval) -> list[In
     """
     if not domain.is_bounded():
         raise PartitionError("equi-depth partitioning requires a bounded domain")
-    boundaries = [b for b in equidepth_boundaries(values, k)
-                  if domain.lo < b < domain.hi]
+    boundaries = [b for b in equidepth_boundaries(values, k) if domain.lo < b < domain.hi]
     if not boundaries:
         return [domain]
     intervals = [Interval(domain.low, boundaries[0], domain.low_open, False)]

@@ -10,7 +10,7 @@ any in-domain selection can be answered from fragments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import PartitionError
 from repro.partitioning.intervals import Interval, sort_key

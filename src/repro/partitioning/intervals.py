@@ -148,10 +148,7 @@ class Interval:
 
     def contains(self, other: "Interval") -> bool:
         """True iff ``other`` ⊆ ``self``."""
-        return (
-            self._lower_key() <= other._lower_key()
-            and other._upper_key() <= self._upper_key()
-        )
+        return self._lower_key() <= other._lower_key() and other._upper_key() <= self._upper_key()
 
     def overlaps(self, other: "Interval") -> bool:
         """True iff the intervals share at least one point.
@@ -278,6 +275,23 @@ class IntervalIndex:
         self.order = sorted(range(len(self.intervals)), key=lambda i: sort_key(self.intervals[i]))
         self.lower_keys = [self.intervals[i]._lower_key() for i in self.order]
         self.upper_keys = [self.intervals[i]._upper_key() for i in self.order]
+
+    @classmethod
+    def from_sorted(cls, intervals: list[Interval]) -> "IntervalIndex":
+        """Index a list already in canonical :func:`sort_key` order.
+
+        Skips the O(n log n) sort — the caller (an incrementally patched
+        cover index) maintains the order with bisected insertions, so the
+        resulting index is byte-identical to ``IntervalIndex(intervals)``
+        (``sort_key`` is injective over distinct intervals, hence a sorted
+        list has exactly one canonical order).
+        """
+        index = cls.__new__(cls)
+        index.intervals = list(intervals)
+        index.order = list(range(len(index.intervals)))
+        index.lower_keys = [iv._lower_key() for iv in index.intervals]
+        index.upper_keys = [iv._upper_key() for iv in index.intervals]
+        return index
 
     def __len__(self) -> int:
         return len(self.order)

@@ -230,9 +230,7 @@ def replace_subplan(plan: Plan, target: Plan, replacement: Plan) -> Plan:
         return replacement
     if not plan.children:
         return plan
-    new_children = tuple(
-        replace_subplan(child, target, replacement) for child in plan.children
-    )
+    new_children = tuple(replace_subplan(child, target, replacement) for child in plan.children)
     if new_children == plan.children:
         return plan
     return plan.with_children(new_children)

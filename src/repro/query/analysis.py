@@ -95,9 +95,7 @@ class _UnionFind:
         groups: dict[str, set[str]] = {}
         for member in self._parent:
             groups.setdefault(self.find(member), set()).add(member)
-        return frozenset(
-            frozenset(g) for g in groups.values() if len(g) > 1
-        )
+        return frozenset(frozenset(g) for g in groups.values() if len(g) > 1)
 
 
 def join_equivalence_classes(plan: Plan) -> frozenset[frozenset[str]]:

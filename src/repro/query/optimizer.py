@@ -48,9 +48,7 @@ def _pushdown_cache_stats() -> dict:
     }
 
 
-register_cache(
-    "query.optimizer.pushdown", _push_down_cached.cache_clear, _pushdown_cache_stats
-)
+register_cache("query.optimizer.pushdown", _push_down_cached.cache_clear, _pushdown_cache_stats)
 
 
 def _with_select(plan: Plan, predicates: tuple[RangePredicate, ...]) -> Plan:

@@ -142,6 +142,4 @@ def _signature_cache_stats() -> dict:
     }
 
 
-register_cache(
-    "query.signature", clear_signature_caches, _signature_cache_stats
-)
+register_cache("query.signature", clear_signature_caches, _signature_cache_stats)

@@ -48,6 +48,9 @@ class Transaction:
     tag: str
     seq: int
     ops: list[JournalOp] = field(default_factory=list)
+    # Per-view cover versions at begin(): rollback restores them exactly,
+    # re-validating matching-stage memo entries computed before the step.
+    cover_versions: dict[str, int] = field(default_factory=dict)
 
 
 class PoolJournal:
@@ -63,14 +66,14 @@ class PoolJournal:
     def journaling(self) -> bool:
         return self.active is not None
 
-    def begin(self, tag: str) -> Transaction:
+    def begin(self, tag: str, cover_versions: dict[str, int] | None = None) -> Transaction:
         if self.active is not None:
             raise PoolError(
                 f"transaction {self.active.tag!r} already open; "
                 f"repartitioning steps do not nest"
             )
         self._seq += 1
-        self.active = Transaction(tag, self._seq)
+        self.active = Transaction(tag, self._seq, cover_versions=dict(cover_versions or {}))
         return self.active
 
     def record_admit(self, entry: "FragmentEntry") -> None:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 from bisect import insort
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.engine.table import Table
 from repro.errors import BlockLostError, PoolError, RecoveryError
@@ -36,6 +36,26 @@ if TYPE_CHECKING:
     from repro.faults.recovery import FragmentRecovery
 
 WHOLE_VIEW_ATTR = None
+
+
+@dataclass(frozen=True)
+class CoverDelta:
+    """One fine-grained pool residency change, published to subscribers.
+
+    ``kind`` is ``"admit"`` (a new entry became resident), ``"evict"`` (an
+    entry left, including rollback undoing an admit), or ``"restore"``
+    (journal rollback re-registered an evicted entry).  ``version`` is the
+    view's cover version *after* the mutation — subscribers key memo
+    entries on it, so a delta for view V invalidates only V's entries.
+    ``attr``/``interval`` are ``None`` for whole-view entries.
+    """
+
+    kind: str
+    view_id: str
+    attr: str | None
+    interval: Interval | None
+    fragment_id: str
+    version: int
 
 
 @dataclass(frozen=True)
@@ -97,6 +117,19 @@ class MaterializedViewPool:
         # against.  Monotonic counters, never ``id()`` (reusable).
         self.uid: int = next(_POOL_UIDS)
         self.epoch: int = 0
+        # Per-view cover versions: the epoch value of the view's last
+        # residency mutation.  Every bump feeds the global epoch (a view
+        # mutation is also a pool mutation — the result cache's epoch key
+        # stays authoritative), but matching-stage memos key on the
+        # *per-view* version so a mutation of view V invalidates only V's
+        # entries.  Version values are epochs, hence globally unique:
+        # after a rollback restores a view's pre-transaction version, no
+        # later mutation can re-issue a mid-transaction value.
+        self._cover_versions: dict[str, int] = {}
+        # Delta subscribers (repro.matching.cover_cache): each residency
+        # mutation publishes one CoverDelta so downstream indexes are
+        # patched in place instead of rebuilt from a pool scan.
+        self._subscribers: list[Callable[[CoverDelta], None]] = []
         self._views: dict[str, _PooledView] = {}
         self._definitions: dict[str, ViewDefinition] = {}
         self._fragments: dict[str, FragmentEntry] = {}
@@ -113,6 +146,35 @@ class MaterializedViewPool:
         # repro.faults.recovery.FragmentRecovery recomputes the payload
         # from base tables.  None (the default) surfaces the loss.
         self.recovery: "FragmentRecovery | None" = None
+
+    # ------------------------------------------------------------------
+    # Cover-delta protocol (per-view versions + subscriber deltas)
+    # ------------------------------------------------------------------
+    def cover_version(self, view_id: str) -> int:
+        """The view's cover version: epoch of its last residency mutation.
+
+        ``0`` for a view never mutated in this pool.  Memo entries keyed
+        on ``(view_id, cover_version)`` stay valid across mutations of
+        *other* views, and become valid again when a journal rollback
+        restores the exact pre-transaction configuration and versions.
+        """
+        return self._cover_versions.get(view_id, 0)
+
+    def subscribe(self, callback: Callable[[CoverDelta], None]) -> None:
+        """Register a callback invoked with one delta per residency mutation."""
+        self._subscribers.append(callback)
+
+    def _bump(self, kind: str, entry: FragmentEntry) -> None:
+        """Advance the epoch and the view's version; publish the delta."""
+        self.epoch += 1
+        key = entry.key
+        self._cover_versions[key.view_id] = self.epoch
+        if self._subscribers:
+            delta = CoverDelta(
+                kind, key.view_id, key.attr, key.interval, entry.fragment_id, self.epoch
+            )
+            for callback in self._subscribers:
+                callback(delta)
 
     # ------------------------------------------------------------------
     # View definitions (exist independently of residency)
@@ -220,7 +282,6 @@ class MaterializedViewPool:
         self._remove_entry(entry)
 
     def _remove_entry(self, entry: FragmentEntry) -> None:
-        self.epoch += 1
         view = self._views[entry.key.view_id]
         if entry.key.attr is None:
             view.whole_id = None
@@ -233,6 +294,7 @@ class MaterializedViewPool:
         self.hdfs.delete(entry.path)
         del self._fragments[entry.fragment_id]
         self._by_key.pop(entry.key, None)
+        self._bump("evict", entry)
 
     def read_entry(self, fragment_id: str, ledger: "CostLedger | None" = None) -> Table:
         """Payload of an entry, without charging the base read (executor charges).
@@ -256,8 +318,16 @@ class MaterializedViewPool:
     # Crash consistency (write-ahead journal)
     # ------------------------------------------------------------------
     def begin(self, tag: str) -> None:
-        """Open a journaled transaction around one repartitioning step."""
-        self.journal.begin(tag)
+        """Open a journaled transaction around one repartitioning step.
+
+        The per-view cover versions are snapshotted into the transaction:
+        a rollback restores the exact pre-step configuration, so it must
+        restore the exact pre-step versions too — anything keyed on them
+        (matching-stage memos) becomes valid again, and mid-transaction
+        versions are never re-issued because versions are drawn from the
+        monotonic epoch.
+        """
+        self.journal.begin(tag, cover_versions=dict(self._cover_versions))
 
     def commit(self) -> None:
         self.journal.commit()
@@ -276,12 +346,15 @@ class MaterializedViewPool:
                 self._remove_entry(op.entry)
             else:
                 self._restore_entry(op.entry, op.payload, ledger)
+        # The configuration is now byte-identical to the pre-transaction
+        # one, so the cover versions must be too: memo entries keyed on
+        # them were computed against exactly this configuration.
+        self._cover_versions = dict(txn.cover_versions)
         return len(txn.ops)
 
     def _restore_entry(
         self, entry: FragmentEntry, payload: Table, ledger: "CostLedger | None"
     ) -> None:
-        self.epoch += 1
         self.hdfs.write(entry.path, payload)
         self._fragments[entry.fragment_id] = entry
         view = self._views.setdefault(
@@ -297,6 +370,7 @@ class MaterializedViewPool:
                 key=lambda f: sort_key(self._fragments[f].key.interval),
             )
             self._by_key[entry.key] = entry.fragment_id
+        self._bump("restore", entry)
         if ledger is not None:
             ledger.charge_write(entry.size_bytes, nfiles=1)
 
@@ -308,12 +382,9 @@ class MaterializedViewPool:
             raise PoolError(f"view {view_id!r} has no registered definition")
 
     def _admit(self, key: FragmentKey, table: Table) -> FragmentEntry:
-        self.epoch += 1
         size = table.size_bytes
         if not self.fits(size):
-            raise PoolError(
-                f"admitting {size:.0f} bytes would exceed S_max={self.smax_bytes}"
-            )
+            raise PoolError(f"admitting {size:.0f} bytes would exceed S_max={self.smax_bytes}")
         fid = f"frag-{next(self._counter)}"
         path = f"/pool/{key.view_id}/{key.attr or '_whole'}/{fid}"
         self.hdfs.write(path, table)
@@ -330,6 +401,7 @@ class MaterializedViewPool:
             # insertion instead of re-sorting the whole list on every admit.
             insort(ids, fid, key=lambda f: sort_key(self._fragments[f].key.interval))
             self._by_key[key] = fid
+        self._bump("admit", entry)
         self.journal.record_admit(entry)
         return entry
 

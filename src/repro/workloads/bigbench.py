@@ -157,9 +157,7 @@ def generate_bigbench(
 
     # --- dimension tables -------------------------------------------------
     item_rows = min(n_items, max(int(instance_gb * rows_per_gb * 0.5), 200))
-    item_sks = np.sort(rng.choice(n_items, size=item_rows, replace=False)) + int(
-        item_domain.lo
-    )
+    item_sks = np.sort(rng.choice(n_items, size=item_rows, replace=False)) + int(item_domain.lo)
     register(
         "item",
         {

@@ -13,7 +13,7 @@ Two workload families drive the evaluation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -45,9 +45,7 @@ class SyntheticSpec:
         return f"{self.selectivity.upper()}{self.skew.upper()}"
 
 
-def synthetic_workload(
-    spec: SyntheticSpec, domain: Interval
-) -> list[Plan]:
+def synthetic_workload(spec: SyntheticSpec, domain: Interval) -> list[Plan]:
     """Instantiate one synthetic workload over the item domain."""
     template = bigbench.TEMPLATES.get(spec.template)
     if template is None:

@@ -15,7 +15,6 @@ from repro.baselines import deepsea
 from repro.bench.harness import clear_caches, run_system
 from repro.bench.profile import STAGES, WallClockProfiler, check_against_baseline
 from repro.engine import indexes
-from repro.engine.catalog import Catalog
 from repro.engine.executor import hash_join
 from repro.engine.schema import Column, Schema
 from repro.engine.table import Table
@@ -66,9 +65,7 @@ class TestConcatMany:
 
     def test_matches_pairwise_fold(self):
         schema = Schema.of(Column("k", ColumnKind.INT64))
-        pieces = [
-            Table.from_dict(schema, {"k": list(range(i, i + 3))}) for i in range(5)
-        ]
+        pieces = [Table.from_dict(schema, {"k": list(range(i, i + 3))}) for i in range(5)]
         folded = pieces[0]
         for p in pieces[1:]:
             folded = folded.concat(p)
@@ -140,15 +137,12 @@ class TestJoinCaches:
         assert hits >= 1  # the cache really served the third join
         assert tables_equal(cold, warm1) and tables_equal(cold, warm2)
         clear_caches()
-        assert tables_equal(cold, hash_join(sales_table, item_table,
-                                            "s_item_sk", "i_item_sk"))
+        assert tables_equal(cold, hash_join(sales_table, item_table, "s_item_sk", "i_item_sk"))
 
     def test_derived_build_side_identical_to_cold(self, sales_table, item_table):
         """A filtered (monotonic-subset) build side hits the derivation path."""
         sub = item_table.filter(item_table.column("i_category") < 4)
-        results = [
-            hash_join(sales_table, sub, "s_item_sk", "i_item_sk") for _ in range(3)
-        ]
+        results = [hash_join(sales_table, sub, "s_item_sk", "i_item_sk") for _ in range(3)]
         clear_caches()
         cold = hash_join(sales_table, sub, "s_item_sk", "i_item_sk")
         for r in results:
@@ -192,9 +186,7 @@ class TestProfiler:
         assert report["queries"] == len(plans)
         assert report["total_seconds"] == pytest.approx(profiler.total_seconds)
         # profiling must not perturb the simulated cost model
-        assert [r.total_s for r in profiled.reports] == [
-            r.total_s for r in baseline.reports
-        ]
+        assert [r.total_s for r in profiled.reports] == [r.total_s for r in baseline.reports]
 
     def test_check_against_baseline(self):
         ok, msg = check_against_baseline(1.0, {"total_seconds": 1.0}, 2.0)

@@ -71,7 +71,6 @@ class TestHarness:
 
     def test_recoup_point(self):
         base = [10.0, 10.0, 10.0, 10.0]
-        cheap = RunResult("x", [])
         # construct per-query via a stub: use recoup_point math directly
 
         class Stub(RunResult):

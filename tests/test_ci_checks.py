@@ -1,0 +1,151 @@
+"""The CI gate scripts in ``benchmarks/ci_checks`` are tier-1-tested.
+
+Each gate is exercised through its real CLI (``subprocess``) on both the
+pass and the fail path, so a broken gate fails the local suite instead of
+surfacing as a red CI job after merge.  The JSON-reading gates get
+synthetic profile fixtures; the end-to-end gate runs a scaled-down
+fig-5a replay.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKS = REPO / "benchmarks" / "ci_checks"
+
+
+def run_check(script: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, str(CHECKS / script), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+
+
+def write_profile(tmp_path: Path, per_worker: dict) -> str:
+    path = tmp_path / "profile.json"
+    path.write_text(json.dumps({"per_worker": per_worker}))
+    return str(path)
+
+
+def worker(caches: dict, pid: int = 4242) -> dict:
+    return {"pid": pid, "caches": caches}
+
+
+GOOD_MATCHING = {
+    "matching.match_view": {"hits": 95, "misses": 5, "evictions": 0, "entries": 5},
+    "matching.cover_cache": {
+        "hits": 40,
+        "misses": 10,
+        "evictions": 0,
+        "invalidations": 3,
+        "entries": 10,
+        "by_view": {"v_a": 2, "v_b": 1},
+    },
+    "engine.result_cache": {"hits": 10, "misses": 20, "evictions": 0, "entries": 20},
+}
+
+
+class TestCheckProfileCaches:
+    def test_passes_with_traffic(self, tmp_path):
+        report = write_profile(tmp_path, {"serial": worker(GOOD_MATCHING)})
+        proc = run_check("check_profile_caches.py", report)
+        assert proc.returncode == 0, proc.stderr
+        assert "engine.result_cache" in proc.stdout
+
+    def test_fails_on_missing_cache(self, tmp_path):
+        report = write_profile(tmp_path, {"serial": worker({})})
+        proc = run_check("check_profile_caches.py", report)
+        assert proc.returncode == 1
+        assert "missing" in proc.stderr
+
+    def test_fails_on_zero_traffic(self, tmp_path):
+        caches = {"engine.result_cache": {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}}
+        report = write_profile(tmp_path, {"serial": worker(caches)})
+        proc = run_check("check_profile_caches.py", report)
+        assert proc.returncode == 1
+        assert "no traffic" in proc.stderr
+
+    def test_require_flag_extends_the_gate(self, tmp_path):
+        report = write_profile(tmp_path, {"serial": worker(GOOD_MATCHING)})
+        proc = run_check(
+            "check_profile_caches.py", report, "--require", "matching.match_view"
+        )
+        assert proc.returncode == 0, proc.stderr
+        proc = run_check("check_profile_caches.py", report, "--require", "no.such.cache")
+        assert proc.returncode == 1
+
+
+class TestCheckMatchingMemo:
+    def test_passes_above_floor(self, tmp_path):
+        report = write_profile(tmp_path, {"serial": worker(GOOD_MATCHING)})
+        proc = run_check("check_matching_memo.py", report)
+        assert proc.returncode == 0, proc.stderr
+        assert "aggregate match_view hit rate: 0.950" in proc.stdout
+        assert "by_view" in proc.stdout
+
+    def test_fails_below_floor_with_observed_rate(self, tmp_path):
+        caches = dict(GOOD_MATCHING)
+        caches["matching.match_view"] = {"hits": 5, "misses": 95, "evictions": 0, "entries": 95}
+        report = write_profile(tmp_path, {"serial": worker(caches)})
+        proc = run_check("check_matching_memo.py", report)
+        assert proc.returncode == 1
+        assert "0.050" in proc.stderr  # the observed rate is in the failure
+
+    def test_fails_when_cover_cache_lacks_per_view_counters(self, tmp_path):
+        caches = dict(GOOD_MATCHING)
+        caches["matching.cover_cache"] = {"hits": 1, "misses": 1, "evictions": 0, "entries": 1}
+        report = write_profile(tmp_path, {"serial": worker(caches)})
+        proc = run_check("check_matching_memo.py", report)
+        assert proc.returncode == 1
+        assert "invalidation counters" in proc.stderr
+
+    def test_fails_when_memo_missing(self, tmp_path):
+        report = write_profile(
+            tmp_path, {"serial": worker({"engine.result_cache": {"hits": 1, "misses": 1}})}
+        )
+        proc = run_check("check_matching_memo.py", report)
+        assert proc.returncode == 1
+
+    def test_floor_flag(self, tmp_path):
+        report = write_profile(tmp_path, {"serial": worker(GOOD_MATCHING)})
+        proc = run_check("check_matching_memo.py", report, "--floor", "0.99")
+        assert proc.returncode == 1
+        assert "below floor 0.99" in proc.stderr
+
+
+class TestCheckWorkerIsolation:
+    def test_passes_when_each_worker_missed(self, tmp_path):
+        per_worker = {
+            "worker-0": worker(GOOD_MATCHING, pid=1),
+            "worker-1": worker(GOOD_MATCHING, pid=2),
+        }
+        report = write_profile(tmp_path, per_worker)
+        proc = run_check("check_worker_isolation.py", report)
+        assert proc.returncode == 0, proc.stderr
+        assert "pid=1" in proc.stdout and "pid=2" in proc.stdout
+
+    def test_fails_on_missless_worker(self, tmp_path):
+        caches = {"engine.result_cache": {"hits": 9, "misses": 0, "evictions": 0, "entries": 0}}
+        report = write_profile(
+            tmp_path, {"worker-0": worker(GOOD_MATCHING), "worker-1": worker(caches)}
+        )
+        proc = run_check("check_worker_isolation.py", report)
+        assert proc.returncode == 1
+        assert "worker-1" in proc.stderr
+
+
+class TestCheckResultCacheReuse:
+    def test_scaled_down_replay_hits_the_cache(self):
+        proc = run_check(
+            "check_result_cache_reuse.py", "--queries", "15", "--instance-gb", "5"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "rerun result-cache hits:" in proc.stdout

@@ -1,7 +1,5 @@
 """Tests for the experiment-runner CLI."""
 
-import pytest
-
 from repro.cli import EXPERIMENTS, cmd_list, cmd_run, main
 
 
@@ -27,9 +25,7 @@ class TestCli:
         assert "parameter grid" in capsys.readouterr().out
 
     def test_compare_smoke(self, capsys):
-        assert main(
-            ["compare", "--queries", "10", "--instance-gb", "20", "--seed", "1"]
-        ) == 0
+        assert main(["compare", "--queries", "10", "--instance-gb", "20", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "vs H" in out
 

@@ -55,9 +55,7 @@ class TestAdmission:
         assert controller.plan_eviction(100.0, candidate_value=0.1) == []
 
     def test_evicts_lowest_value_first(self):
-        pool, controller, values = self.make_pool_with_entries(
-            300.0, [(150.0, 1.0), (150.0, 5.0)]
-        )
+        pool, controller, values = self.make_pool_with_entries(300.0, [(150.0, 1.0), (150.0, 5.0)])
         victims = controller.plan_eviction(150.0, candidate_value=10.0)
         assert victims is not None and len(victims) == 1
         assert values[victims[0].fragment_id] == 1.0
@@ -242,9 +240,7 @@ class TestReports:
         assert r.total_s == pytest.approx(12.0)
 
     def test_summary_aggregates(self):
-        summary = WorkloadSummary(
-            [self.make_report(1), self.make_report(2, view="v")]
-        )
+        summary = WorkloadSummary([self.make_report(1), self.make_report(2, view="v")])
         assert summary.total_s == pytest.approx(24.0)
         assert summary.reuse_count == 1
         assert summary.cumulative_s == [pytest.approx(12.0), pytest.approx(24.0)]

@@ -1,7 +1,5 @@
 """Tests for decay, statistics, benefit/value, Nectar models, and estimates."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -199,9 +197,7 @@ class TestNectar:
         lo = nectar_view_value(self.view, 10.0)
         self.view.record_benefit(9.0, 1e6)
         hi = nectar_view_value(self.view, 10.0)
-        assert hi == pytest.approx(
-            self.view.creation_cost_s / (self.view.size_bytes * 1.0)
-        )
+        assert hi == pytest.approx(self.view.creation_cost_s / (self.view.size_bytes * 1.0))
         assert hi >= lo  # only via ΔT shrinking
 
     def test_nectar_plus_uses_undecayed_benefit(self):

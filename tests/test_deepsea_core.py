@@ -10,7 +10,7 @@ execution under every policy.
 import numpy as np
 import pytest
 
-from repro import Catalog, ClusterSpec, DeepSea, Interval, Policy, Q
+from repro import Catalog, DeepSea, Interval, Policy, Q
 from repro.baselines import (
     deepsea,
     equidepth,
@@ -222,9 +222,7 @@ class TestRefinement:
         assert any(r.refinements for r in system.reports)
 
     def test_nr_never_refines(self, catalog):
-        system = no_repartition(
-            catalog, domains=DOMAINS, evidence_factor=0.0, bounds=None
-        )
+        system = no_repartition(catalog, domains=DOMAINS, evidence_factor=0.0, bounds=None)
         self.run_shifted(system)
         assert all(r.refinements == 0 for r in system.reports)
 

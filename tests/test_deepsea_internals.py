@@ -77,9 +77,7 @@ class TestObservedJitter:
             system.execute(query(100, 200))
         vid = the_partitioned_view(system)
         parent = system.tentative.intervals(vid, "d_k")[0]
-        jitter = system._observed_jitter(
-            vid, "d_k", parent, Interval.closed(100, 200)
-        )
+        jitter = system._observed_jitter(vid, "d_k", parent, Interval.closed(100, 200))
         assert jitter == pytest.approx(0.0)
 
     def test_drifting_queries_positive_jitter(self, system):
@@ -100,9 +98,7 @@ class TestObservedJitter:
             system.execute(query(0, 900))
         vid = the_partitioned_view(system)
         parent = system.stats.intervals_for(vid, "d_k")[0]
-        jitter = system._observed_jitter(
-            vid, "d_k", parent, Interval.closed(100, 110)
-        )
+        jitter = system._observed_jitter(vid, "d_k", parent, Interval.closed(100, 110))
         assert jitter == 0.0
 
 

@@ -61,9 +61,7 @@ def make_query(kind: int, lo: float, hi: float):
         return Aggregate(selected, ("d_c",), (AggSpec("sum", "f_v", "s"),))
     if kind == 2:
         return Aggregate(selected, ("d_c",), (AggSpec("count", None, "n"),))
-    return Aggregate(
-        selected, (), (AggSpec("min", "f_v", "lo"), AggSpec("max", "f_v", "hi"))
-    )
+    return Aggregate(selected, (), (AggSpec("min", "f_v", "lo"), AggSpec("max", "f_v", "hi")))
 
 
 query_strategy = st.tuples(
@@ -84,14 +82,8 @@ query_strategy = st.tuples(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-def test_deepsea_always_matches_direct_execution(
-    plans, pool_fraction, overlapping, eager
-):
-    smax = (
-        _CATALOG.total_size_bytes * pool_fraction
-        if pool_fraction is not None
-        else None
-    )
+def test_deepsea_always_matches_direct_execution(plans, pool_fraction, overlapping, eager):
+    smax = _CATALOG.total_size_bytes * pool_fraction if pool_fraction is not None else None
     system = DeepSea(
         _CATALOG,
         domains=DOMAINS,
@@ -102,9 +94,7 @@ def test_deepsea_always_matches_direct_execution(
             creation_cooldown=2.0,
         ),
     )
-    reference = DeepSea(
-        _CATALOG, domains=DOMAINS, policy=Policy(materialize=False)
-    )
+    reference = DeepSea(_CATALOG, domains=DOMAINS, policy=Policy(materialize=False))
     # repeat the workload to force reuse / refinement / eviction paths
     for plan in plans + plans:
         got = system.execute(plan).result.sorted_rows()

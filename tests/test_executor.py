@@ -1,6 +1,5 @@
 """Executor tests: operator semantics and cost charging."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -128,9 +127,7 @@ class TestAggregate:
 
     def test_multi_column_group(self):
         schema = Schema.of(Column("g1"), Column("g2"), Column("v"))
-        t = Table.from_dict(
-            schema, {"g1": [1, 1, 1], "g2": [1, 2, 1], "v": [10, 20, 30]}
-        )
+        t = Table.from_dict(schema, {"g1": [1, 1, 1], "g2": [1, 2, 1], "v": [10, 20, 30]})
         out = aggregate(t, ("g1", "g2"), (AggSpec("sum", "v", "s"),))
         assert sorted(out.to_rows()) == [(1, 1, 40), (1, 2, 20)]
 
@@ -139,9 +136,7 @@ class TestAggregate:
     def test_sum_partition_property(self, rows):
         """Grouped sums add up to the global sum."""
         schema = Schema.of(Column("g"), Column("v"))
-        t = Table.from_dict(
-            schema, {"g": [r[0] for r in rows], "v": [r[1] for r in rows]}
-        )
+        t = Table.from_dict(schema, {"g": [r[0] for r in rows], "v": [r[1] for r in rows]})
         out = aggregate(t, ("g",), (AggSpec("sum", "v", "s"),))
         assert sum(r[1] for r in out.to_rows()) == sum(r[1] for r in rows)
 

@@ -1,13 +1,9 @@
 """Tests for the MapReduce cost charging: boundaries, dispatch, capture."""
 
-import numpy as np
 import pytest
 
-from repro.engine.catalog import Catalog
 from repro.engine.cost import ClusterSpec, CostLedger
 from repro.engine.executor import ExecutionContext, Executor
-from repro.engine.schema import Column, Schema
-from repro.engine.table import Table
 from repro.partitioning.intervals import Interval
 from repro.query.algebra import (
     Aggregate,
@@ -73,9 +69,7 @@ class TestBoundaryCharging:
 
     def test_projected_boundary_writes_less(self, ctx):
         bare = Executor(ctx).execute(join_plan())
-        projected = Executor(ctx).execute(
-            Project(join_plan(), ("i_category", "s_qty"))
-        )
+        projected = Executor(ctx).execute(Project(join_plan(), ("i_category", "s_qty")))
         assert projected.ledger.bytes_written < bare.ledger.bytes_written
 
     def test_pushed_selection_shrinks_boundary(self, ctx):
@@ -135,7 +129,7 @@ class TestCapture:
     def test_capture_state_cleared_after_run(self, ctx):
         executor = Executor(ctx)
         executor.execute_with_capture(join_plan(), [join_plan()])
-        result = executor.execute(join_plan())
+        executor.execute(join_plan())
         assert executor._captured == {}
 
     def test_capture_root(self, ctx):
@@ -211,9 +205,7 @@ class TestMaterializedScanChargePinning:
         fb = pool.add_fragment("v", "s_item_sk", b, sales.filter(b.mask(col)))
         ctx = ExecutionContext(catalog, pool)
         clip = Interval(60, None, True, False)
-        scan = MaterializedScan(
-            "v", (fa.fragment_id, fb.fragment_id), "s_item_sk", (None, clip)
-        )
+        scan = MaterializedScan("v", (fa.fragment_id, fb.fragment_id), "s_item_sk", (None, clip))
         result = Executor(ctx).execute(scan)
 
         expected = CostLedger(ctx.cluster)
@@ -236,9 +228,7 @@ class TestMaterializedScanClips:
         fb = pool.add_fragment("v", "s_item_sk", b, sales.filter(b.mask(col)))
         ctx = ExecutionContext(catalog, pool)
         clip = Interval(60, None, True, False)  # exclude <= 60 from b
-        scan = MaterializedScan(
-            "v", (fa.fragment_id, fb.fragment_id), "s_item_sk", (None, clip)
-        )
+        scan = MaterializedScan("v", (fa.fragment_id, fb.fragment_id), "s_item_sk", (None, clip))
         result = Executor(ctx).execute(scan)
         expected = sales.filter(Interval.closed(0, 99).mask(col))
         assert result.table.sorted_rows() == expected.sorted_rows()

@@ -11,7 +11,7 @@ import pickle
 import pytest
 
 from repro.engine.cost import CostLedger
-from repro.errors import FaultError, PoolError, RecoveryError
+from repro.errors import FaultError
 from repro.faults import (
     BUILTIN_SCHEDULES,
     FAULT_KINDS,
@@ -49,15 +49,11 @@ STORM = FaultSchedule.of(
     controller_crash=0.5,
 ).to_json()
 
-FLAKY = FaultSchedule.of(
-    "test-flaky", seed=9, task_failure=0.05, straggler=0.02
-).to_json()
+FLAKY = FaultSchedule.of("test-flaky", seed=9, task_failure=0.05, straggler=0.02).to_json()
 
 
 def _task(label, factory, faults=None, **options):
-    return RunTask(
-        label, SystemSpec.of(factory, **options), FIXTURE, WORKLOAD, faults=faults
-    )
+    return RunTask(label, SystemSpec.of(factory, **options), FIXTURE, WORKLOAD, faults=faults)
 
 
 _RUNS = {}
@@ -97,9 +93,7 @@ class TestFaultSchedule:
 
     def test_duplicate_kinds_rejected(self):
         with pytest.raises(FaultError, match="duplicate"):
-            FaultSchedule(
-                "dup", 1, (FaultSpec("straggler", 0.1), FaultSpec("straggler", 0.2))
-            )
+            FaultSchedule("dup", 1, (FaultSpec("straggler", 0.1), FaultSpec("straggler", 0.2)))
 
     def test_json_roundtrip(self):
         for sched in BUILTIN_SCHEDULES.values():
@@ -155,9 +149,7 @@ class TestFaultInjector:
 
     def test_different_seed_diverges(self):
         sched = FaultSchedule.resolve(STORM)
-        hot = FaultSchedule.of("other", seed=6, **{
-            s.kind: s.rate for s in sched.specs
-        })
+        hot = FaultSchedule.of("other", seed=6, **{s.kind: s.rate for s in sched.specs})
         assert self._drive(sched.injector()) != self._drive(hot.injector())
 
     def test_event_lines_are_sequential(self):
@@ -175,9 +167,7 @@ class TestFaultInjector:
         assert ledger.fault_s > 0
         assert ledger.task_retries + ledger.speculative_tasks > 0
         assert ledger.fault_events > 0
-        assert ledger.total_seconds == pytest.approx(
-            ledger.read_s + ledger.fault_s
-        )
+        assert ledger.total_seconds == pytest.approx(ledger.read_s + ledger.fault_s)
 
     def test_ledger_without_faults_unchanged(self):
         plain, faulted = CostLedger(), CostLedger()
@@ -214,9 +204,7 @@ class TestChaosInvariant:
     )
     def test_answers_unchanged_ledgers_costlier(self, label, factory):
         schedule = STORM if label != "H" else FLAKY
-        report = verify_run(
-            _run(label, factory), _run(label, factory, schedule), schedule
-        )
+        report = verify_run(_run(label, factory), _run(label, factory, schedule), schedule)
         assert report.ok, report.summary()
         assert report.events > 0
         assert report.overhead_s > 0

@@ -161,9 +161,7 @@ def test_repeated_splits_stay_horizontal(points, after):
     domain = Interval.closed(0, 100)
     frag = Fragmentation.single("a", domain)
     for p in points:
-        target = next(
-            (iv for iv in frag.intervals if iv.contains_point(p)), None
-        )
+        target = next((iv for iv in frag.intervals if iv.contains_point(p)), None)
         if target is None:
             continue
         try:

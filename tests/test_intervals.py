@@ -132,9 +132,7 @@ class TestMask:
 
     def test_mask_open(self):
         vals = np.array([0, 1, 2, 3])
-        np.testing.assert_array_equal(
-            Interval.open(0, 3).mask(vals), [False, True, True, False]
-        )
+        np.testing.assert_array_equal(Interval.open(0, 3).mask(vals), [False, True, True, False])
 
     def test_mask_unbounded(self):
         vals = np.array([-5, 0, 5])

@@ -1,7 +1,5 @@
 """Tests for view matching, the filter tree, and Algorithm 2."""
 
-import pytest
-
 from repro.matching.filter_tree import FilterTree
 from repro.matching.matcher import match_view, partition_attr_ranges
 from repro.matching.partition_match import covered_bytes, greedy_cover

@@ -5,7 +5,6 @@ import pytest
 
 from repro import Catalog, DeepSea, Interval, Policy
 from repro.core.merging import (
-    MergeCandidate,
     co_access_fraction,
     find_merge_candidates,
     merge_cost,
@@ -68,9 +67,7 @@ def make_entries(pool, intervals, size=1e8):
     entries = []
     for iv in intervals:
         nrows = 10
-        table = Table.from_dict(
-            schema, {"a": np.arange(nrows)}, scale=size / (nrows * 8)
-        )
+        table = Table.from_dict(schema, {"a": np.arange(nrows)}, scale=size / (nrows * 8))
         entries.append(pool.add_fragment("v", "a", iv, table))
     return entries
 
@@ -83,12 +80,8 @@ class TestFindCandidates:
 
     def candidates(self, intervals, hits, **kw):
         entries = make_entries(self.pool, intervals)
-        stats = {
-            iv: frag_stats(iv, h) for iv, h in zip(intervals, hits)
-        }
-        return find_merge_candidates(
-            entries, stats, 100.0, DEC, self.cluster, **kw
-        )
+        stats = {iv: frag_stats(iv, h) for iv, h in zip(intervals, hits)}
+        return find_merge_candidates(entries, stats, 100.0, DEC, self.cluster, **kw)
 
     def test_coaccessed_adjacent_pair_found(self):
         ivs = [Interval.closed(0, 10), Interval.open_closed(10, 20)]
@@ -109,17 +102,13 @@ class TestFindCandidates:
 
     def test_low_coaccess_skipped(self):
         ivs = [Interval.closed(0, 10), Interval.open_closed(10, 20)]
-        cands = self.candidates(
-            ivs, [list(range(1, 31)), list(range(40, 70))], safety=0.1
-        )
+        cands = self.candidates(ivs, [list(range(1, 31)), list(range(40, 70))], safety=0.1)
         assert cands == []
 
     def test_size_bound_respected(self):
         ivs = [Interval.closed(0, 10), Interval.open_closed(10, 20)]
         shared = list(range(1, 31))
-        cands = self.candidates(
-            ivs, [shared, shared], safety=0.1, max_merged_bytes=1e8
-        )
+        cands = self.candidates(ivs, [shared, shared], safety=0.1, max_merged_bytes=1e8)
         assert cands == []
 
     def test_each_fragment_in_one_candidate(self):
@@ -194,9 +183,7 @@ class TestEndToEnd:
                 bounds=None,
             ),
         )
-        reference = DeepSea(
-            catalog, domains=domains, policy=Policy(materialize=False)
-        )
+        reference = DeepSea(catalog, domains=domains, policy=Policy(materialize=False))
         # Phase 1 carves a fragment at [100, 300]; phase 2's wider range
         # co-accesses it with its right neighbour query after query, until
         # the pair is coalesced.

@@ -78,9 +78,7 @@ class TestMultiAttribute:
         return reports
 
     def test_default_single_attribute(self, catalog):
-        system = DeepSea(
-            catalog, domains=DOMAINS, policy=Policy(evidence_factor=0.0)
-        )
+        system = DeepSea(catalog, domains=DOMAINS, policy=Policy(evidence_factor=0.0))
         self.warm(system)
         _, attrs = partitioned_view(system)
         assert len(attrs) == 1

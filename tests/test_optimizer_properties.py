@@ -114,7 +114,8 @@ def test_pushdown_preserves_results(plan):
 @given(plan=plans())
 @settings(max_examples=80, deadline=None)
 def test_pushdown_preserves_signature(plan):
-    assert compute_signature(plan, _SCHEMAS) == compute_signature(pushed := push_down(plan, _SCHEMAS), _SCHEMAS)
+    pushed = push_down(plan, _SCHEMAS)
+    assert compute_signature(plan, _SCHEMAS) == compute_signature(pushed, _SCHEMAS)
 
 
 @given(plan=plans())

@@ -89,9 +89,7 @@ class TestWorkerCrashRecovery:
 
     def test_retries_zero_fails_on_first_crash(self):
         with pytest.raises(WorkerCrashError):
-            fan_out(
-                [lambda: 1, lambda: 2], workers=2, retries=0, fault_plan={0: 1}
-            )
+            fan_out([lambda: 1, lambda: 2], workers=2, retries=0, fault_plan={0: 1})
 
     def test_negative_retries_rejected(self):
         with pytest.raises(ValueError, match="retries"):
@@ -178,9 +176,7 @@ class TestTaskSpecs:
     def test_pool_fraction_resolved_against_catalog(self):
         fx = _fixture()
         system = SystemSpec.of("deepsea", pool_fraction=0.25).build(fx)
-        assert system.pool.smax_bytes == pytest.approx(
-            0.25 * fx.catalog.total_size_bytes
-        )
+        assert system.pool.smax_bytes == pytest.approx(0.25 * fx.catalog.total_size_bytes)
 
     def test_workload_slice(self):
         fx = _fixture()
@@ -209,9 +205,7 @@ class TestDeterminism:
         for workers in (1, 4):
             clear_caches()
             results = run_systems(_factories(fx), plans, workers=workers)
-            assert fingerprint(results) == base, "\n".join(
-                diff_results(serial, results)
-            )
+            assert fingerprint(results) == base, "\n".join(diff_results(serial, results))
 
     def test_shuffled_submission_same_fingerprints(self):
         fixture = FixtureSpec("sdss", 10.0, log_queries=500)
@@ -328,9 +322,7 @@ class TestProfileIntegration:
         plans = _plans(fx)
         profilers = {label: WallClockProfiler() for label in ("H", "NP", "DS")}
         telemetry = {}
-        run_systems(
-            _factories(fx), plans, profilers, workers=2, telemetry=telemetry
-        )
+        run_systems(_factories(fx), plans, profilers, workers=2, telemetry=telemetry)
         for label, prof in profilers.items():
             assert prof.queries == QUERIES, label
             assert prof.total_seconds > 0, label

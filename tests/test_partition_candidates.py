@@ -81,9 +81,7 @@ class TestExample3:
 
 class TestClamping:
     def test_selection_clamped_to_domain(self):
-        cands = partition_candidates(
-            Interval.closed(-100, 5), [Interval.closed(0, 30)], DOMAIN
-        )
+        cands = partition_candidates(Interval.closed(-100, 5), [Interval.closed(0, 30)], DOMAIN)
         # clamped to [0, 5]: only the upper endpoint splits
         assert len(cands) == 1
         assert cands[0].pieces == (

@@ -21,9 +21,7 @@ def interval_sets(draw):
         if lo == hi:
             out.append(Interval.point(float(lo)))
         else:
-            out.append(
-                Interval(float(lo), float(hi), draw(st.booleans()), draw(st.booleans()))
-            )
+            out.append(Interval(float(lo), float(hi), draw(st.booleans()), draw(st.booleans())))
     return out
 
 

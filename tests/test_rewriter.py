@@ -15,11 +15,9 @@ from repro.query.algebra import (
     Aggregate,
     AggSpec,
     Join,
-    MaterializedScan,
     Project,
     Relation,
     Select,
-    walk,
 )
 from repro.query.predicates import between
 from repro.query.signature import view_id_for
@@ -54,9 +52,7 @@ def setup():
     schemas = {name: catalog.get(name).schema.names for name in catalog.names}
     pool = MaterializedViewPool()
     tree = FilterTree()
-    rewriter = Rewriter(
-        schemas, tree, pool, catalog, ClusterSpec(), lambda attr: DOMAIN
-    )
+    rewriter = Rewriter(schemas, tree, pool, catalog, ClusterSpec(), lambda attr: DOMAIN)
     return catalog, pool, tree, rewriter
 
 
@@ -128,9 +124,7 @@ class TestBuildRewritings:
 
     def test_rewriting_executes_equivalently(self, setup):
         catalog, pool, _, rewriter = setup
-        self.materialize_fragments(
-            setup, [Interval.closed(0, 50), Interval.open_closed(50, 100)]
-        )
+        self.materialize_fragments(setup, [Interval.closed(0, 50), Interval.open_closed(50, 100)])
         q = query(10, 40)
         rewritings = rewriter.build_rewritings(q, rewriter.find_matches(q))
         executor = Executor(ExecutionContext(catalog, pool))
@@ -190,9 +184,7 @@ class TestEstimation:
     def test_estimate_boundary_writes_charged(self, setup):
         _, _, _, rewriter = setup
         bare = rewriter.estimate_plan_cost(join_plan())
-        projected = rewriter.estimate_plan_cost(
-            Project(join_plan(), ("i_item_sk", "s_qty"))
-        )
+        projected = rewriter.estimate_plan_cost(Project(join_plan(), ("i_item_sk", "s_qty")))
         # the projection folds into the join's job: fewer boundary bytes;
         # cost ties (within block-rounding noise) when the write floor
         # dominates at this scale

@@ -231,9 +231,7 @@ class TestPoolJournal:
     def test_rollback_restores_exact_configuration(self, small_table):
         pool = self.make_pool()
         keep = pool.add_fragment("v1", "v", Interval.closed(0, 10), small_table)
-        victim = pool.add_fragment(
-            "v1", "v", Interval.open_closed(10, 20), small_table
-        )
+        victim = pool.add_fragment("v1", "v", Interval.open_closed(10, 20), small_table)
         before_config = pool.configuration()
         before_bytes = pool.hdfs.used_bytes
         before_files = pool.hdfs.file_count

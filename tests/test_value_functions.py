@@ -44,9 +44,7 @@ class TestWeightedHits:
         f = frag()
         f.record_hit(5.0, Interval.closed(0, 100))
         dec = ProportionalDecay(t_max=100)
-        assert fragment_weighted_hits(f, Interval.closed(10, 20), 10.0, dec) == (
-            pytest.approx(0.5)
-        )
+        assert fragment_weighted_hits(f, Interval.closed(10, 20), 10.0, dec) == (pytest.approx(0.5))
 
 
 class TestRealizingHits:

@@ -174,10 +174,7 @@ class TestBigBench:
     def test_instance_scales_rows(self):
         small = bigbench.generate_bigbench(10.0, seed=1)
         big = bigbench.generate_bigbench(500.0, seed=1)
-        assert (
-            big.catalog.get("store_sales").nrows
-            > small.catalog.get("store_sales").nrows
-        )
+        assert big.catalog.get("store_sales").nrows > small.catalog.get("store_sales").nrows
 
     def test_custom_item_values_used(self):
         values = np.full(1_000, 123)
@@ -216,9 +213,7 @@ class TestGenerator:
 
     def test_unknown_template(self):
         with pytest.raises(WorkloadError):
-            synthetic_workload(
-                SyntheticSpec("q99", "S", "H", n_queries=1), DOMAIN
-            )
+            synthetic_workload(SyntheticSpec("q99", "S", "H", n_queries=1), DOMAIN)
 
     def test_phased_workload_changes_distribution(self):
         inst = bigbench.generate_bigbench(10.0, seed=3)

@@ -216,9 +216,7 @@ class TestTableView:
 
 class TestJoinView:
     def make_join(self):
-        left_schema = Schema.of(
-            Column("k"), Column("lv"), Column("tag", ColumnKind.STRING)
-        )
+        left_schema = Schema.of(Column("k"), Column("lv"), Column("tag", ColumnKind.STRING))
         right_schema = Schema.of(Column("k"), Column("rv"))
         left = Table.from_dict(
             left_schema,
@@ -322,9 +320,7 @@ class TestAggregate:
 
     def test_min_max_and_floats_use_sorted_path(self):
         schema = Schema.of(Column("g"), Column("x", ColumnKind.FLOAT64))
-        t = Table.from_dict(
-            schema, {"g": [1, 2, 1, 2], "x": [0.5, 1.5, 2.5, 3.5]}
-        )
+        t = Table.from_dict(schema, {"g": [1, 2, 1, 2], "x": [0.5, 1.5, 2.5, 3.5]})
         out = aggregate(
             t, ("g",), (AggSpec("min", "x", "lo"), AggSpec("max", "x", "hi"))
         )
@@ -346,9 +342,7 @@ class TestAggregate:
 # ----------------------------------------------------------------------
 # Eager vs zero-copy equivalence (randomized, fixed seeds via hypothesis)
 # ----------------------------------------------------------------------
-EQ_SCHEMA_FACT = Schema.of(
-    Column("f_k"), Column("f_v"), Column("f_name", ColumnKind.STRING)
-)
+EQ_SCHEMA_FACT = Schema.of(Column("f_k"), Column("f_v"), Column("f_name", ColumnKind.STRING))
 EQ_SCHEMA_DIM = Schema.of(Column("d_k"), Column("d_c"))
 
 
@@ -364,9 +358,7 @@ def eq_catalog(seed: int) -> Catalog:
             "f_name": names[rng.integers(0, len(names), n)],
         },
     )
-    dim = Table.from_dict(
-        EQ_SCHEMA_DIM, {"d_k": np.arange(60), "d_c": rng.integers(0, 5, 60)}
-    )
+    dim = Table.from_dict(EQ_SCHEMA_DIM, {"d_k": np.arange(60), "d_c": rng.integers(0, 5, 60)})
     catalog = Catalog()
     catalog.register("fact", fact)
     catalog.register("dim", dim)
@@ -477,9 +469,7 @@ class TestResultCache:
         pool = MaterializedViewPool()
         pool.define_view("v", Relation("sales"))
         sales = catalog.get("sales")
-        f = pool.add_fragment(
-            "v", "s_item_sk", Interval.closed(0, 99), sales
-        )
+        f = pool.add_fragment("v", "s_item_sk", Interval.closed(0, 99), sales)
         ctx = ExecutionContext(catalog, pool)
         scan = MaterializedScan("v", (f.fragment_id,), "s_item_sk", (None,))
         Executor(ctx).execute(scan)
@@ -494,9 +484,7 @@ class TestResultCache:
 
     def test_pool_independent_plans_share_entries_across_pools(self, catalog):
         plain = Executor(ExecutionContext(catalog)).execute(self.plan())
-        pooled = Executor(
-            ExecutionContext(catalog, MaterializedViewPool())
-        ).execute(self.plan())
+        pooled = Executor(ExecutionContext(catalog, MaterializedViewPool())).execute(self.plan())
         assert cache_stats()["hits"] == 1
         assert pooled.table.sorted_rows() == plain.table.sorted_rows()
 
