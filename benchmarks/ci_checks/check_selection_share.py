@@ -1,0 +1,73 @@
+"""CI gate: the §7 selection stage stays a bounded share of fig-5a time.
+
+The vectorized selection rewrite (array-based ``spread_hits`` scatter,
+batched ``partition_distribution`` decay passes, packed candidate
+generation) took selection from the single largest DeepSea wall-clock
+block to well under a fifth of the combined profile.  This gate pins
+that down: the ``selection`` stage's share of total profiled seconds —
+summed across the H / NP / DS systems of a ``python -m repro profile``
+run — must stay under the checked-in ceiling.  A share above it means
+the scalar fallback paths are carrying real traffic again (a dispatch
+threshold regression, a dtype that silently bounces to the loop, or new
+per-piece work in the refinement filter).
+
+Shares, not absolute seconds, so runner-hardware variance cancels out.
+
+Runnable locally:
+
+    PYTHONPATH=src python -m repro profile --queries 150 --instance-gb 100 \
+        --seed 2 --output /tmp/profile_smoke.json
+    python benchmarks/ci_checks/check_selection_share.py /tmp/profile_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Measured combined share after the vectorization pass is ~0.17 at the CI
+# smoke scale (150 queries, 100 GB); the pre-rewrite code sat around 2x
+# that.  0.30 keeps noise headroom while catching a wholesale regression.
+SELECTION_SHARE_CEILING = 0.30
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="profile JSON from python -m repro profile")
+    parser.add_argument(
+        "--ceiling",
+        type=float,
+        default=SELECTION_SHARE_CEILING,
+        help="maximum allowed selection share of total profiled seconds",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+
+    stages = report["stages"]
+    total = sum(info["seconds"] for info in stages.values())
+    selection = stages.get("selection", {}).get("seconds", 0.0)
+    if total <= 0:
+        print("FAIL empty profile: no stage seconds recorded", file=sys.stderr)
+        return 1
+
+    share = selection / total
+    print(
+        f"selection {selection:.3f}s of {total:.3f}s profiled "
+        f"= {share:.1%} (ceiling {args.ceiling:.0%})"
+    )
+    if share > args.ceiling:
+        print(
+            f"FAIL selection stage is {share:.1%} of fig-5a wall-clock, "
+            f"above the {args.ceiling:.0%} ceiling — vectorized paths "
+            "are likely not engaging",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

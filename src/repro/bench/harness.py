@@ -116,6 +116,66 @@ def run_system(
             system.profiler = None
 
 
+def prewarm_shared_caches(plans: list[Plan], catalog) -> None:
+    """Populate every plan-pure memo and base-table join index once, here.
+
+    The work-stealing scheduler forks its workers *warm*: whatever the
+    parent has cached at spawn time is shared copy-on-write into every
+    worker.  A cold parent wastes that — each worker then rebuilds the
+    same plan analyses, pushdowns, signatures, and base-table sort/probe
+    indexes privately, once per process.  This pass pays those builds a
+    single time in the parent, so a pool of N workers amortizes them N
+    ways instead of multiplying them.
+
+    Everything warmed is a pure function of the immutable plans and the
+    shared catalog tables (index caches key on table *identity*, and all
+    system factories close over the same catalog), so the pass is
+    semantically invisible: ledgers and result tables are byte-identical
+    with or without it.
+    """
+    from repro.engine.indexes import prewarm_join, sort_index
+    from repro.errors import PlanError
+    from repro.query.algebra import Join, Project, Relation, Select, walk
+    from repro.query.analysis import analyze_plan
+    from repro.query.optimizer import push_down
+    from repro.query.signature import compute_signature
+
+    schemas = {n: catalog.get(n).schema.names for n in catalog.names}
+
+    def leaf_relation(node) -> "str | None":
+        # Only Select/Project chains keep a view's lineage anchored to the
+        # base table; anything else (joins, aggregates) yields per-query
+        # temporaries the cross-query caches would never see again.
+        while isinstance(node, (Select, Project)):
+            node = node.child
+        return node.name if isinstance(node, Relation) else None
+
+    for plan in plans:
+        analyze_plan(plan)
+        try:
+            compute_signature(plan, schemas)
+        except PlanError:
+            pass  # signatures cover definition-shaped plans only
+        pushed = push_down(plan, schemas)
+        analyze_plan(pushed)
+        for node in walk(pushed):
+            if not isinstance(node, Join):
+                continue
+            right_name = leaf_relation(node.right)
+            if right_name is None:
+                continue
+            left_name = leaf_relation(node.left)
+            if left_name is None:
+                sort_index(catalog.get(right_name), node.right_attr)
+            else:
+                prewarm_join(
+                    catalog.get(left_name),
+                    node.left_attr,
+                    catalog.get(right_name),
+                    node.right_attr,
+                )
+
+
 def run_systems(
     factories: dict[str, Callable[[], DeepSea]],
     plans: list[Plan],
@@ -123,6 +183,10 @@ def run_systems(
     *,
     workers: int = 0,
     telemetry: "dict[str, WorkerTelemetry] | None" = None,
+    scheduler: str = "static",
+    stateless: "tuple[str, ...]" = (),
+    worker_stats: "list[dict] | None" = None,
+    catalog=None,
 ) -> dict[str, RunResult]:
     """Run the same workload through several freshly built systems.
 
@@ -133,15 +197,87 @@ def run_systems(
     result tables are byte-identical to a serial run for any worker
     count.  ``workers <= 1`` is the unchanged serial path.
 
+    ``scheduler="steal"`` (with ``workers >= 2``) replaces the static
+    per-system split with the work-stealing pool
+    (:func:`repro.parallel.pool.steal_map`): persistent *warm-forked*
+    workers pull run units off a shared deque, and any system named in
+    ``stateless`` — one whose per-query outputs don't depend on earlier
+    queries, like the H baseline — is cut into contiguous query slices
+    so its work load-balances across the pool instead of pinning one
+    worker.  Results merge back identically (slices concatenate in query
+    order); ``worker_stats``, when given, collects one per-worker dict of
+    cache-counter deltas for the profile JSON.  With ``catalog`` supplied
+    the parent runs :func:`prewarm_shared_caches` before forking, so the
+    warm workers inherit the plan memos and base-table join indexes
+    instead of each rebuilding them.
+
     ``profilers`` maps labels to :class:`WallClockProfiler` instances; in
     parallel mode each task profiles in its own process and the worker's
     totals are merged into the caller's profiler afterwards.  When a
     ``telemetry`` dict is supplied it is filled with one
     :class:`WorkerTelemetry` per label (worker pid, profile, cache
-    counters) — the per-worker breakdown of ``python -m repro profile``.
+    counters) — the per-worker breakdown of ``python -m repro profile``
+    (static/serial schedulers only; the steal pool reports per worker,
+    not per label, via ``worker_stats``).
     """
     profilers = profilers or {}
     labels = list(factories)
+    if scheduler not in ("static", "steal"):
+        raise ValueError(f"unknown scheduler: {scheduler!r}")
+    if scheduler == "steal" and workers >= 2 and len(labels) >= 1:
+        from repro.bench.profile import WallClockProfiler
+        from repro.parallel.pool import steal_map
+
+        if catalog is not None:
+            prewarm_shared_caches(plans, catalog)
+
+        def whole_task(label: str, make: Callable[[], DeepSea], profiled: bool) -> Callable:
+            def run() -> "tuple[list[QueryReport], WallClockProfiler | None, tuple]":
+                prof = WallClockProfiler() if profiled else None
+                result = run_system(label, make(), plans, prof)
+                return result.reports, prof, result.fault_events
+
+            return run
+
+        def slice_task(
+            label: str, make: Callable[[], DeepSea], profiled: bool, start: int, stop: int
+        ) -> Callable:
+            def run() -> "tuple[list[QueryReport], WallClockProfiler | None, tuple]":
+                prof = WallClockProfiler() if profiled else None
+                system = make()
+                # Clock offset keeps slice report indexes identical to the
+                # same queries inside a whole serial run.
+                system.clock = start
+                result = run_system(label, system, plans[start:stop], prof)
+                return result.reports, prof, result.fault_events
+
+            return run
+
+        n_slices = max(2, workers)
+        units: "list[tuple[str, int]]" = []  # (label, slice ordinal)
+        thunks: list[Callable] = []
+        for label, make in factories.items():
+            profiled = label in profilers
+            if label in stateless and len(plans) >= 2 * n_slices:
+                bounds = np.linspace(0, len(plans), n_slices + 1).astype(int)
+                for ordinal, (start, stop) in enumerate(zip(bounds[:-1], bounds[1:])):
+                    units.append((label, ordinal))
+                    thunks.append(slice_task(label, make, profiled, int(start), int(stop)))
+            else:
+                units.append((label, 0))
+                thunks.append(whole_task(label, make, profiled))
+        outputs = steal_map(thunks, workers, chunk_size=1, worker_stats=worker_stats)
+        merged_reports: dict[str, list[QueryReport]] = {label: [] for label in labels}
+        merged_events: dict[str, tuple] = {label: () for label in labels}
+        for (label, _), (reports, prof, events) in zip(units, outputs):
+            merged_reports[label].extend(reports)  # units are in slice order
+            merged_events[label] = merged_events[label] + tuple(events)
+            if prof is not None:
+                profilers[label].merge(prof)
+        return {
+            label: RunResult(label, merged_reports[label], merged_events[label])
+            for label in labels
+        }
     if workers >= 2 and len(labels) > 1:
         from repro.bench.profile import WallClockProfiler
         from repro.parallel.pool import fan_out

@@ -65,3 +65,37 @@ def clear_all_caches() -> None:
 def cache_stats() -> dict[str, dict]:
     """Snapshot of every registered cache's counters (stable key order)."""
     return {name: dict(_STATS[name]()) for name in sorted(_STATS)}
+
+
+def snapshot_stats() -> dict[str, dict]:
+    """Alias of :func:`cache_stats` for before/after delta bookkeeping."""
+    return cache_stats()
+
+
+def stats_delta(before: dict[str, dict], after: dict[str, dict]) -> dict[str, dict]:
+    """Per-cache counter differences ``after − before``.
+
+    A warm-forked pool worker inherits the parent's counters along with
+    the caches themselves, so its raw :func:`cache_stats` snapshot mixes
+    parent history with its own work.  The delta isolates what *this*
+    process did since ``before`` — the per-worker numbers surfaced in the
+    ``python -m repro profile`` JSON.  Non-numeric entries (and gauges
+    like ``entries`` that describe current state rather than traffic) are
+    reported as their ``after`` value.
+    """
+    out: dict[str, dict] = {}
+    for name in sorted(after):
+        prior = before.get(name, {})
+        entry = {}
+        for key, value in after[name].items():
+            base = prior.get(key, 0)
+            if (
+                key != "entries"
+                and isinstance(value, (int, float))
+                and isinstance(base, (int, float))
+            ):
+                entry[key] = value - base
+            else:
+                entry[key] = value
+        out[name] = entry
+    return out

@@ -193,6 +193,7 @@ def cmd_profile(
     check: str | None,
     max_slowdown: float,
     workers: int = 0,
+    scheduler: str = "static",
 ) -> int:
     """Run the Figure-5a workload under the wall-clock profiler.
 
@@ -202,9 +203,14 @@ def cmd_profile(
     ``--workers N`` the three systems run in a process pool; each
     worker's stage profile and cache counters appear under
     ``per_worker`` in the JSON report, merged totals under ``stages``.
-    With ``--check`` the measured total *and every profiled stage* are
-    gated against a previously written report (the CI regression smoke),
-    failing with a per-phase verdict.
+    ``--scheduler steal`` swaps the static per-system split for the
+    work-stealing pool: warm-forked workers pull run units off a shared
+    deque (the stateless H baseline sliced into query chunks so it
+    load-balances), and ``per_worker`` reports per *worker* — tasks run
+    plus cache-counter deltas — instead of per system.  With ``--check``
+    the measured total *and every profiled stage* are gated against a
+    previously written report (the CI regression smoke), failing with a
+    per-phase verdict.
     """
     from repro.baselines import deepsea, hive, non_partitioned
     from repro.bench.harness import run_systems, sdss_fixture
@@ -225,8 +231,19 @@ def cmd_profile(
     }
     profilers = {label: WallClockProfiler() for label in factories}
     telemetry: dict = {}
+    worker_stats: list = []
     start = time.perf_counter()
-    run_systems(factories, plans, profilers, workers=workers, telemetry=telemetry)
+    run_systems(
+        factories,
+        plans,
+        profilers,
+        workers=workers,
+        telemetry=telemetry,
+        scheduler=scheduler,
+        stateless=("H",) if scheduler == "steal" else (),
+        worker_stats=worker_stats,
+        catalog=fx.catalog if scheduler == "steal" else None,
+    )
     wall = time.perf_counter() - start
 
     combined = WallClockProfiler()
@@ -248,7 +265,7 @@ def cmd_profile(
             rows,
             title=f"Wall-clock profile — {queries} SDSS-mapped queries, "
             f"{instance_gb:.0f}GB instance"
-            + (f", {workers} workers" if workers >= 2 else ""),
+            + (f", {workers} workers ({scheduler})" if workers >= 2 else ""),
         )
     )
 
@@ -258,6 +275,7 @@ def cmd_profile(
         "instance_gb": instance_gb,
         "seed": seed,
         "workers": workers,
+        "scheduler": scheduler,
         "total_seconds": wall,
         "systems": {label: prof.report() for label, prof in profilers.items()},
         "stages": combined.report()["stages"],
@@ -265,7 +283,19 @@ def cmd_profile(
         # and its cache hit/miss/eviction counters.  Serial runs share one
         # pid (and cumulative cache counters); parallel workers are
         # isolated, so their counters describe exactly one system's run.
+        # Under --scheduler steal the unit is the *worker*, not the
+        # system: warm-forked workers run many units each, so the entry
+        # is tasks completed plus cache-counter deltas for that worker.
         "per_worker": {
+            f"worker-{stats['pid']}": {
+                "pid": stats["pid"],
+                "tasks": stats["tasks"],
+                "caches": stats["caches"],
+            }
+            for stats in worker_stats
+        }
+        if scheduler == "steal"
+        else {
             label: {
                 "pid": info.pid,
                 "profile": info.profile,
@@ -291,11 +321,15 @@ def cmd_determinism(queries: int, instance_gb: float, seed: int, worker_counts: 
     requested worker count — submitting tasks in *reversed* order to
     exercise the canonical-order merge — and compares full result
     fingerprints (both simulated-second ledgers, all decision counters,
-    and every result table's sorted rows).  Exits non-zero, printing the
-    first divergences, if any worker count changes a single byte.
+    and every result table's sorted rows).  Each worker count is checked
+    under *both* schedulers: the static cold-worker fan-out and the
+    work-stealing pool with warm-forked workers and the stateless H
+    baseline sliced into query chunks.  Exits non-zero, printing the
+    first divergences, if any run changes a single byte.
     """
+    from repro.bench.harness import RunResult
     from repro.parallel.determinism import diff_results, fingerprint
-    from repro.parallel.pool import fan_out
+    from repro.parallel.pool import fan_out, steal_map
     from repro.parallel.tasks import FixtureSpec, RunTask, SystemSpec, WorkloadSpec
 
     fixture = FixtureSpec("sdss", instance_gb)
@@ -314,18 +348,42 @@ def cmd_determinism(queries: int, instance_gb: float, seed: int, worker_counts: 
     reference = fingerprint(serial)
     rows = [("serial", reference[:16], "baseline")]
     status = 0
+
+    # The H baseline is stateless, so under the steal scheduler its run
+    # splits into contiguous query slices that merge back in order.
+    sliced: list[tuple[str, RunTask]] = []
+    for task in tasks:
+        parts = task.slices(4) if task.label == "H" else [task]
+        sliced.extend((task.label, part) for part in parts)
+
+    def check(name: str, results: dict) -> None:
+        nonlocal status
+        digest = fingerprint(results)
+        if digest == reference:
+            rows.append((name, digest[:16], "identical"))
+        else:
+            rows.append((name, digest[:16], "DIVERGED"))
+            status = 1
+            for line in diff_results(serial, results, b_name=name):
+                print(line, file=sys.stderr)
+
     for n in worker_counts:
         shuffled = list(reversed(range(len(tasks))))
         outputs = fan_out(tasks, n, submission_order=shuffled)
-        results = dict(zip(labels, outputs))
-        digest = fingerprint(results)
-        if digest == reference:
-            rows.append((f"workers={n}", digest[:16], "identical"))
-        else:
-            rows.append((f"workers={n}", digest[:16], "DIVERGED"))
-            status = 1
-            for line in diff_results(serial, results, b_name=f"workers={n}"):
-                print(line, file=sys.stderr)
+        check(f"workers={n}", dict(zip(labels, outputs)))
+
+        stolen = steal_map([part for _, part in sliced], n, chunk_size=1)
+        merged: dict[str, RunResult] = {}
+        for (label, _), result in zip(sliced, stolen):
+            if label in merged:
+                merged[label] = RunResult(
+                    label,
+                    merged[label].reports + result.reports,
+                    merged[label].fault_events + result.fault_events,
+                )
+            else:
+                merged[label] = result
+        check(f"workers={n} steal", merged)
     print(
         format_table(
             ["run", "fingerprint", "verdict"],
@@ -482,6 +540,9 @@ def main(argv: list[str] | None = None) -> int:
     prof_p.add_argument("--seed", type=int, default=2)
     prof_p.add_argument("--workers", type=int, default=0,
                         help="fan system variants out over N pool workers")
+    prof_p.add_argument("--scheduler", choices=("static", "steal"), default="static",
+                        help="static per-system fan-out, or work-stealing "
+                        "pool with warm workers and query slicing")
     prof_p.add_argument("--output", default=None, metavar="PATH", help="write the JSON report here")
     prof_p.add_argument("--check", default=None, metavar="PATH",
                         help="fail if slower than this baseline report")
@@ -524,6 +585,7 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_profile(
             args.queries, args.instance_gb, args.seed,
             args.output, args.check, args.max_slowdown, args.workers,
+            args.scheduler,
         )
     if args.command == "determinism":
         try:

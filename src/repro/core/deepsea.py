@@ -28,6 +28,8 @@ a different :class:`~repro.core.policies.Policy`.
 
 from __future__ import annotations
 
+import math
+
 from contextlib import nullcontext
 from dataclasses import dataclass
 from functools import partial
@@ -38,7 +40,7 @@ from repro.core.domains import DomainResolver
 from repro.core.policies import Policy
 from repro.core.reports import QueryReport, WorkloadSummary
 from repro.core.tentative import TentativePartitions
-from repro.costmodel.estimate import estimate_fragment_cost, estimate_fragment_size
+from repro.costmodel.estimate import ResidentProfile
 from repro.costmodel.mle import adjusted_hits, adjusted_hits_density
 from repro.costmodel.nectar import (
     nectar_fragment_value,
@@ -48,9 +50,10 @@ from repro.costmodel.nectar import (
 )
 from repro.costmodel.stats import StatisticsStore, ViewStats
 from repro.costmodel.value import (
-    realizing_hits,
+    RealizingHitsIndex,
     fragment_value,
     partition_distribution,
+    partition_distributions,
     view_benefit,
     view_value,
 )
@@ -88,53 +91,77 @@ _PARALLEL_PIECE_THRESHOLD = 32
 def _piece_refinement_passes(
     piece: Interval,
     *,
-    resident: list[tuple[Interval, float]],
+    estimator: ResidentProfile,
     resident_sizes: dict[Interval, float],
+    resident_intervals: list[Interval],
     domain: Interval,
     cluster: ClusterSpec,
-    parent: Interval,
-    parent_stats,
-    dist,
-    t: float,
-    decay: float,
+    realizing: "RealizingHitsIndex | None",
+    dist_fn,
     safety: float,
 ) -> bool:
     """The §7.2 filter for one candidate piece.
 
-    Pure in its arguments — it reads statistics and computes, mutating
-    nothing — which is what lets `_refinement_passes` fan a wide batch of
-    pieces out over :func:`repro.parallel.pool.batch_map` with results
-    identical to the inline loop.
+    Pure in its arguments — it reads precomputed per-candidate indexes
+    (:class:`ResidentProfile`, :class:`RealizingHitsIndex`) and computes,
+    mutating nothing but value-transparent caches — which is what lets
+    `_refinement_passes` fan a wide batch of pieces out over
+    :func:`repro.parallel.pool.batch_map` with results identical to the
+    inline loop (each worker's memo copy just starts cold).
     """
-    size_est = estimate_fragment_size(piece, resident, domain)
-    cost_est = estimate_fragment_cost(piece, resident, domain, cluster)
-    cover = greedy_cover(piece, list(resident_sizes))
-    if cover is None:
-        return False  # hole in the partition: nothing to refine from
-    cover_bytes = sum(resident_sizes[c.interval] for c in cover)
-    if size_est > 0.5 * cover_bytes:
-        # The range is already served by a reasonably tight cover;
-        # shaving a sliver off it would recur forever under
-        # endpoint jitter without a matching payoff.
-        return False
-    saving_per_hit = max(
-        cluster.read_elapsed(cover_bytes, nfiles=len(cover))
-        - cluster.read_elapsed(size_est, nfiles=1),
-        0.0,
-    )
+    # Everything up to the hit counting depends only on the piece and the
+    # resident cover, not on the query time — and jittering workloads
+    # re-propose the same pieces query after query, so the prefix is
+    # memoized on the estimator (whose cache lifetime is exactly "resident
+    # set unchanged").  A memo hit replays the identical floats.
+    pre = estimator.piece_memo.get(piece)
+    if pre is not None:
+        if not pre[0]:
+            return False
+        _, size_est, cost_est, saving_per_hit = pre
+    else:
+        size_est, cost_est = estimator.estimate(piece)
+        cover = greedy_cover(piece, resident_intervals)
+        if cover is None:
+            # hole in the partition: nothing to refine from
+            estimator.piece_memo[piece] = (False, 0.0, 0.0, 0.0)
+            return False
+        cover_bytes = sum(resident_sizes[c.interval] for c in cover)
+        if size_est > 0.5 * cover_bytes:
+            # The range is already served by a reasonably tight cover;
+            # shaving a sliver off it would recur forever under
+            # endpoint jitter without a matching payoff.
+            estimator.piece_memo[piece] = (False, 0.0, 0.0, 0.0)
+            return False
+        saving_per_hit = max(
+            cluster.read_elapsed(cover_bytes, nfiles=len(cover))
+            - cluster.read_elapsed(size_est, nfiles=1),
+            0.0,
+        )
+        estimator.piece_memo[piece] = (True, size_est, cost_est, saving_per_hit)
     # Only queries whose need from this parent fits inside the
     # piece realize the per-hit margin; MLE smoothing tops this up
     # (capped, so the fitted tail cannot manufacture evidence).
-    hits = (
-        realizing_hits(parent_stats, parent, piece, t, decay)
-        if parent_stats is not None
-        else 0.0
-    )
-    if dist is not None and hits > 0:
-        fitted, total = dist
-        smoothed = adjusted_hits(piece, fitted, total, domain)
-        hits = max(hits, min(smoothed, 2.0 * hits))
+    hits = realizing.hits_for(piece) if realizing is not None else 0.0
+    if dist_fn is not None and hits > 0:
+        dist = dist_fn()
+        if dist is not None:
+            fitted, total = dist
+            smoothed = adjusted_hits(piece, fitted, total, domain)
+            hits = max(hits, min(smoothed, 2.0 * hits))
     return hits * saving_per_hit >= safety * cost_est
+
+
+class _ConstDist:
+    """Picklable constant thunk for the batched refinement path."""
+
+    __slots__ = ("_dist",)
+
+    def __init__(self, dist) -> None:
+        self._dist = dist
+
+    def __call__(self):
+        return self._dist
 
 
 @dataclass
@@ -175,6 +202,9 @@ class DeepSea:
         self.pool = MaterializedViewPool(smax_bytes, SimulatedHDFS())
         self.stats = StatisticsStore()
         self.filter_tree = FilterTree()
+        # §8.3: the filter tree is also the statistics registry; its
+        # per-view residency counters ride the pool's delta stream.
+        self.filter_tree.subscribe_to(self.pool)
         self.domains = DomainResolver(catalog, domains)
         self.tentative = TentativePartitions()
         self.schemas = {n: catalog.get(n).schema.names for n in catalog.names}
@@ -185,6 +215,16 @@ class DeepSea:
         self.clock = 0
         self.reports: list[QueryReport] = []
         self._dist_cache: dict[tuple[int, str, str], tuple | None] = {}
+        # (view_id, attr) -> (cover version, resident list, ResidentProfile):
+        # the vectorized size/cost estimator over a partition's resident
+        # fragments, reused across refinement evaluations until the pool's
+        # cover (or any fragment size) changes.
+        self._resident_profiles: dict[tuple[str, str], tuple] = {}
+        # (view_id, attr) -> (cover version, resident list, sizes dict,
+        # interval list).  Pool fragment entries are immutable after
+        # admission and every admit/evict/restore bumps the view's cover
+        # version, so a matching version guarantees the snapshot is current.
+        self._resident_lists: dict[tuple[str, str], tuple] = {}
         self._creation_cooldown: dict[str, float] = {}
         # Optional repro.bench.profile.WallClockProfiler; when attached,
         # execute() charges real seconds to matching / selection /
@@ -649,6 +689,7 @@ class DeepSea:
     def _plan_refinements(self, matches: list[ViewMatch], t: float) -> list[Refinement]:
         if self.policy.partitioning != "adaptive":
             return []
+        self._prefetch_distributions(matches, t)
         refinements: list[Refinement] = []
         seen: set[tuple[str, str, Interval]] = set()
         for match in matches:
@@ -676,6 +717,46 @@ class DeepSea:
                         refinements.append(refinement)
         return refinements
 
+    def _prefetch_distributions(self, matches: list[ViewMatch], t: float) -> None:
+        """Batch the step's MLE fits into one decay pass (§7.1, vectorized).
+
+        Every resident (view, attr) partition this repartitioning step will
+        consult is known up front from the matches, so their fitted
+        distributions are computed with a single concatenated
+        ``decay.weights`` call via :func:`partition_distributions` and
+        seeded into ``_dist_cache`` — each entry bit-identical to what the
+        on-demand ``_partition_distribution`` call would have produced.
+
+        A step touching a single partition gains nothing from batching and
+        may not even evaluate a candidate, so it is left to the on-demand
+        path (which fits at most once per step anyway); only multi-partition
+        steps prefetch.
+        """
+        if not self.policy.smoothing_enabled:
+            return
+        pairs: list[tuple[str, str, Interval]] = []
+        queued: set[tuple[str, str]] = set()
+        for match in matches:
+            if not self.pool.is_resident(match.view_id):
+                continue
+            for attr in self.pool.partition_attrs(match.view_id):
+                domain = self.domains(attr)
+                if match.attr_ranges.get(attr) is None or domain is None:
+                    continue
+                if (match.view_id, attr) in queued:
+                    continue
+                if (self.clock, match.view_id, attr) in self._dist_cache:
+                    continue
+                queued.add((match.view_id, attr))
+                pairs.append((match.view_id, attr, domain))
+        if len(pairs) < 2:
+            return
+        fits = partition_distributions(
+            self.stats, pairs, t, self.policy.effective_decay, self.policy.mle_parts
+        )
+        for view_id, attr, _domain in pairs:
+            self._dist_cache[(self.clock, view_id, attr)] = fits[(view_id, attr)]
+
     def _evaluate_refinement(
         self,
         view_id: str,
@@ -688,7 +769,7 @@ class DeepSea:
         vstats = self.stats.view(view_id)
         if vstats is None:
             return None
-        resident = [(e.key.interval, e.size_bytes) for e in self.pool.fragments_of(view_id, attr)]
+        resident, _, _ = self._resident_snapshot(view_id, attr)
         hot = [p for p in candidate.pieces if theta.contains(p)]
         if not hot:
             return None
@@ -732,15 +813,26 @@ class DeepSea:
         parent_stats = self.stats.fragment(view_id, attr, parent)
         if parent_stats is None:
             return 0.0
-        mids = [
-            rng.midpoint
-            for rng in parent_stats.hit_ranges[-30:]
-            if rng is not None
-            and rng.is_bounded()
-            and rng.overlaps(theta)
+        # Inlined bounded/overlaps/width tests over the precomputed bound
+        # keys — identical predicates to the Interval methods, without the
+        # per-range attribute and property calls (this loop runs for every
+        # candidate of every query).
+        theta_width = theta.width
+        half_width = 0.5 * theta_width
+        tl, tu = theta._lkey, theta._ukey
+        mids = []
+        for rng in parent_stats.hit_ranges[-30:]:
+            if rng is None:
+                continue
+            lk, uk = rng._lkey, rng._ukey
+            lo, hi = lk[0], uk[0]
+            if math.isinf(lo) or math.isinf(hi):
+                continue
+            if not (lk <= tu and tl <= uk):
+                continue
             # same template family: comparable selection widths only
-            and abs(rng.width - theta.width) <= 0.5 * theta.width
-        ]
+            if abs((hi - lo) - theta_width) <= half_width:
+                mids.append((lo + hi) / 2.0)
         if len(mids) < 2:
             return 0.0
         mean = sum(mids) / len(mids)
@@ -768,6 +860,50 @@ class DeepSea:
         widened = widened.intersect(domain) if widened is not None else None
         return widened if widened is not None else piece
 
+    def _resident_snapshot(
+        self, view_id: str, attr: str
+    ) -> "tuple[list[tuple[Interval, float]], dict[Interval, float], list[Interval]]":
+        """Cached ``(resident list, sizes dict, interval list)`` for a partition.
+
+        The three views of the resident set are rebuilt together whenever
+        the view's cover version moves; between moves every refinement
+        evaluation shares the same objects.
+        """
+        key = (view_id, attr)
+        version = self.pool.cover_version(view_id)
+        cached = self._resident_lists.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2], cached[3]
+        resident = [(e.key.interval, e.size_bytes) for e in self.pool.fragments_of(view_id, attr)]
+        sizes = {iv: s for iv, s in resident}
+        entry = (version, resident, sizes, list(sizes))
+        self._resident_lists[key] = entry
+        return entry[1], entry[2], entry[3]
+
+    def _resident_profile(
+        self,
+        view_id: str,
+        attr: str,
+        resident: list[tuple[Interval, float]],
+        domain: Interval,
+    ) -> ResidentProfile:
+        """Cached :class:`ResidentProfile` for one partition's resident set.
+
+        Candidate evaluations within a step (and across steps while the
+        pool is stable) see the same resident fragments, so the estimator's
+        precomputed bound/size/read-cost arrays are reused until the view's
+        cover version moves or the resident list itself (intervals *or*
+        sizes) differs from the cached snapshot.
+        """
+        key = (view_id, attr)
+        version = self.pool.cover_version(view_id)
+        cached = self._resident_profiles.get(key)
+        if cached is not None and cached[0] == version and cached[1] == resident:
+            return cached[2]
+        profile = ResidentProfile(resident, domain, self.cluster)
+        self._resident_profiles[key] = (version, resident, profile)
+        return profile
+
     def _refinement_passes(
         self,
         view_id: str,
@@ -788,24 +924,37 @@ class DeepSea:
         the system from re-carving the same hot spot query after query.
         """
         decay = self.policy.effective_decay
-        dist = None
+        batched = self.parallel_workers >= 2 and len(hot) >= _PARALLEL_PIECE_THRESHOLD
+        dist_fn = None
         if self.policy.smoothing_enabled:
-            dist = self._partition_distribution(view_id, attr, domain, t)
-        resident_sizes = {iv: s for iv, s in resident}
+            if batched:
+                # Workers need a picklable value, so the batch path fits
+                # eagerly; the fit itself is (clock, view, attr)-cached
+                # either way, so both paths see identical distributions.
+                dist_fn = _ConstDist(self._partition_distribution(view_id, attr, domain, t))
+            else:
+                # Most candidate pieces fail the size/cover prefix before
+                # the hit counting ever consults the MLE fit — defer the
+                # fit until a piece actually reaches it with hits.
+                dist_fn = lambda: self._partition_distribution(view_id, attr, domain, t)  # noqa: E731
+        _, resident_sizes, resident_intervals = self._resident_snapshot(view_id, attr)
+        parent_stats = self.stats.fragment(view_id, attr, parent)
         check = partial(
             _piece_refinement_passes,
-            resident=resident,
+            estimator=self._resident_profile(view_id, attr, resident, domain),
             resident_sizes=resident_sizes,
+            resident_intervals=resident_intervals,
             domain=domain,
             cluster=self.cluster,
-            parent=parent,
-            parent_stats=self.stats.fragment(view_id, attr, parent),
-            dist=dist,
-            t=t,
-            decay=decay,
+            realizing=(
+                RealizingHitsIndex(parent_stats, parent, t, decay)
+                if parent_stats is not None
+                else None
+            ),
+            dist_fn=dist_fn,
             safety=self.policy.refinement_safety,
         )
-        if self.parallel_workers >= 2 and len(hot) >= _PARALLEL_PIECE_THRESHOLD:
+        if batched:
             from repro.parallel.pool import batch_map
 
             return any(

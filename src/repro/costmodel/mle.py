@@ -23,7 +23,6 @@ refines, and exact whenever fragment boundaries lie on the grid.
 from __future__ import annotations
 
 import math
-from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,11 +53,50 @@ class FittedNormal:
         """P(x ∈ interval) — endpoint openness is measure-zero, ignored."""
         return max(0.0, self.cdf(interval.hi) - self.cdf(interval.lo))
 
+    def mass_many(self, intervals: list[Interval]) -> list[float]:
+        """``[mass(iv) for iv in intervals]`` with the CDF shared per endpoint.
+
+        Adjacent fragments tile the domain, so one fragment's upper bound
+        is usually the next one's lower bound; memoizing the CDF per unique
+        endpoint roughly halves the ``erf`` calls.  The per-interval
+        subtraction uses the exact CDF values :meth:`mass` would compute,
+        so every returned float is bit-identical to the scalar loop.
+        """
+        memo: dict[float, float] = {}
+        out = []
+        for interval in intervals:
+            lo, hi = interval.lo, interval.hi
+            c_hi = memo.get(hi)
+            if c_hi is None:
+                c_hi = memo[hi] = self.cdf(hi)
+            c_lo = memo.get(lo)
+            if c_lo is None:
+                c_lo = memo[lo] = self.cdf(lo)
+            out.append(max(0.0, c_hi - c_lo))
+        return out
+
+
+# Midpoint grids keyed by (domain.lo, domain.hi, n_parts): the MLE pass
+# re-derives the same few grids thousands of times per workload, and the
+# grid depends only on the domain bounds.  Entries are tiny (n_parts
+# floats) and the number of distinct domains is the number of partition
+# attributes, so the cache never needs eviction.
+_MIDS_CACHE: dict[tuple[float, float, int], tuple[list[float], np.ndarray]] = {}
+
+
+def _mids_for(domain: Interval, n_parts: int) -> tuple[list[float], np.ndarray]:
+    key = (domain.lo, domain.hi, n_parts)
+    cached = _MIDS_CACHE.get(key)
+    if cached is None:
+        width = domain.width / n_parts
+        mids = [domain.lo + (i + 0.5) * width for i in range(n_parts)]
+        cached = _MIDS_CACHE[key] = (mids, np.asarray(mids, dtype=np.float64))
+    return cached
+
 
 def part_midpoints(domain: Interval, n_parts: int) -> list[float]:
     """Midpoints of ``n_parts`` equal-size parts of the domain."""
-    width = domain.width / n_parts
-    return [domain.lo + (i + 0.5) * width for i in range(n_parts)]
+    return list(_mids_for(domain, n_parts)[0])
 
 
 def spread_hits(
@@ -73,38 +111,85 @@ def spread_hits(
     contains: ``H(p_i) = Σ_{I ∋ p_i} H(I) / #I`` (Definition of H(p) in
     §7.1).  Returns (part midpoints, per-part hit weights).
     """
-    mids = part_midpoints(domain, n_parts)
-    # The midpoints are sorted, so the parts a fragment contains form a
-    # contiguous run: two binary searches replace the per-part membership
-    # test (the bisect sides reproduce the open/closed endpoint logic of
-    # contains_point exactly).  Weights accumulate per part in the same
-    # fragment order with the same IEEE additions as the naive loop, so
-    # results are bit-identical.
-    mids_arr = np.asarray(mids, dtype=np.float64)
-    weights = np.zeros(n_parts, dtype=np.float64)
-    for interval, hits in fragments:
-        if hits <= 0:
-            continue
-        low, high = interval.low, interval.high
-        start = (
-            0
-            if low is None
-            else bisect_right(mids, low) if interval.low_open else bisect_left(mids, low)
-        )
-        end = (
-            n_parts
-            if high is None
-            else bisect_left(mids, high) if interval.high_open else bisect_right(mids, high)
-        )
-        if end <= start:
-            # Degenerate fragment narrower than a part: charge the nearest part.
-            anchor = min(max(interval.lo, domain.lo), domain.hi)
-            # argmin matches min()'s first-of-ties choice.
-            idx = int(np.argmin(np.abs(mids_arr - anchor)))
-            start, end = idx, idx + 1
-        share = hits / (end - start)
-        weights[start:end] += share
+    mids, mids_arr = _mids_for(domain, n_parts)
+    if not fragments:
+        return mids, [0.0] * n_parts
+    keys = np.array([iv._lkey + iv._ukey for iv, _ in fragments], dtype=np.float64)
+    hits_arr = np.fromiter((h for _, h in fragments), dtype=np.float64, count=len(fragments))
+    weights = _spread_hits_arrays(
+        domain,
+        mids_arr,
+        keys[:, 0],
+        keys[:, 2],
+        keys[:, 1] == 1.0,
+        keys[:, 3] == -1.0,
+        hits_arr,
+    )
     return mids, weights.tolist()
+
+
+def _spread_hits_arrays(
+    domain: Interval,
+    mids_arr: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    lo_open: np.ndarray,
+    hi_open: np.ndarray,
+    hits_arr: np.ndarray,
+) -> np.ndarray:
+    """:func:`spread_hits` over prebuilt per-fragment bound arrays.
+
+    ``lows``/``highs`` carry ±inf for unbounded ends (the interval bound
+    keys), so the searchsorted runs need no None special case.  Callers
+    holding cached bound arrays (``StatisticsStore.partition_bounds``)
+    skip the per-call Python attribute walk entirely.
+    """
+    weights = np.zeros(mids_arr.size, dtype=np.float64)
+    keep = np.flatnonzero(hits_arr > 0)
+    if keep.size == 0:
+        return weights
+    if keep.size != hits_arr.size:
+        hits_arr = hits_arr[keep]
+        lows, highs = lows[keep], highs[keep]
+        lo_open, hi_open = lo_open[keep], hi_open[keep]
+    # The midpoints are sorted, so the parts a fragment contains form a
+    # contiguous run mapped by binary search: searchsorted side "left" is
+    # bisect_left and "right" is bisect_right, reproducing the open/closed
+    # endpoint logic of contains_point exactly.  Unbounded ends need no
+    # special case — ±inf searches to 0 / n_parts on either side.
+    start = np.where(
+        lo_open,
+        np.searchsorted(mids_arr, lows, side="right"),
+        np.searchsorted(mids_arr, lows, side="left"),
+    )
+    end = np.where(
+        hi_open,
+        np.searchsorted(mids_arr, highs, side="left"),
+        np.searchsorted(mids_arr, highs, side="right"),
+    )
+    # Degenerate fragments narrower than a part charge the nearest part;
+    # argmin matches min()'s first-of-ties choice.  Rare, so the handful
+    # of them keep the original scalar computation verbatim.
+    for i in np.flatnonzero(end <= start):
+        anchor = min(max(lows[i], domain.lo), domain.hi)
+        idx = int(np.argmin(np.abs(mids_arr - anchor)))
+        start[i], end[i] = idx, idx + 1
+    # Scatter each fragment's equal share over its part run.  np.add.at is
+    # unbuffered and applies the additions in index order, so every part
+    # accumulates its shares in the same fragment order with the same IEEE
+    # additions as the naive `weights[start:end] += share` loop — results
+    # are bit-identical (tests/test_mle.py proves this against the scalar
+    # oracle).
+    lengths = end - start
+    shares = hits_arr / lengths
+    total = int(lengths.sum())
+    flat_idx = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(np.cumsum(lengths) - lengths, lengths)
+        + np.repeat(start, lengths)
+    )
+    np.add.at(weights, flat_idx, np.repeat(shares, lengths))
+    return weights
 
 
 def fit_normal(midpoints: list[float], weights: list[float]) -> FittedNormal | None:
@@ -115,11 +200,26 @@ def fit_normal(midpoints: list[float], weights: list[float]) -> FittedNormal | N
     number of observed fragments is small).  Returns ``None`` when there
     is no hit mass to fit.
     """
-    total = sum(weights)
+    return _fit_normal_arrays(
+        np.asarray(midpoints, dtype=np.float64),
+        np.asarray(weights, dtype=np.float64),
+        midpoints,
+    )
+
+
+def _fit_normal_arrays(
+    x: np.ndarray, w: np.ndarray, midpoints: "list[float]"
+) -> FittedNormal | None:
+    total = sum(w.tolist())
     if total <= 0:
         return None
-    mu = sum(w * x for x, w in zip(midpoints, weights)) / total
-    ss = sum(w * (x - mu) ** 2 for x, w in zip(midpoints, weights))
+    # The products are computed elementwise (identical IEEE multiplies)
+    # and summed left-to-right over Python floats — the exact additions of
+    # the scalar generator expressions.  np.float_power routes through the
+    # same libm pow as the scalar `** 2` (np.power's integer fast path
+    # multiplies instead, which differs in the last ulp on this libm).
+    mu = sum((w * x).tolist()) / total
+    ss = sum((w * np.float_power(x - mu, 2.0)).tolist())
     denom = total - 1.0
     if denom <= 0:
         # A single observation: fall back to the biased estimator, and give
@@ -142,6 +242,35 @@ def fit_partition_distribution(
     return fit_normal(mids, weights)
 
 
+def fit_partition_bounds(
+    domain: Interval,
+    lower_keys: np.ndarray,
+    upper_keys: np.ndarray,
+    hits_arr: np.ndarray,
+    n_parts: int = 256,
+) -> FittedNormal | None:
+    """:func:`fit_partition_distribution` over cached ``(value, flag)`` bound keys.
+
+    ``lower_keys``/``upper_keys`` are the ``[n, 2]`` per-fragment bound-key
+    arrays maintained by ``StatisticsStore.partition_bounds`` (column 0 the
+    bound value with ±inf for unbounded ends, column 1 the openness flag),
+    ``hits_arr`` the per-fragment decayed hit counts in the same order.
+    Same floats, same order, no per-call interval-object walk — results
+    are bit-identical to the fragment-list path (tests/test_mle.py).
+    """
+    mids, mids_arr = _mids_for(domain, n_parts)
+    weights = _spread_hits_arrays(
+        domain,
+        mids_arr,
+        lower_keys[:, 0],
+        upper_keys[:, 0],
+        lower_keys[:, 1] == 1.0,
+        upper_keys[:, 1] == -1.0,
+        hits_arr,
+    )
+    return _fit_normal_arrays(mids_arr, weights, mids)
+
+
 def adjusted_hits(
     interval: Interval, fitted: FittedNormal, total_hits: float, domain: Interval
 ) -> float:
@@ -154,6 +283,27 @@ def adjusted_hits(
     if clamped is None:
         return 0.0
     return total_hits * fitted.mass(clamped)
+
+
+def adjusted_hits_many(
+    intervals: list[Interval],
+    fitted: FittedNormal,
+    total_hits: float,
+    domain: Interval,
+) -> list[float]:
+    """``[adjusted_hits(iv, ...) for iv in intervals]`` with a shared CDF memo.
+
+    Clamping and the final products match :func:`adjusted_hits` operation
+    for operation; only the per-endpoint ``erf`` evaluations are shared
+    (see :meth:`FittedNormal.mass_many`), so results are bit-identical.
+    """
+    clamped = [iv.intersect(domain) for iv in intervals]
+    masses = fitted.mass_many([c for c in clamped if c is not None])
+    out = []
+    it = iter(masses)
+    for c in clamped:
+        out.append(0.0 if c is None else total_hits * next(it))
+    return out
 
 
 def adjusted_hits_density(

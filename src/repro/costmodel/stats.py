@@ -18,7 +18,9 @@ derive from the owning view (§7.1).
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
+from itertools import chain
 
 import numpy as np
 
@@ -97,6 +99,11 @@ class FragmentStats:
     _times_arr: "np.ndarray | None" = field(default=None, init=False, repr=False, compare=False)
     # (decay, t_now, value) memo for fragment_hits — see repro.costmodel.value
     _hits_memo: "tuple | None" = field(default=None, init=False, repr=False, compare=False)
+    # Shared per-partition revision cell (a one-element list owned by the
+    # StatisticsStore), bumped on every recorded hit; lets
+    # StatisticsStore.partition_times validate its per-partition cache
+    # with one integer compare instead of walking the fragment list.
+    _hit_cell: "list[int] | None" = field(default=None, init=False, repr=False, compare=False)
 
     def record_hit(self, t: float, theta: "Interval | None" = None) -> None:
         self.hit_times.append(t)
@@ -104,6 +111,8 @@ class FragmentStats:
         self.last_access_t = max(self.last_access_t, t)
         self._times_arr = None
         self._hits_memo = None
+        if self._hit_cell is not None:
+            self._hit_cell[0] += 1
 
     def times_array(self) -> np.ndarray:
         """``hit_times`` as a float array, cached until the next hit."""
@@ -131,6 +140,18 @@ class StatisticsStore:
         # keys [n,2]) for the vectorized overlap scan; rebuilt lazily after
         # any partition-list mutation.
         self._bounds_cache: dict[tuple[str, str], tuple] = {}
+        # (view_id, attr) -> (hit revision, fragment snapshot, per-fragment
+        # hit-time arrays, their concatenation, distinct hit times) for the
+        # batched decay pass in costmodel.value; validated against the
+        # partition's shared hit-revision cell, and popped whenever the
+        # fragment list itself changes.
+        self._times_cache: dict[tuple[str, str], tuple] = {}
+        # (view_id, attr) -> [hit revision]; shared with every FragmentStats
+        # of the partition so record_hit can bump it without knowing the store.
+        self._hit_cells: dict[tuple[str, str], list[int]] = {}
+        # (view_id, attr) -> fragment-stats list in partition order; popped
+        # alongside the bounds cache on any fragment-list mutation.
+        self._frags_cache: dict[tuple[str, str], list[FragmentStats]] = {}
 
     # ------------------------------------------------------------------
     # Views
@@ -159,11 +180,16 @@ class StatisticsStore:
         stats = self._fragments.get(key)
         if stats is None:
             stats = FragmentStats(view_id, attr, interval)
+            stats._hit_cell = self._hit_cells.setdefault((view_id, attr), [0])
             self._fragments[key] = stats
             ivs = self._partitions.setdefault((view_id, attr), [])
-            ivs.append(interval)
-            ivs.sort(key=sort_key)
+            # sort_key is injective over the distinct intervals of a
+            # partition, so a bisected insert lands exactly where a full
+            # re-sort would place it — at O(n) instead of O(n log n).
+            insort(ivs, interval, key=sort_key)
             self._bounds_cache.pop((view_id, attr), None)
+            self._times_cache.pop((view_id, attr), None)
+            self._frags_cache.pop((view_id, attr), None)
         return stats
 
     def drop_fragment(self, view_id: str, attr: str, interval: Interval) -> None:
@@ -173,10 +199,32 @@ class StatisticsStore:
             del self._fragments[key]
             self._partitions[(view_id, attr)].remove(interval)
             self._bounds_cache.pop((view_id, attr), None)
+            self._times_cache.pop((view_id, attr), None)
+            self._frags_cache.pop((view_id, attr), None)
 
     def intervals_for(self, view_id: str, attr: str) -> list[Interval]:
         """PSTAT(V, A): all fragment intervals tracked for this partition."""
         return list(self._partitions.get((view_id, attr), []))
+
+    def partition_bounds(
+        self, view_id: str, attr: str
+    ) -> "tuple[list[Interval], np.ndarray, np.ndarray]":
+        """PSTAT(V, A) with its ``[n, 2]`` lower/upper bound-key arrays.
+
+        The arrays parallel :meth:`intervals_for` (and therefore
+        :meth:`fragments_for`) element for element; they change only when
+        the fragment list itself does, so the cache entry survives hit
+        recording and is popped by ``ensure_fragment``/``drop_fragment``.
+        """
+        key = (view_id, attr)
+        cached = self._bounds_cache.get(key)
+        if cached is None:
+            ivs = list(self._partitions.get(key, []))
+            lk = np.array([iv._lower_key() for iv in ivs], dtype=np.float64)
+            uk = np.array([iv._upper_key() for iv in ivs], dtype=np.float64)
+            cached = (ivs, lk.reshape(len(ivs), 2), uk.reshape(len(ivs), 2))
+            self._bounds_cache[key] = cached
+        return cached
 
     def overlapping_intervals(self, view_id: str, attr: str, theta: Interval) -> list[Interval]:
         """The tracked intervals of PSTAT(V, A) that overlap ``theta``.
@@ -190,15 +238,7 @@ class StatisticsStore:
         comparisons match Python tuple comparison bit for bit, and
         ``flatnonzero`` walks the same sorted order as the scalar loop.
         """
-        key = (view_id, attr)
-        cached = self._bounds_cache.get(key)
-        if cached is None:
-            ivs = list(self._partitions.get(key, []))
-            lk = np.array([iv._lower_key() for iv in ivs], dtype=np.float64)
-            uk = np.array([iv._upper_key() for iv in ivs], dtype=np.float64)
-            cached = (ivs, lk.reshape(len(ivs), 2), uk.reshape(len(ivs), 2))
-            self._bounds_cache[key] = cached
-        ivs, lk, uk = cached
+        ivs, lk, uk = self.partition_bounds(view_id, attr)
         if not ivs:
             return []
         tl, tu = theta._lower_key(), theta._upper_key()
@@ -207,7 +247,57 @@ class StatisticsStore:
         return [ivs[i] for i in np.flatnonzero(lo_ok & hi_ok)]
 
     def fragments_for(self, view_id: str, attr: str) -> list[FragmentStats]:
-        return [self._fragments[(view_id, attr, iv)] for iv in self.intervals_for(view_id, attr)]
+        """Fragment stats in :meth:`intervals_for` order (shared list — don't mutate).
+
+        Cached with the same lifetime as the bound arrays: the list changes
+        only when a fragment is added or dropped, never on recorded hits.
+        """
+        key = (view_id, attr)
+        frags = self._frags_cache.get(key)
+        if frags is None:
+            frags = [
+                self._fragments[(view_id, attr, iv)] for iv in self._partitions.get(key, ())
+            ]
+            self._frags_cache[key] = frags
+        return frags
+
+    def partition_times(
+        self, view_id: str, attr: str
+    ) -> "tuple[list[FragmentStats], list[int], np.ndarray, np.ndarray]":
+        """Hit-time arrays of one partition, cached across selection steps.
+
+        Returns ``(fragments, per-fragment hit counts, concatenated hit
+        times, distinct times)``.  The MLE pass re-reads these arrays on
+        every query while the underlying hit lists change only when a hit
+        is recorded, so the concatenation and the distinct-time set are
+        rebuilt only when the partition's shared hit-revision cell has
+        moved (fragment-list changes pop the entry outright).  The
+        distinct-time array is materialized from a freshly built set
+        exactly as the uncached path did: ``set.update`` feeds the same
+        insertion sequence as the element-at-a-time comprehension, and a
+        set fed the same insertion sequence iterates in the same order,
+        so the cached array is element-for-element the one a rebuild
+        would give.
+        """
+        key = (view_id, attr)
+        cell = self._hit_cells.get(key)
+        rev = cell[0] if cell is not None else 0
+        cached = self._times_cache.get(key)
+        if cached is not None and cached[0] == rev:
+            return cached[1], cached[2], cached[3], cached[4]
+        frags = self.fragments_for(view_id, attr)
+        lens = [len(f.hit_times) for f in frags]
+        # One C loop builds the concatenation — the same floats in the same
+        # fragment order as concatenating per-fragment arrays.
+        concat = np.fromiter(
+            chain.from_iterable(f.hit_times for f in frags), dtype=np.float64, count=sum(lens)
+        )
+        distinct_set: set[float] = set()
+        for f in frags:
+            distinct_set.update(f.hit_times)
+        distinct = np.fromiter(distinct_set, dtype=np.float64, count=len(distinct_set))
+        self._times_cache[key] = (rev, frags, lens, concat, distinct)
+        return frags, lens, concat, distinct
 
     def partition_attrs(self, view_id: str) -> list[str]:
         return sorted(a for (v, a) in self._partitions if v == view_id)

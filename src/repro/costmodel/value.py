@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.costmodel.decay import Decay
-from repro.costmodel.mle import FittedNormal, adjusted_hits, fit_partition_distribution
+from repro.costmodel.mle import FittedNormal, adjusted_hits_many, fit_partition_bounds
 from repro.costmodel.stats import FragmentStats, StatisticsStore, ViewStats
 from repro.partitioning.intervals import Interval
 
@@ -123,6 +123,79 @@ def realizing_hits(
     return total
 
 
+class RealizingHitsIndex:
+    """Precomputed :func:`realizing_hits` over many pieces of one parent.
+
+    One refinement evaluation asks for the realizing hits of every hot
+    piece of a split candidate against the same parent fragment.  The
+    per-hit work that does not depend on the piece — intersecting each
+    recorded query range with the parent interval and decaying the hit
+    timestamps — happens once here; :meth:`hits_for` is then a vectorized
+    containment test plus a left-to-right sum of exactly the decayed
+    weights the scalar loop would have added, in the same order.
+
+    Most candidates have exactly one hot piece, so the index builds its
+    arrays *lazily*: the first :meth:`hits_for` call runs the scalar loop
+    (nothing to amortize), and only a second call — same parent, more
+    pieces — pays the one-time array construction that makes every later
+    piece a few vectorized compares.  Both paths produce bit-identical
+    sums (tests/test_value_functions.py).
+    """
+
+    __slots__ = ("_parent", "_interval", "_t_now", "_decay", "_calls", "_weights", "_lk", "_uk")
+
+    def __init__(
+        self,
+        parent: FragmentStats,
+        parent_interval: Interval,
+        t_now: float,
+        decay: Decay,
+    ) -> None:
+        self._parent = parent
+        self._interval = parent_interval
+        self._t_now = t_now
+        self._decay = decay
+        self._calls = 0
+        self._weights = None
+
+    def _build(self) -> None:
+        lower_keys: list[tuple] = []
+        upper_keys: list[tuple] = []
+        times: list[float] = []
+        for t, theta in zip(self._parent.hit_times, self._parent.hit_ranges):
+            if theta is None:
+                continue
+            needed = theta.intersect(self._interval)
+            if needed is None:
+                continue
+            lower_keys.append(needed._lkey)
+            upper_keys.append(needed._ukey)
+            times.append(t)
+        if times:
+            self._weights = self._decay.weights(self._t_now, np.array(times, dtype=np.float64))
+            self._lk = np.array(lower_keys, dtype=np.float64)
+            self._uk = np.array(upper_keys, dtype=np.float64)
+        else:
+            self._weights = np.empty(0, dtype=np.float64)
+
+    def hits_for(self, piece: Interval) -> float:
+        """Bit-identical to ``realizing_hits(parent, parent_interval, piece, …)``."""
+        self._calls += 1
+        if self._calls == 1:
+            return realizing_hits(self._parent, self._interval, piece, self._t_now, self._decay)
+        if self._weights is None:
+            self._build()
+        if not self._weights.size:
+            return 0.0
+        pl, pu = piece._lkey, piece._ukey
+        lk, uk = self._lk, self._uk
+        # piece.contains(needed) as two lexicographic key comparisons:
+        # piece._lkey <= needed._lkey and needed._ukey <= piece._ukey.
+        lo_ok = (pl[0] < lk[:, 0]) | ((pl[0] == lk[:, 0]) & (pl[1] <= lk[:, 1]))
+        hi_ok = (uk[:, 0] < pu[0]) | ((uk[:, 0] == pu[0]) & (uk[:, 1] <= pu[1]))
+        return sum(self._weights[lo_ok & hi_ok].tolist())
+
+
 def fragment_benefit(
     fragment: FragmentStats,
     view: ViewStats,
@@ -149,6 +222,76 @@ def fragment_value(
     return view.creation_cost_s * benefit / size
 
 
+def partition_distributions(
+    stats: StatisticsStore,
+    partitions: "list[tuple[str, str, Interval]]",
+    t_now: float,
+    decay: Decay,
+    n_parts: int = 256,
+) -> "dict[tuple[str, str], tuple[FittedNormal, float] | None]":
+    """Batched MLE fits for several ``(view_id, attr, domain)`` partitions.
+
+    One ``decay.weights`` call covers every partition's concatenated
+    fragment hit times *and* distinct hit times, instead of two calls per
+    partition: the weight ops are elementwise, so each partition's slices
+    are bitwise the arrays the one-at-a-time path would compute, and the
+    per-fragment / per-partition scalar sums accumulate the identical
+    floats in the identical order.  A partition with no hit mass maps to
+    ``None`` (nothing to fit; callers fall back to raw hits).
+    """
+    prepared = []
+    segments = []
+    for view_id, attr, domain in partitions:
+        frags, lens, concat, distinct = stats.partition_times(view_id, attr)
+        _, lk, uk = stats.partition_bounds(view_id, attr)
+        prepared.append((view_id, attr, domain, frags, lens, concat, distinct, lk, uk))
+        if concat.size:
+            segments.append(concat)
+        if distinct.size:
+            segments.append(distinct)
+    if segments:
+        w_all = decay.weights(
+            t_now, np.concatenate(segments) if len(segments) > 1 else segments[0]
+        )
+    results: "dict[tuple[str, str], tuple[FittedNormal, float] | None]" = {}
+    off = 0
+    for view_id, attr, domain, frags, lens, concat, distinct, lk, uk in prepared:
+        if not frags:
+            results[(view_id, attr)] = None
+            continue
+        w_list = w_all[off : off + concat.size].tolist() if concat.size else []
+        off += concat.size
+        values = []
+        frag_off = 0
+        for f, n in zip(frags, lens):
+            if n == 0:
+                value = 0.0
+            else:
+                value = sum(w_list[frag_off : frag_off + n])
+                frag_off += n
+            f._hits_memo = (decay, t_now, value)
+            values.append(value)
+        # H_total is "the total number of queries that used at least one
+        # fragment" (§7.1): count each hit timestamp once even when it
+        # touched several (possibly overlapping) fragments.
+        if distinct.size:
+            total = sum(w_all[off : off + distinct.size].tolist())
+            off += distinct.size
+        else:
+            total = 0.0
+        if total <= 0:
+            results[(view_id, attr)] = None
+            continue
+        # The cached bound-key arrays parallel ``frags`` element for
+        # element, so this is fit_partition_distribution(domain,
+        # [(f.interval, v) ...], n_parts) without re-walking the intervals.
+        fitted: FittedNormal | None = fit_partition_bounds(
+            domain, lk, uk, np.asarray(values, dtype=np.float64), n_parts
+        )
+        results[(view_id, attr)] = None if fitted is None else (fitted, total)
+    return results
+
+
 def partition_distribution(
     stats: StatisticsStore,
     view_id: str,
@@ -163,41 +306,8 @@ def partition_distribution(
     Returns ``None`` when the partition has no hit mass yet (nothing to
     fit), in which case callers fall back to raw hits.
     """
-    fragments = stats.fragments_for(view_id, attr)
-    if not fragments:
-        return None
-    # One decay.weights call over all fragments' concatenated hit times
-    # instead of one per fragment: the weight ops are elementwise, so each
-    # fragment's slice is bitwise the array fragment_hits would compute,
-    # and the per-fragment scalar sums are unchanged.
-    arrs = [f.times_array() for f in fragments]
-    nonempty = [a for a in arrs if a.size]
-    if nonempty:
-        w_all = decay.weights(t_now, np.concatenate(nonempty) if len(nonempty) > 1 else nonempty[0])
-    raw = []
-    off = 0
-    for f, a in zip(fragments, arrs):
-        if a.size == 0:
-            value = 0.0
-        else:
-            value = sum(w_all[off : off + a.size].tolist())
-            off += a.size
-        f._hits_memo = (decay, t_now, value)
-        raw.append((f.interval, value))
-    # H_total is "the total number of queries that used at least one
-    # fragment" (§7.1): count each hit timestamp once even when it touched
-    # several (possibly overlapping) fragments.
-    distinct_times = {t for f in fragments for t in f.hit_times}
-    # np.fromiter walks the set in the same order the scalar sum did, so
-    # the vectorized weights accumulate in the identical sequence.
-    times = np.fromiter(distinct_times, dtype=np.float64, count=len(distinct_times))
-    total = sum(decay.weights(t_now, times).tolist())
-    if total <= 0:
-        return None
-    fitted: FittedNormal | None = fit_partition_distribution(domain, raw, n_parts)
-    if fitted is None:
-        return None
-    return fitted, total
+    fits = partition_distributions(stats, [(view_id, attr, domain)], t_now, decay, n_parts)
+    return fits[(view_id, attr)]
 
 
 def partition_adjusted_hits(
@@ -214,7 +324,5 @@ def partition_adjusted_hits(
     if fit is None:
         return None
     fitted, total = fit
-    return {
-        interval: adjusted_hits(interval, fitted, total, domain)
-        for interval in stats.intervals_for(view_id, attr)
-    }
+    intervals = stats.intervals_for(view_id, attr)
+    return dict(zip(intervals, adjusted_hits_many(intervals, fitted, total, domain)))

@@ -295,23 +295,58 @@ def _agg_output_column(table: Table, spec: AggSpec) -> Column:
     return Column(spec.alias, table.schema.column(spec.attr).kind)
 
 
+def _pack_group_codes(
+    keys: "list[np.ndarray]",
+) -> "tuple[np.ndarray, list[int], list[int]] | None":
+    """Mixed-radix pack of compact integer keys into one int64 code.
+
+    The *last* key varies fastest (stride 1), so ascending packed codes
+    enumerate key tuples in exactly the lexicographic order that
+    ``np.lexsort(keys[::-1])`` sorts rows into — the group order the
+    general aggregation path produces.  Returns ``(codes, los, radices)``
+    for unpacking, or ``None`` when the combined key space is too large
+    for an O(rows)-ish bucket array (the accumulating guard runs in
+    arbitrary-precision Python ints, so a huge first key bails out before
+    any packing arithmetic could overflow).
+    """
+    n = len(keys[0])
+    los: list[int] = []
+    radices: list[int] = []
+    span_product = 1
+    for key in keys:
+        lo = int(key.min())
+        radix = int(key.max()) - lo + 1
+        los.append(lo)
+        radices.append(radix)
+        span_product *= radix
+        if span_product > 8 * n + 1024:
+            return None
+    codes = np.zeros(n, dtype=np.int64)
+    for key, lo, radix in zip(keys, los, radices):
+        codes *= radix
+        codes += key.astype(np.int64) - lo
+    return codes, los, radices
+
+
 def _aggregate_bincount(
     table: Table,
     out_schema: Schema,
-    group_name: str,
-    raw_key: np.ndarray,
-    key: np.ndarray,
+    group_by: tuple[str, ...],
+    raw_keys: "list[np.ndarray]",
+    keys: "list[np.ndarray]",
     aggregates: tuple[AggSpec, ...],
 ) -> "Table | None":
-    """Sort-free grouping for a single compact integer key, or ``None``.
+    """Sort-free grouping for compact integer keys, or ``None``.
 
-    ``np.bincount`` buckets rows directly, so the stable argsort the
-    general path pays per call disappears.  The result is **bit-identical**
-    to sort+``reduceat``, which constrains when this path may run:
+    Multiple keys mixed-radix-pack into one int64 code
+    (:func:`_pack_group_codes`); ``np.bincount`` then buckets rows
+    directly, so the stable argsort/lexsort the general path pays per
+    call disappears.  The result is **bit-identical** to
+    sort+``reduceat``, which constrains when this path may run:
 
-    * Bins come out in ascending key order — exactly the group order the
-      sorted path produces.  ``count`` (pure integer arithmetic) is
-      always safe.
+    * Bins come out in ascending packed-code order — exactly the
+      lexicographic group order the sorted path produces.  ``count``
+      (pure integer arithmetic) is always safe.
     * ``sum``/``avg`` accumulate through ``bincount``'s float64 weights,
       a *different addition order* than ``reduceat``.  That is only
       bit-safe when every partial sum is exact, i.e. for integer inputs
@@ -320,13 +355,13 @@ def _aggregate_bincount(
       the results are equal bit-for-bit, not just approximately.
       Float inputs, ``min``/``max``, and unbounded magnitudes fall back
       to the sorted path.
-    * The key span must be small (compact dictionary codes or dense
-      dimension keys) so the bucket array stays O(rows).
+    * The combined key span must be small (compact dictionary codes or
+      dense dimension keys) so the bucket array stays O(rows).
     """
-    lo = int(key.min())
-    span = int(key.max()) - lo
-    if span > 8 * len(key) + 1024:
+    packed = _pack_group_codes(keys)
+    if packed is None:
         return None
+    shifted, los, radices = packed
     plans: list[tuple[AggSpec, "np.ndarray | None"]] = []
     for spec in aggregates:
         if spec.func == "count":
@@ -341,17 +376,23 @@ def _aggregate_bincount(
             return None
         plans.append((spec, vals))
 
-    shifted = (key - lo).astype(np.int64, copy=False)
     bucket_counts = np.bincount(shifted)
     present = np.flatnonzero(bucket_counts)
     sizes = bucket_counts[present]
 
     cols: dict[str, np.ndarray] = {}
-    head = (present + lo).astype(key.dtype)
-    if isinstance(raw_key, EncodedColumn):
-        cols[group_name] = EncodedColumn(head, raw_key.values)
-    else:
-        cols[group_name] = head.astype(raw_key.dtype)
+    remainder = present
+    digits: "list[np.ndarray]" = []
+    for radix in reversed(radices):
+        digits.append(remainder % radix)
+        remainder = remainder // radix
+    digits.reverse()
+    for name, raw, key, digit, lo in zip(group_by, raw_keys, keys, digits, los):
+        head = (digit + lo).astype(key.dtype)
+        if isinstance(raw, EncodedColumn):
+            cols[name] = EncodedColumn(head, raw.values)
+        else:
+            cols[name] = head.astype(raw.dtype)
     for spec, vals in plans:
         if vals is None:
             cols[spec.alias] = sizes.astype(np.int64)
@@ -384,9 +425,9 @@ def aggregate(table: Table, group_by: tuple[str, ...], aggregates: tuple[AggSpec
     if group_by:
         raw_keys = [table.column(g) for g in group_by]
         keys = [sort_key(k) for k in raw_keys]
-        if len(keys) == 1 and keys[0].dtype.kind in "iu":
+        if all(k.dtype.kind in "iu" for k in keys):
             fast = _aggregate_bincount(
-                table, out_schema, group_by[0], raw_keys[0], keys[0], aggregates
+                table, out_schema, group_by, raw_keys, keys, aggregates
             )
             if fast is not None:
                 return fast

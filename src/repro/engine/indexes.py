@@ -315,6 +315,28 @@ def join_probe(
     return starts, ends, order
 
 
+def prewarm_join(
+    left_root: Table, left_attr: str, right_root: Table, right_attr: str
+) -> None:
+    """Build the cross-query caches for one base-table equi-join up front.
+
+    Used by the work-stealing scheduler's parent-side prewarm: a join both
+    sides of which are long-lived root tables will be probed by every
+    worker, so the parent pays the sort index and the full-root probe once
+    before forking and the warm-forked workers inherit both.  Bypasses the
+    probe cache's two-strikes admission deliberately — the caller is
+    asserting the pair recurs across the workload.
+    """
+    root_index = sort_index(right_root, right_attr)
+    entry = _PROBE_CACHE.starts_ends(
+        left_root, left_attr, right_root, right_attr, root_index.sorted_keys
+    )
+    if entry is None:  # first strike registered the pair; second fills it
+        _PROBE_CACHE.starts_ends(
+            left_root, left_attr, right_root, right_attr, root_index.sorted_keys
+        )
+
+
 def cache_stats() -> tuple[int, int]:
     """(hits, misses) of the global sort-index cache — for tests and profiling."""
     return _GLOBAL_CACHE.hits, _GLOBAL_CACHE.misses

@@ -204,7 +204,16 @@ class Table:
         return out
 
     def filter(self, mask: np.ndarray) -> "Table":
-        """Rows where ``mask`` is true."""
+        """Rows where ``mask`` is true.
+
+        On the lazy path the view keeps the boolean mask itself and
+        defers ``np.flatnonzero`` until row *indices* are actually needed
+        (index composition, lineage, gather plans).  A filter that is
+        only counted, re-filtered (masks AND together), or gathered once
+        never pays for the index conversion.
+        """
+        if _LAZY_VIEWS:
+            return TableView(self, self.schema, None, True, _mask=np.asarray(mask, dtype=bool))
         return self._select_rows(np.flatnonzero(mask), True)
 
     def take(self, indices: np.ndarray) -> "Table":
@@ -283,33 +292,60 @@ class Table:
 class TableView(Table):
     """A late-materialized row selection over a root :class:`Table`.
 
-    Holds ``(root, rows)`` — a selection vector of row indices into a
-    *plain* (non-view) root table — plus the view's own (possibly
-    narrowed) schema.  Column gathers happen on first access via
-    :meth:`column` and are cached, so chained ``filter``/``take``/
-    ``project`` calls compose index arrays instead of copying payload
-    columns.  Semantically a ``TableView`` is indistinguishable from the
-    eager table it stands for; every operator accepts either.
+    Holds ``(root, rows)`` — a selection vector into a *plain* (non-view)
+    root table — plus the view's own (possibly narrowed) schema.  Column
+    gathers happen on first access via :meth:`column` and are cached, so
+    chained ``filter``/``take``/``project`` calls compose selections
+    instead of copying payload columns.  Semantically a ``TableView`` is
+    indistinguishable from the eager table it stands for; every operator
+    accepts either.
+
+    The selection is held in one of two forms.  A view built by
+    :meth:`Table.filter` starts as a *boolean mask* over the root; the
+    row-index array (``np.flatnonzero``) is derived lazily, only when
+    something genuinely needs indices — index composition under
+    ``take``, lineage for the join-probe caches, a :meth:`gather_plan`.
+    Counting rows (``np.count_nonzero``), refining with another filter
+    (mask write-back, no index math), and single-column gathers all work
+    straight off the mask.  Both forms produce bit-identical gathers.
     """
 
     def __init__(
         self,
         root: Table,
         schema: Schema,
-        rows: np.ndarray,
+        rows: "np.ndarray | None",
         monotonic: bool,
         _cache: "dict[str, np.ndarray] | None" = None,
+        _mask: "np.ndarray | None" = None,
     ):
         # Deliberately does not call the dataclass __init__: a view has
         # no columns dict of its own.
         self.schema = schema
         self.scale = root.scale
         self._root = root
-        self._rows = rows
+        self._rows_arr = rows
+        self._mask = _mask
         self._monotonic = monotonic
-        self._nrows = len(rows)
+        self._nrows = len(rows) if rows is not None else int(np.count_nonzero(_mask))
         self._gathered = {} if _cache is None else _cache
-        self._lineage = root._derived_lineage(rows, monotonic)
+        self._lineage_cache: "tuple[Table, np.ndarray | None, bool] | None" = None
+
+    @property
+    def _rows(self) -> np.ndarray:
+        """The selection as row indices, derived from the mask on demand."""
+        rows = self._rows_arr
+        if rows is None:
+            rows = self._rows_arr = np.flatnonzero(self._mask)
+        return rows
+
+    @property
+    def _lineage(self) -> "tuple[Table, np.ndarray | None, bool]":
+        # Lazy for the same reason as ``_rows``: lineage carries row
+        # indices, so building it eagerly would defeat mask deferral.
+        if self._lineage_cache is None:
+            self._lineage_cache = self._root._derived_lineage(self._rows, self._monotonic)
+        return self._lineage_cache
 
     def __repr__(self) -> str:  # dataclass __repr__ would materialize
         return (
@@ -330,7 +366,10 @@ class TableView(Table):
             raise SchemaError(f"no such column: {name!r}")
         arr = self._gathered.get(name)
         if arr is None:
-            arr = self._root.columns[name][self._rows]
+            # Boolean-mask and row-index gathers are bit-identical; use
+            # whichever form the selection is already in.
+            sel = self._rows_arr if self._rows_arr is not None else self._mask
+            arr = self._root.columns[name][sel]
             self._gathered[name] = arr
         return arr
 
@@ -340,7 +379,7 @@ class TableView(Table):
         return out
 
     def memory_bytes(self) -> int:
-        own = int(self._rows.nbytes)
+        own = int(self._rows_arr.nbytes) if self._rows_arr is not None else int(self._mask.nbytes)
         own += int(sum(col.nbytes for col in self._gathered.values()))
         return own
 
@@ -357,6 +396,17 @@ class TableView(Table):
         return (_unpickle_table, (self.schema, plain, self.scale))
 
     # -- row-level operations -------------------------------------------
+    def filter(self, mask: np.ndarray) -> Table:
+        mask = np.asarray(mask, dtype=bool)
+        if _LAZY_VIEWS and self._rows_arr is None:
+            # Mask refinement: write the narrower selection back into the
+            # root-level mask — no flatnonzero, no index composition.  A
+            # mask-built view is always monotonic, so the result is too.
+            combined = self._mask.copy()
+            combined[self._mask] = mask
+            return TableView(self._root, self.schema, None, True, _mask=combined)
+        return self._select_rows(np.flatnonzero(mask), True)
+
     def _select_rows(self, rows: np.ndarray, monotonic: bool) -> Table:
         composed = self._rows[rows]
         mono = monotonic and self._monotonic
@@ -369,10 +419,17 @@ class TableView(Table):
 
     def project(self, names: tuple[str, ...] | list[str]) -> Table:
         schema = self.schema.subset(tuple(names))
-        # Same selection vector, narrower schema; the gather cache is
-        # shared so a column materialized through either view is gathered
-        # at most once.
-        return TableView(self._root, schema, self._rows, self._monotonic, _cache=self._gathered)
+        # Same selection (in whichever form it currently has), narrower
+        # schema; the gather cache is shared so a column materialized
+        # through either view is gathered at most once.
+        return TableView(
+            self._root,
+            schema,
+            self._rows_arr,
+            self._monotonic,
+            _cache=self._gathered,
+            _mask=self._mask,
+        )
 
 
 class JoinView(Table):

@@ -28,7 +28,7 @@ from repro.parallel.determinism import (
     fingerprint,
     result_fingerprint,
 )
-from repro.parallel.pool import batch_map, fan_out
+from repro.parallel.pool import batch_map, fan_out, steal_map
 from repro.parallel.tasks import FixtureSpec, RunTask, SystemSpec, WorkloadSpec
 
 __all__ = [
@@ -41,4 +41,5 @@ __all__ = [
     "fan_out",
     "fingerprint",
     "result_fingerprint",
+    "steal_map",
 ]

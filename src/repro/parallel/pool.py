@@ -106,7 +106,9 @@ class _Worker:
 
     proc: Any
     conn: Any
-    current: "int | None" = None
+    # fan_out: the in-flight task index.  steal_map: the set of task
+    # indexes of the claimed chunk still awaiting results.
+    current: "int | set[int] | None" = None
     deadline: "float | None" = None
 
     @property
@@ -276,6 +278,238 @@ def fan_out(
         for worker in crew:
             worker.shutdown()
     return results
+
+
+def _steal_worker_main(conn, warm: bool) -> None:
+    """Persistent steal-pool worker: pull chunks, push per-task results.
+
+    Messages from the parent are ``("run", units)`` — one chunk of
+    ``(index, attempt, crashes)`` units pulled off the shared deque — or
+    ``("stop",)``.  Each finished task is sent back individually as
+    ``("ok", index, value)``, so the parent can slot results (and account
+    crashes) at task granularity even though scheduling is chunked.  With
+    ``warm=True`` the worker *keeps* every cache forked from the parent
+    (result cache, cover cache, match memo, fixtures...) instead of
+    starting cold; the caches are semantically transparent, so outputs
+    stay byte-identical while repeated fixture builds and index probes
+    become fork-shared hits.  On ``stop`` the worker reports what it did:
+    ``("stats", pid, {"tasks": n, "caches": <counter deltas>})``.
+    """
+    from repro import caches
+
+    if not warm:
+        caches.clear_all_caches()
+    before = caches.snapshot_stats()
+    ran = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] == "stop":
+            try:
+                delta = caches.stats_delta(before, caches.snapshot_stats())
+                conn.send(("stats", os.getpid(), {"tasks": ran, "caches": delta}))
+            except Exception:
+                pass
+            return
+        for index, attempt, crashes in message[1]:
+            if attempt <= crashes:
+                os._exit(17)
+            try:
+                value = _TASKS[index]()
+            except BaseException as exc:  # propagate to the parent
+                try:
+                    conn.send(("err", index, exc))
+                except Exception:
+                    conn.send(("err", index, RuntimeError(repr(exc))))
+                continue
+            ran += 1
+            conn.send(("ok", index, value))
+
+
+def steal_map(
+    tasks: Sequence[Callable[[], T]],
+    workers: int = 0,
+    *,
+    chunk_size: int = 0,
+    warm: bool = True,
+    submission_order: "Sequence[int] | None" = None,
+    retries: int = 1,
+    fault_plan: "dict[int, int] | None" = None,
+    worker_stats: "list[dict] | None" = None,
+) -> list[T]:
+    """Run thunks over a work-stealing pool; results in task order.
+
+    Where :func:`fan_out` hands exactly one task to a worker and waits,
+    this scheduler keeps a shared deque of *chunks* (``chunk_size`` task
+    indexes each; default splits the workload about four chunks per
+    worker) and persistent workers that pull the next chunk the moment
+    they finish one — so an unlucky worker stuck with a long task no
+    longer idles the rest of the pool the way a static split does.  The
+    deque lives in the parent, which multiplexes every worker pipe: an
+    idle worker's drained pipe *is* its pull, and a worker death is an
+    EOF, never a hang.  Workers fork **warm** by default (see
+    :func:`_steal_worker_main`): the parent's caches are shared read-only
+    into every worker at pool start.
+
+    Determinism contract unchanged from :func:`fan_out`: results are
+    slotted by task index, so any chunking, any steal order, any
+    ``submission_order`` permutation, and any crash/retry interleaving
+    (``fault_plan``, ``retries``) produce the identical list.  A task
+    whose worker dies re-dispatches only the *unfinished* remainder of
+    the chunk; exhausted retries raise
+    :class:`~repro.errors.WorkerCrashError`.
+
+    ``worker_stats``, when given, receives one dict per pool worker
+    (``pid``, ``tasks`` completed, per-cache counter ``deltas``) — the
+    per-worker section of the profile JSON.  The serial fallback appends
+    a single self-entry so callers see a uniform shape.
+    """
+    global _TASKS
+    tasks = list(tasks)
+    order = list(range(len(tasks))) if submission_order is None else list(submission_order)
+    if sorted(order) != list(range(len(tasks))):
+        raise ValueError("submission_order must be a permutation of the task indexes")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+
+    serial = (
+        workers <= 1
+        or len(tasks) <= 1
+        or not fork_available()
+        or _TASKS is not None  # nested call from inside a pool worker
+    )
+    results: list[Any] = [None] * len(tasks)
+    if serial:
+        from repro import caches
+
+        before = caches.snapshot_stats() if worker_stats is not None else None
+        for index in order:
+            results[index] = tasks[index]()
+        if worker_stats is not None:
+            delta = caches.stats_delta(before, caches.snapshot_stats())
+            worker_stats.append(
+                {"pid": os.getpid(), "tasks": len(tasks), "caches": delta}
+            )
+        return results
+
+    if chunk_size <= 0:
+        chunk_size = max(1, len(tasks) // (workers * 4))
+    pending: deque[list[int]] = deque(
+        [order[i : i + chunk_size] for i in range(0, len(order), chunk_size)]
+    )
+    fault_plan = dict(fault_plan or {})
+    max_dispatches = retries + 1
+    dispatches = [0] * len(tasks)
+
+    context = multiprocessing.get_context("fork")
+
+    def spawn() -> _Worker:
+        parent_conn, child_conn = context.Pipe()
+        proc = context.Process(
+            target=_steal_worker_main, args=(child_conn, warm), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return _Worker(proc, parent_conn)
+
+    def dispatch(worker: _Worker, chunk: list[int]) -> None:
+        units = []
+        for index in chunk:
+            if dispatches[index] >= max_dispatches:
+                raise WorkerCrashError(
+                    f"task {index} lost its worker {dispatches[index]} time(s); "
+                    f"retry limit ({retries}) exhausted",
+                    index=index,
+                    dispatches=dispatches[index],
+                )
+            dispatches[index] += 1
+            units.append((index, dispatches[index], fault_plan.get(index, 0)))
+        worker.current = set(chunk)
+        worker.conn.send(("run", units))
+
+    # Freeze the parent heap before forking: the fixtures and warm caches
+    # the workers inherit stop being traversed by their cyclic GC, so the
+    # shared pages stay copy-on-write-clean instead of being privately
+    # duplicated into every worker the first time its GC walks them.
+    import gc
+
+    gc.collect()  # don't freeze garbage into every child
+    gc.freeze()
+
+    _TASKS = tasks
+    crew = [spawn() for _ in range(min(workers, len(pending)))]
+    done = 0
+    try:
+        while done < len(tasks):
+            for slot, worker in enumerate(crew):
+                if worker.current is None and pending:
+                    chunk = pending.popleft()
+                    try:
+                        dispatch(worker, chunk)
+                    except (BrokenPipeError, OSError):
+                        # The idle worker died between chunks; the chunk
+                        # was never received, so hand it to a fresh one.
+                        for index in chunk:
+                            dispatches[index] -= 1
+                        worker.kill()
+                        crew[slot] = spawn()
+                        dispatch(crew[slot], chunk)
+            busy = [w for w in crew if w.current is not None]
+            ready = set(connection.wait([w.conn for w in busy]))
+            for slot, worker in enumerate(crew):
+                if worker.current is None or worker.conn not in ready:
+                    continue
+                try:
+                    kind, index, payload = worker.conn.recv()
+                except (EOFError, OSError):
+                    # Re-queue only what the dead worker had not finished,
+                    # at the front so its retry budget settles first.
+                    remainder = sorted(worker.current)
+                    worker.kill()
+                    pending.appendleft(remainder)
+                    crew[slot] = spawn()
+                    continue
+                if kind == "err":
+                    raise payload
+                results[index] = payload
+                worker.current.discard(index)
+                done += 1
+                if not worker.current:
+                    worker.current = None
+    finally:
+        _TASKS = None
+        gc.unfreeze()
+        for worker in crew:
+            stats = _steal_shutdown(worker)
+            if stats is not None and worker_stats is not None:
+                worker_stats.append(stats)
+    return results
+
+
+def _steal_shutdown(worker: _Worker) -> "dict | None":
+    """Stop one steal worker, harvesting its final stats message."""
+    stats = None
+    try:
+        if worker.alive:
+            worker.conn.send(("stop",))
+            while worker.conn.poll(_REAP_GRACE_S):
+                message = worker.conn.recv()
+                if message[0] == "stats":
+                    stats = {"pid": message[1], **message[2]}
+                    break
+    except (EOFError, OSError, BrokenPipeError):
+        pass
+    worker.proc.join(_REAP_GRACE_S)
+    if worker.alive:
+        worker.proc.terminate()
+        worker.proc.join(_REAP_GRACE_S)
+    if worker.alive:
+        worker.proc.kill()
+        worker.proc.join()
+    worker.conn.close()
+    return stats
 
 
 def batch_map(

@@ -116,6 +116,10 @@ class RunTask:
     fixture: FixtureSpec
     workload: WorkloadSpec
     faults: "str | None" = None
+    # Logical-clock offset applied to the fresh system before the first
+    # query — what keeps a query-slice task's report indexes (and hit
+    # timestamps) identical to the same queries inside a whole run.
+    clock0: int = 0
 
     def __call__(self) -> "RunResult":
         return self.run()
@@ -126,6 +130,38 @@ class RunTask:
         fixture = self.fixture.build()
         plans = self.workload.build(fixture)
         system = self.system.build(fixture)
+        if self.clock0:
+            system.clock = self.clock0
         if self.faults is not None:
             system.attach_faults(self.faults)
         return run_system(self.label, system, plans, profiler)
+
+    def slices(self, n_slices: int) -> "list[RunTask]":
+        """Cut this run into contiguous query-slice tasks (stateless systems).
+
+        Only valid when per-query outputs do not depend on earlier
+        queries — the H baseline (``materialize=False``) never builds
+        state, so a fresh system whose clock starts at the slice offset
+        produces byte-identical reports for the slice's queries.  Tasks
+        with a fault schedule are never sliced (the injector's draws are
+        sequenced over the whole run), nor are workloads too small to
+        split; both fall back to ``[self]``.
+        """
+        start = self.workload.start
+        stop = self.workload.stop if self.workload.stop is not None else self.workload.n_queries
+        total = stop - start
+        if self.faults is not None or n_slices <= 1 or total < 2:
+            return [self]
+        n_slices = min(n_slices, total)
+        per = total / n_slices
+        tasks = []
+        for i in range(n_slices):
+            lo = start + round(i * per)
+            hi = start + round((i + 1) * per) if i + 1 < n_slices else stop
+            if lo >= hi:
+                continue
+            workload = WorkloadSpec(self.workload.n_queries, self.workload.seed, lo, hi)
+            tasks.append(
+                RunTask(self.label, self.system, self.fixture, workload, clock0=lo)
+            )
+        return tasks

@@ -149,3 +149,59 @@ class TestCheckResultCacheReuse:
         )
         assert proc.returncode == 0, proc.stderr
         assert "rerun result-cache hits:" in proc.stdout
+
+
+class TestCheckSelectionShare:
+    @staticmethod
+    def _report(tmp_path: Path, selection: float, execution: float) -> str:
+        path = tmp_path / "stages.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "stages": {
+                        "selection": {"seconds": selection, "calls": 10},
+                        "execution": {"seconds": execution, "calls": 10},
+                    }
+                }
+            )
+        )
+        return str(path)
+
+    def test_passes_under_ceiling(self, tmp_path):
+        report = self._report(tmp_path, selection=0.1, execution=0.9)
+        proc = run_check("check_selection_share.py", report)
+        assert proc.returncode == 0, proc.stderr
+        assert "10.0%" in proc.stdout
+
+    def test_fails_over_ceiling_with_observed_share(self, tmp_path):
+        report = self._report(tmp_path, selection=0.6, execution=0.4)
+        proc = run_check("check_selection_share.py", report)
+        assert proc.returncode == 1
+        assert "60.0%" in proc.stderr
+
+    def test_ceiling_flag(self, tmp_path):
+        report = self._report(tmp_path, selection=0.1, execution=0.9)
+        proc = run_check("check_selection_share.py", report, "--ceiling", "0.05")
+        assert proc.returncode == 1
+
+    def test_empty_profile_fails(self, tmp_path):
+        path = tmp_path / "stages.json"
+        path.write_text(json.dumps({"stages": {}}))
+        proc = run_check("check_selection_share.py", str(path))
+        assert proc.returncode == 1
+
+    def test_live_profile_report_passes(self, tmp_path):
+        # End-to-end: a real (tiny) profile run satisfies the gate.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        out = tmp_path / "live.json"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "profile",
+                "--queries", "20", "--instance-gb", "5", "--output", str(out),
+            ],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        gate = run_check("check_selection_share.py", str(out))
+        assert gate.returncode == 0, gate.stderr

@@ -112,6 +112,93 @@ class TestStatisticsStore:
         assert stats.creation_cost_s == 42.0 and stats.cost_is_actual
 
 
+class TestStatisticsCaches:
+    """The per-partition caches replay exactly what a cold store computes."""
+
+    def _store(self):
+        store = StatisticsStore()
+        a = store.ensure_fragment("v", "a", Interval.closed(0, 10))
+        b = store.ensure_fragment("v", "a", Interval.open_closed(10, 60))
+        store.ensure_fragment("v", "a", Interval.open_closed(60, 100))
+        for t in (1.0, 2.0, 3.0):
+            a.record_hit(t)
+        b.record_hit(2.0)  # shared timestamp: distinct set must dedupe
+        b.record_hit(4.0)
+        return store
+
+    def test_partition_times_matches_naive(self):
+        import numpy as np
+
+        store = self._store()
+        frags, lens, concat, distinct = store.partition_times("v", "a")
+        assert [f.interval for f in frags] == store.intervals_for("v", "a")
+        assert lens == [len(f.hit_times) for f in frags]
+        assert concat.tolist() == [t for f in frags for t in f.hit_times]
+        assert set(distinct.tolist()) == {t for f in frags for t in f.hit_times}
+        assert distinct.size == len(set(concat.tolist()))
+        assert concat.dtype == np.float64
+
+    def test_partition_times_cached_until_next_hit(self):
+        store = self._store()
+        first = store.partition_times("v", "a")
+        again = store.partition_times("v", "a")
+        assert all(x is y for x, y in zip(first, again))  # cache hit: same objects
+        store.fragments_for("v", "a")[0].record_hit(9.0)
+        frags, lens, concat, _ = store.partition_times("v", "a")
+        assert concat is not first[2]
+        assert 9.0 in concat.tolist()
+
+    def test_partition_times_invalidated_by_fragment_changes(self):
+        store = self._store()
+        store.partition_times("v", "a")
+        store.ensure_fragment("v", "a", Interval.open_closed(100, 200))
+        frags, lens, _, _ = store.partition_times("v", "a")
+        assert len(frags) == 4 and lens[-1] == 0
+        store.drop_fragment("v", "a", Interval.open_closed(100, 200))
+        frags, _, _, _ = store.partition_times("v", "a")
+        assert len(frags) == 3
+
+    def test_partition_bounds_parallel_intervals(self):
+        store = self._store()
+        ivs, lk, uk = store.partition_bounds("v", "a")
+        assert ivs == store.intervals_for("v", "a")
+        for i, iv in enumerate(ivs):
+            assert tuple(lk[i]) == iv._lower_key()
+            assert tuple(uk[i]) == iv._upper_key()
+        store.ensure_fragment("v", "a", Interval.open_closed(100, 200))
+        ivs2, lk2, uk2 = store.partition_bounds("v", "a")
+        assert len(ivs2) == 4 and lk2.shape == (4, 2)
+
+    def test_overlapping_intervals_equals_scalar_filter(self):
+        store = self._store()
+        for theta in (
+            Interval.closed(5, 65),
+            Interval.point(10.0),
+            Interval.open(10, 10.5),
+            Interval.closed(200, 300),
+            Interval.unbounded(),
+        ):
+            expected = [iv for iv in store.intervals_for("v", "a") if iv.overlaps(theta)]
+            assert store.overlapping_intervals("v", "a", theta) == expected
+
+    def test_fragments_for_cached_and_ordered(self):
+        store = self._store()
+        frags = store.fragments_for("v", "a")
+        assert store.fragments_for("v", "a") is frags
+        assert [f.interval for f in frags] == store.intervals_for("v", "a")
+        store.ensure_fragment("v", "b", Interval.closed(0, 1))
+        assert store.fragments_for("v", "a") is frags  # other partitions untouched
+
+    def test_hit_cell_shared_across_partition(self):
+        store = self._store()
+        frags = store.fragments_for("v", "a")
+        cells = {id(f._hit_cell) for f in frags}
+        assert len(cells) == 1  # one revision cell per partition
+        before = frags[0]._hit_cell[0]
+        frags[1].record_hit(7.0)
+        assert frags[0]._hit_cell[0] == before + 1
+
+
 # ----------------------------------------------------------------------
 # View benefit and value
 # ----------------------------------------------------------------------

@@ -254,3 +254,78 @@ def test_bucket_eviction_is_bounded_fifo():
     stats = cache.stats()
     assert stats["entries"] <= limit
     assert stats["evictions"] >= 1
+
+
+class TestFilterTreeResidency:
+    """§8.3 registry counters ride the same delta stream as the memo."""
+
+    @staticmethod
+    def _tree(pool):
+        from repro.matching.filter_tree import FilterTree
+
+        tree = FilterTree()
+        tree.subscribe_to(pool)
+        return tree
+
+    def test_admit_and_evict_update_counters_incrementally(self):
+        pool = make_pool("va", "vb")
+        tree = self._tree(pool)
+        entry = pool.add_fragment("va", "v", Interval.closed(0, 10), payload())
+        pool.add_fragment("va", "v", Interval.open_closed(10, 20), payload())
+        pool.add_fragment("vb", "v", Interval.closed(0, 10), payload())
+
+        assert tree.residency("va").resident_fragments == 2
+        assert tree.residency("va").admits == 2
+        assert tree.residency("vb").resident_fragments == 1
+        assert tree.stats.resident_views == 2
+        assert tree.stats.deltas_applied == 3
+
+        pool.evict(entry.fragment_id)
+        assert tree.residency("va").resident_fragments == 1
+        assert tree.residency("va").evicts == 1
+        assert tree.stats.resident_views == 2
+
+    def test_rollback_deltas_keep_gauge_exact(self):
+        pool = make_pool("va")
+        tree = self._tree(pool)
+        keep = pool.add_fragment("va", "v", Interval.closed(0, 10), payload())
+
+        pool.begin("step")
+        pool.add_fragment("va", "v", Interval.open_closed(10, 20), payload())
+        pool.evict(keep.fragment_id)
+        pool.rollback()
+
+        cell = tree.residency("va")
+        assert cell.resident_fragments == 1  # back to just `keep`
+        assert cell.admits == 2
+        assert cell.evicts >= 1
+        assert cell.restores >= 1
+        assert tree.stats.resident_views == 1
+
+    def test_unsubscribed_tree_sees_nothing(self):
+        from repro.matching.filter_tree import FilterTree
+
+        pool = make_pool("va")
+        tree = FilterTree()
+        pool.add_fragment("va", "v", Interval.closed(0, 10), payload())
+        assert tree.residency("va") is None
+        assert tree.stats.deltas_applied == 0
+
+    def test_deepsea_wires_registry_to_its_pool(self):
+        from repro.bench.harness import sdss_fixture
+        from repro.baselines import deepsea
+        from repro.workloads.generator import sdss_mapped_workload
+
+        fx = sdss_fixture(1.0, seed=3)
+        plans = sdss_mapped_workload(fx.log, fx.item_domain, n_queries=12, seed=3)
+        system = deepsea(fx.catalog, domains=fx.domains)
+        for plan in plans:
+            system.execute(plan)
+        stats = system.filter_tree.stats
+        assert stats.deltas_applied > 0
+        # The gauge agrees with a direct pool scan at quiescence.
+        from collections import Counter
+
+        by_view = Counter(entry.key.view_id for entry in system.pool.all_entries())
+        for view_id, cell in stats.residency.items():
+            assert cell.resident_fragments == by_view.get(view_id, 0), view_id

@@ -184,3 +184,107 @@ class TestAdmissionFeasible:
                 break
         else:
             pytest.fail("no partitionable view registered")
+
+
+# ----------------------------------------------------------------------
+# _piece_refinement_passes memoization: the §7.2 filter prefix cached on
+# the estimator must replay the cold path's decision exactly.
+# ----------------------------------------------------------------------
+class TestPieceRefinementMemo:
+    DOMAIN = Interval.closed(0, 1000)
+    RESIDENT = [
+        (Interval.closed(0, 500), 4e8),
+        (Interval.open_closed(500, 1000), 4e8),
+    ]
+
+    def _call(self, piece, estimator, *, realizing=None, safety=1.0):
+        from repro.core.deepsea import _piece_refinement_passes
+
+        sizes = {iv: s for iv, s in self.RESIDENT}
+        return _piece_refinement_passes(
+            piece,
+            estimator=estimator,
+            resident_sizes=sizes,
+            resident_intervals=list(sizes),
+            domain=self.DOMAIN,
+            cluster=self._cluster(),
+            realizing=realizing,
+            dist_fn=None,
+            safety=safety,
+        )
+
+    def _cluster(self):
+        from repro.engine.cost import ClusterSpec
+
+        return ClusterSpec()
+
+    def _profile(self):
+        from repro.costmodel.estimate import ResidentProfile
+
+        return ResidentProfile(self.RESIDENT, self.DOMAIN, self._cluster())
+
+    def _realizing(self, parent_iv, n_hits):
+        from repro.costmodel.decay import NoDecay
+        from repro.costmodel.stats import FragmentStats
+        from repro.costmodel.value import RealizingHitsIndex
+
+        parent = FragmentStats("v", "a", parent_iv, size_bytes=4e8)
+        for i in range(n_hits):
+            parent.record_hit(float(i + 1), Interval.closed(100, 140))
+        return RealizingHitsIndex(parent, parent_iv, float(n_hits + 1), NoDecay())
+
+    def test_warm_memo_replays_cold_decision(self):
+        parent_iv = Interval.closed(0, 500)
+        pieces = [
+            Interval.closed(100, 140),  # hot, well-backed piece
+            Interval.closed(100, 141),  # near-identical jittered sibling
+            Interval.closed(0, 499),    # nearly the whole cover: rejected
+            Interval.closed(600, 601),  # sliver in the other fragment
+        ]
+        warm = self._profile()
+        warm_realizing = self._realizing(parent_iv, 500)
+        cold_decisions = []
+        for piece in pieces:
+            cold_decisions.append(
+                self._call(piece, self._profile(), realizing=self._realizing(parent_iv, 500))
+            )
+        for piece, expected in zip(pieces, cold_decisions):
+            self._call(piece, warm, realizing=warm_realizing)  # populate memo
+        for piece, expected in zip(pieces, cold_decisions):
+            assert self._call(piece, warm, realizing=warm_realizing) is expected
+
+    def test_hot_piece_passes_and_cold_piece_fails(self):
+        """Sanity that the fixture exercises both decisions."""
+        parent_iv = Interval.closed(0, 500)
+        assert self._call(
+            Interval.closed(100, 140), self._profile(), realizing=self._realizing(parent_iv, 500)
+        )
+        assert not self._call(Interval.closed(100, 140), self._profile(), realizing=None)
+
+    def test_rejected_prefix_memoized_as_false(self):
+        estimator = self._profile()
+        whale = Interval.closed(0, 499)
+        assert not self._call(whale, estimator)
+        assert estimator.piece_memo[whale][0] is False
+        assert not self._call(whale, estimator)  # memo short-circuit, same answer
+
+    def test_uncovered_piece_rejected(self):
+        resident_half = [(Interval.closed(0, 500), 4e8)]
+        from repro.core.deepsea import _piece_refinement_passes
+        from repro.costmodel.estimate import ResidentProfile
+
+        estimator = ResidentProfile(resident_half, self.DOMAIN, self._cluster())
+        sizes = {iv: s for iv, s in resident_half}
+        piece = Interval.closed(600, 700)  # hole: nothing resident to refine
+        assert not _piece_refinement_passes(
+            piece,
+            estimator=estimator,
+            resident_sizes=sizes,
+            resident_intervals=list(sizes),
+            domain=self.DOMAIN,
+            cluster=self._cluster(),
+            realizing=None,
+            dist_fn=None,
+            safety=1.0,
+        )
+        assert estimator.piece_memo[piece][0] is False

@@ -1,0 +1,83 @@
+"""Bit-exactness oracle for :class:`ResidentProfile` (§7.2 estimates).
+
+The refinement hot path estimates candidate pieces through the vectorized
+profile; the scalar :func:`estimate_fragment_size` /
+:func:`estimate_fragment_cost` pair stays as the readable oracle.  These
+tests pin the contract the profile's docstring promises: identical floats,
+not approximately-equal ones.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.costmodel.estimate import (
+    ResidentProfile,
+    estimate_fragment_cost,
+    estimate_fragment_size,
+)
+from repro.engine.cost import ClusterSpec
+from repro.partitioning.intervals import Interval
+
+DOMAIN = Interval.closed(0, 100)
+CLUSTER = ClusterSpec()
+
+# A coarse grid of endpoints makes boundary collisions (shared endpoints,
+# point fragments, zero-width intersections) common instead of measure-zero.
+_points = st.sampled_from([0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0])
+
+
+@st.composite
+def intervals(draw):
+    kind = draw(st.sampled_from(["closed", "open", "open_closed", "closed_open", "point"]))
+    if kind == "point":
+        return Interval.point(draw(_points))
+    lo = draw(_points)
+    hi = draw(_points.filter(lambda x: x > lo))
+    return getattr(Interval, kind)(lo, hi)
+
+
+@st.composite
+def resident_lists(draw):
+    ivs = draw(st.lists(intervals(), min_size=0, max_size=12))
+    sizes = [draw(st.floats(1.0, 1e9)) for _ in ivs]
+    return list(zip(ivs, sizes))
+
+
+class TestResidentProfileOracle:
+    @given(resident_lists(), intervals())
+    @settings(max_examples=200, deadline=None)
+    def test_estimate_bitwise_equals_scalar_pair(self, resident, piece):
+        profile = ResidentProfile(resident, DOMAIN, CLUSTER)
+        size, cost = profile.estimate(piece)
+        assert size == estimate_fragment_size(piece, resident, DOMAIN)
+        assert cost == estimate_fragment_cost(piece, resident, DOMAIN, CLUSTER)
+
+    @given(intervals())
+    @settings(max_examples=20, deadline=None)
+    def test_empty_resident_list(self, piece):
+        profile = ResidentProfile([], DOMAIN, CLUSTER)
+        size, cost = profile.estimate(piece)
+        assert size == estimate_fragment_size(piece, [], DOMAIN)
+        assert cost == estimate_fragment_cost(piece, [], DOMAIN, CLUSTER)
+
+    def test_unbounded_resident_fragment(self):
+        resident = [(Interval.unbounded(), 500.0), (Interval.at_least(50.0), 250.0)]
+        piece = Interval.closed(40, 60)
+        profile = ResidentProfile(resident, DOMAIN, CLUSTER)
+        size, cost = profile.estimate(piece)
+        assert size == estimate_fragment_size(piece, resident, DOMAIN)
+        assert cost == estimate_fragment_cost(piece, resident, DOMAIN, CLUSTER)
+
+    def test_resident_outside_domain_contributes_nothing(self):
+        resident = [(Interval.closed(200, 300), 100.0)]
+        piece = Interval.closed(200, 250)  # overlaps the fragment, not the domain
+        profile = ResidentProfile(resident, DOMAIN, CLUSTER)
+        size, cost = profile.estimate(piece)
+        assert size == estimate_fragment_size(piece, resident, DOMAIN)
+        assert cost == estimate_fragment_cost(piece, resident, DOMAIN, CLUSTER)
+
+    def test_piece_memo_starts_empty_and_is_per_profile(self):
+        a = ResidentProfile([(Interval.closed(0, 10), 1.0)], DOMAIN, CLUSTER)
+        b = ResidentProfile([], DOMAIN, CLUSTER)
+        assert a.piece_memo == {} and b.piece_memo == {}
+        a.piece_memo[Interval.closed(0, 1)] = (False, 0.0, 0.0, 0.0)
+        assert b.piece_memo == {}

@@ -11,7 +11,9 @@ from repro.costmodel.decay import NoDecay
 from repro.costmodel.mle import (
     FittedNormal,
     adjusted_hits,
+    adjusted_hits_many,
     fit_normal,
+    fit_partition_bounds,
     fit_partition_distribution,
     part_midpoints,
     spread_hits,
@@ -162,3 +164,130 @@ class TestPartitionAdjustedHits:
     def test_unknown_partition_returns_none(self):
         store = StatisticsStore()
         assert partition_adjusted_hits(store, "v", "a", DOMAIN, 1.0, NoDecay()) is None
+
+
+# ----------------------------------------------------------------------
+# Bit-exactness oracles for the vectorized MLE pipeline.  The array code
+# promises *identical* floats to the naive loops (same operations, same
+# summation order), so every comparison below is ``==``, not approx.
+# ----------------------------------------------------------------------
+_grid = st.sampled_from([0.0, 12.5, 30.0, 50.0, 62.5, 80.0, 100.0])
+
+
+@st.composite
+def _intervals(draw):
+    kind = draw(st.sampled_from(["closed", "open", "open_closed", "closed_open", "point"]))
+    if kind == "point":
+        return Interval.point(draw(_grid))
+    lo = draw(_grid)
+    hi = draw(_grid.filter(lambda x: x > lo))
+    return getattr(Interval, kind)(lo, hi)
+
+
+@st.composite
+def _fragments(draw):
+    ivs = draw(st.lists(_intervals(), min_size=1, max_size=10))
+    return [(iv, draw(st.floats(0.0, 50.0))) for iv in ivs]
+
+
+def _spread_hits_oracle(domain, fragments, n_parts):
+    """The pre-vectorization scalar algorithm, kept verbatim as the oracle."""
+    width = domain.width / n_parts
+    mids = [domain.lo + (i + 0.5) * width for i in range(n_parts)]
+    weights = [0.0] * n_parts
+    for interval, hits in fragments:
+        if hits <= 0:
+            continue
+        idxs = [i for i, m in enumerate(mids) if interval.contains_point(m)]
+        if not idxs:
+            anchor = min(max(interval.lo, domain.lo), domain.hi)
+            idxs = [min(range(n_parts), key=lambda i: abs(mids[i] - anchor))]
+        share = hits / len(idxs)
+        for i in idxs:
+            weights[i] += share
+    return mids, weights
+
+
+class TestSpreadHitsOracle:
+    @given(_fragments(), st.sampled_from([4, 7, 16, 256]))
+    @settings(max_examples=150, deadline=None)
+    def test_bitwise_equals_scalar_loop(self, fragments, n_parts):
+        mids, weights = spread_hits(DOMAIN, fragments, n_parts)
+        o_mids, o_weights = _spread_hits_oracle(DOMAIN, fragments, n_parts)
+        assert mids == o_mids
+        assert weights == o_weights  # exact — not approx
+
+    def test_unbounded_fragments(self):
+        frags = [
+            (Interval.unbounded(), 3.0),
+            (Interval.at_least(50.0), 2.0),
+        ]
+        _, weights = spread_hits(DOMAIN, frags, 8)
+        _, oracle = _spread_hits_oracle(DOMAIN, frags, 8)
+        assert weights == oracle
+
+    def test_degenerate_below_domain_charges_first_part(self):
+        # anchor clamps to domain.lo; argmin must match min()'s tie choice
+        _, weights = spread_hits(DOMAIN, [(Interval.point(-5.0), 4.0)], 4)
+        assert weights == [4.0, 0.0, 0.0, 0.0]
+
+
+class TestFitOracles:
+    @given(_fragments(), st.sampled_from([16, 64, 256]))
+    @settings(max_examples=75, deadline=None)
+    def test_fit_partition_bounds_equals_fragment_list_path(self, fragments, n_parts):
+        lk = np.array([iv._lkey for iv, _ in fragments], dtype=np.float64)
+        uk = np.array([iv._ukey for iv, _ in fragments], dtype=np.float64)
+        hits = np.array([h for _, h in fragments], dtype=np.float64)
+        via_keys = fit_partition_bounds(DOMAIN, lk, uk, hits, n_parts)
+        via_list = fit_partition_distribution(DOMAIN, fragments, n_parts)
+        if via_list is None:
+            assert via_keys is None
+        else:
+            assert via_keys.mu == via_list.mu
+            assert via_keys.sigma2 == via_list.sigma2
+
+    @given(
+        st.lists(st.floats(-50, 150, allow_nan=False), min_size=1, max_size=30),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fit_normal_equals_scalar_estimators(self, xs, data):
+        ws = [data.draw(st.floats(0.0, 10.0)) for _ in xs]
+        fitted = fit_normal(xs, ws)
+        # scalar oracle: generator-expression sums, ** 2 powers
+        total = sum(ws)
+        if total <= 0:
+            assert fitted is None
+            return
+        mu = sum(w * x for w, x in zip(ws, xs)) / total
+        ss = sum(w * (x - mu) ** 2 for w, x in zip(ws, xs))
+        denom = total - 1.0 if total - 1.0 > 0 else total
+        sigma2 = ss / denom
+        if sigma2 <= 0:
+            span = (max(xs) - min(xs)) if len(xs) > 1 else 1.0
+            sigma2 = max((span / max(len(xs), 1)) ** 2, 1e-12)
+        assert fitted.mu == mu
+        assert fitted.sigma2 == sigma2
+
+
+class TestManyOracles:
+    @given(st.lists(_intervals(), min_size=0, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_mass_many_equals_mass_loop(self, intervals):
+        fitted = FittedNormal(mu=50.0, sigma2=400.0)
+        assert fitted.mass_many(intervals) == [fitted.mass(iv) for iv in intervals]
+
+    @given(st.lists(_intervals(), min_size=0, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_adjusted_hits_many_equals_loop(self, intervals):
+        fitted = FittedNormal(mu=40.0, sigma2=225.0)
+        many = adjusted_hits_many(intervals, fitted, 17.0, DOMAIN)
+        assert many == [adjusted_hits(iv, fitted, 17.0, DOMAIN) for iv in intervals]
+
+    def test_adjusted_hits_many_skips_out_of_domain(self):
+        ivs = [Interval.closed(200, 300), Interval.closed(40, 60)]
+        fitted = FittedNormal(mu=50.0, sigma2=100.0)
+        many = adjusted_hits_many(ivs, fitted, 10.0, DOMAIN)
+        assert many[0] == 0.0
+        assert many[1] == adjusted_hits(ivs[1], fitted, 10.0, DOMAIN)

@@ -24,6 +24,7 @@ from repro.parallel import (
     fan_out,
     fingerprint,
     result_fingerprint,
+    steal_map,
 )
 from repro.workloads.generator import sdss_mapped_workload
 
@@ -397,3 +398,201 @@ class TestCliDeterminism:
         out = capsys.readouterr().out
         assert code == 0, out
         assert "identical" in out
+
+
+class TestStealMap:
+    def test_results_in_task_order(self):
+        tasks = [(lambda i=i: i * i) for i in range(9)]
+        assert steal_map(tasks, workers=0) == [i * i for i in range(9)]
+        assert steal_map(tasks, workers=3, chunk_size=2) == [i * i for i in range(9)]
+
+    def test_submission_order_permuted_results_unchanged(self):
+        tasks = [(lambda i=i: i + 10) for i in range(6)]
+        shuffled = steal_map(
+            tasks, workers=2, chunk_size=1, submission_order=[5, 3, 1, 0, 4, 2]
+        )
+        assert shuffled == [10, 11, 12, 13, 14, 15]
+
+    def test_submission_order_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            steal_map([lambda: 1, lambda: 2], workers=2, submission_order=[1, 1])
+
+    def test_task_exception_propagates(self):
+        def boom():
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError):
+            steal_map([lambda: 1, boom, lambda: 3], workers=2, chunk_size=1)
+
+    def test_crash_mid_chunk_redispatches_remainder(self):
+        tasks = [(lambda i=i: i * 3) for i in range(8)]
+        out = steal_map(
+            tasks, workers=2, chunk_size=4, fault_plan={0: 1, 5: 1}, retries=2
+        )
+        assert out == [i * 3 for i in range(8)]
+
+    def test_retry_budget_exhausted_raises_typed(self):
+        with pytest.raises(WorkerCrashError):
+            steal_map(
+                [lambda: 1, lambda: 2], workers=2, chunk_size=1,
+                fault_plan={0: 5}, retries=1,
+            )
+
+    def test_worker_stats_parallel_and_serial_shapes(self):
+        stats: list = []
+        steal_map([(lambda i=i: i) for i in range(6)], workers=2,
+                  chunk_size=1, worker_stats=stats)
+        assert len(stats) == 2
+        assert sum(s["tasks"] for s in stats) == 6
+        for entry in stats:
+            assert set(entry) == {"pid", "tasks", "caches"}
+
+        serial_stats: list = []
+        steal_map([lambda: 1], workers=4, worker_stats=serial_stats)
+        assert len(serial_stats) == 1
+        assert serial_stats[0]["tasks"] == 1
+
+    def test_cold_workers_match_warm_workers(self):
+        fixture = FixtureSpec("sdss", 10.0, log_queries=500)
+        workload = WorkloadSpec(QUERIES)
+        tasks = [
+            RunTask(label, SystemSpec.of(name), fixture, workload)
+            for label, name in (("H", "hive"), ("DS", "deepsea"))
+        ]
+        warm = steal_map(tasks, workers=2, chunk_size=1, warm=True)
+        cold = steal_map(tasks, workers=2, chunk_size=1, warm=False)
+        for a, b in zip(warm, cold):
+            assert result_fingerprint(a) == result_fingerprint(b)
+
+
+class TestStealDeterminism:
+    """Serial, static fan-out, and work-stealing are fingerprint-identical."""
+
+    TASKS = [
+        RunTask(
+            label,
+            SystemSpec.of(name),
+            FixtureSpec("sdss", 10.0, log_queries=500),
+            WorkloadSpec(QUERIES),
+        )
+        for label, name in (("H", "hive"), ("NP", "non_partitioned"), ("DS", "deepsea"))
+    ]
+
+    def test_three_schedulers_agree(self):
+        serial = fan_out(self.TASKS, workers=0)
+        static = fan_out(self.TASKS, workers=2, submission_order=[2, 0, 1])
+        stolen = steal_map(self.TASKS, workers=2, chunk_size=1,
+                           submission_order=[2, 0, 1])
+        for a, b, c in zip(serial, static, stolen):
+            assert result_fingerprint(a) == result_fingerprint(b)
+            assert result_fingerprint(a) == result_fingerprint(c)
+
+    def test_sliced_stateless_run_matches_whole_run(self):
+        whole = self.TASKS[0]  # H: per-query outputs independent of history
+        parts = whole.slices(3)
+        assert len(parts) == 3
+        merged = []
+        for result in steal_map(parts, workers=2, chunk_size=1):
+            merged.extend(result.reports)
+        reference = whole.run()
+        assert fingerprint({"H": reference}) == fingerprint(
+            {"H": type(reference)("H", merged, ())}
+        )
+
+    def test_faulted_tasks_refuse_to_slice(self):
+        task = RunTask(
+            "H",
+            SystemSpec.of("hive"),
+            FixtureSpec("sdss", 10.0, log_queries=500),
+            WorkloadSpec(QUERIES),
+            faults="flaky-tasks",
+        )
+        assert task.slices(4) == [task]
+
+    def test_chaos_schedule_results_identical_under_stealing(self):
+        # The chaos harness invariant, re-run on the steal pool: fault
+        # schedules attached to the engine plus worker kills aimed at the
+        # pool itself never change a result byte.
+        from repro.faults import FaultSchedule
+
+        fixture = FixtureSpec("sdss", 10.0, log_queries=500)
+        workload = WorkloadSpec(QUERIES)
+        tasks = [
+            RunTask(label, SystemSpec.of(name), fixture, workload, faults="flaky-tasks")
+            for label, name in (("H", "hive"), ("DS", "deepsea"))
+        ]
+        sched = FaultSchedule.resolve("flaky-tasks")
+        kill_plan = sched.injector().worker_kill_plan(len(tasks)) if sched.rate(
+            "worker_kill"
+        ) > 0 else {0: 1}
+        serial = steal_map(tasks, workers=0)
+        stolen = steal_map(tasks, workers=2, chunk_size=1,
+                           fault_plan=kill_plan, retries=3)
+        for a, b in zip(serial, stolen):
+            assert result_fingerprint(a) == result_fingerprint(b)
+
+    def test_run_systems_steal_scheduler_matches_serial(self):
+        fx = _fixture()
+        plans = _plans(fx)
+        clear_caches()
+        serial = run_systems(_factories(fx), plans, workers=0)
+        stats: list = []
+        results = run_systems(
+            _factories(fx), plans, workers=3,
+            scheduler="steal", stateless=("H",), worker_stats=stats,
+        )
+        assert fingerprint(results) == fingerprint(serial), "\n".join(
+            diff_results(serial, results)
+        )
+        assert stats and sum(s["tasks"] for s in stats) >= len(_factories(fx))
+
+    def test_run_systems_rejects_unknown_scheduler(self):
+        fx = _fixture()
+        with pytest.raises(ValueError):
+            run_systems(_factories(fx), _plans(fx)[:2], scheduler="fifo")
+
+
+class TestPrewarmSharedCaches:
+    """Parent-side cache prewarm that warm steal forks inherit."""
+
+    def test_populates_plan_memos_and_join_indexes(self):
+        from repro.bench.harness import prewarm_shared_caches
+
+        fx = _fixture()
+        plans = _plans(fx)
+        clear_caches()
+        prewarm_shared_caches(plans, fx.catalog)
+        stats = caches.cache_stats()
+        assert stats["query.analysis"]["entries"] > 0
+        assert stats["query.optimizer.pushdown"]["entries"] > 0
+        assert stats["query.signature"]["entries"] > 0
+        assert stats["engine.indexes.sort"]["entries"] > 0
+        assert stats["engine.indexes.probe"]["entries"] > 0
+
+    def test_prewarm_is_semantically_invisible(self):
+        from repro.bench.harness import prewarm_shared_caches
+
+        fx = _fixture()
+        plans = _plans(fx)
+        clear_caches()
+        cold = run_systems(_factories(fx), plans)
+        clear_caches()
+        prewarm_shared_caches(plans, fx.catalog)
+        warm = run_systems(_factories(fx), plans)
+        assert fingerprint(cold) == fingerprint(warm)
+
+    def test_steal_scheduler_with_catalog_matches_serial(self):
+        fx = _fixture()
+        plans = _plans(fx)
+        clear_caches()
+        serial = run_systems(_factories(fx), plans)
+        clear_caches()
+        stolen = run_systems(
+            _factories(fx),
+            plans,
+            workers=2,
+            scheduler="steal",
+            stateless=("H",),
+            catalog=fx.catalog,
+        )
+        assert fingerprint(serial) == fingerprint(stolen)

@@ -123,3 +123,54 @@ def test_pieces_tile_parent(fl, fh, sl, sh):
     assert pairwise_disjoint(pieces)
     for piece in pieces:
         assert fragment.contains(piece)
+
+
+# ----------------------------------------------------------------------
+# Oracle: the vectorized case discrimination emits element-for-element the
+# scalar loop's candidates (same pieces, same order), on both sides of the
+# dispatch threshold.
+# ----------------------------------------------------------------------
+_kinds = st.sampled_from(["closed", "open", "open_closed", "closed_open"])
+
+
+@st.composite
+def _grid_interval(draw):
+    lo = draw(st.integers(0, 29))
+    hi = draw(st.integers(lo + 1, 30))
+    return getattr(Interval, draw(_kinds))(float(lo), float(hi))
+
+
+@given(
+    st.lists(_grid_interval(), min_size=1, max_size=24),
+    _grid_interval(),
+)
+@settings(max_examples=200, deadline=None)
+def test_vector_path_matches_scalar_loop(fragments, selection):
+    from repro.partitioning.candidates import _partition_candidates_vector
+
+    clamped = selection.intersect(DOMAIN)
+    scalar = [c for c in (split_fragment(f, clamped) for f in fragments) if c is not None]
+    assert _partition_candidates_vector(clamped, fragments) == scalar
+
+
+def test_vector_path_handles_unbounded_fragments():
+    from repro.partitioning.candidates import _partition_candidates_vector
+
+    fragments = [
+        Interval.unbounded(),
+        Interval.at_least(10.0),
+        Interval.closed(0, 30),
+        Interval.point(15.0),
+    ]
+    selection = Interval.closed(5, 15)
+    scalar = [c for c in (split_fragment(f, selection) for f in fragments) if c is not None]
+    assert _partition_candidates_vector(selection, fragments) == scalar
+
+
+def test_dispatch_agrees_across_threshold():
+    """partition_candidates gives the same answer for 15 vs 16+ fragments."""
+    fragments = [Interval.closed_open(float(i), float(i + 1)) for i in range(20)]
+    selection = Interval.closed(3.5, 17.5)
+    wide = partition_candidates(selection, fragments, DOMAIN)
+    narrow = partition_candidates(selection, fragments[:15], DOMAIN)
+    assert narrow == [c for c in wide if c.parent in fragments[:15]]

@@ -2,11 +2,23 @@
 density-normalized adjusted hits."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.costmodel.decay import NoDecay, ProportionalDecay
-from repro.costmodel.mle import FittedNormal, adjusted_hits, adjusted_hits_density
-from repro.costmodel.stats import FragmentStats
-from repro.costmodel.value import fragment_weighted_hits, realizing_hits
+from repro.costmodel.mle import (
+    FittedNormal,
+    adjusted_hits,
+    adjusted_hits_density,
+    fit_partition_distribution,
+)
+from repro.costmodel.stats import FragmentStats, StatisticsStore
+from repro.costmodel.value import (
+    RealizingHitsIndex,
+    fragment_weighted_hits,
+    partition_distribution,
+    partition_distributions,
+    realizing_hits,
+)
 from repro.partitioning.intervals import Interval
 
 DOMAIN = Interval.closed(0, 100)
@@ -119,3 +131,138 @@ class TestAdjustedHitsDensity:
         point = Interval.point(50.0)
         value = adjusted_hits_density(point, self.FITTED, 10.0, DOMAIN, 10.0)
         assert value >= 0.0  # degenerate width handled without blowing up
+
+
+# ----------------------------------------------------------------------
+# Bit-exactness oracles for the vectorized value helpers: identical
+# floats to the scalar loops, so every comparison is ``==``.
+# ----------------------------------------------------------------------
+_grid = st.sampled_from([0.0, 10.0, 25.0, 40.0, 60.0, 85.0, 100.0])
+
+
+@st.composite
+def _ranges(draw):
+    if draw(st.booleans()) and draw(st.booleans()):
+        return None  # rangeless hit
+    lo = draw(_grid)
+    hi = draw(_grid.filter(lambda x: x >= lo))
+    if hi == lo:
+        return Interval.point(lo)
+    kind = draw(st.sampled_from(["closed", "open_closed", "closed_open", "open"]))
+    return getattr(Interval, kind)(lo, hi)
+
+
+class TestRealizingHitsIndexOracle:
+    PARENT = Interval.closed(0, 100)
+
+    def _parent_with(self, ranges):
+        parent = frag(self.PARENT)
+        for i, rng in enumerate(ranges):
+            parent.record_hit(float(i + 1), rng)
+        return parent
+
+    @given(st.lists(_ranges(), min_size=0, max_size=15), st.lists(_ranges(), min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_both_paths_equal_scalar(self, ranges, piece_ranges):
+        pieces = [p for p in piece_ranges if p is not None] or [Interval.closed(10, 20)]
+        parent = self._parent_with(ranges)
+        t_now = float(len(ranges) + 2)
+        decay = ProportionalDecay(t_max=1000)
+        index = RealizingHitsIndex(parent, self.PARENT, t_now, decay)
+        for piece in pieces:  # call 1 exercises the scalar path, 2+ the arrays
+            expected = realizing_hits(parent, self.PARENT, piece, t_now, decay)
+            assert index.hits_for(piece) == expected
+        # re-query after the arrays exist: still exact
+        for piece in pieces:
+            assert index.hits_for(piece) == realizing_hits(
+                parent, self.PARENT, piece, t_now, decay
+            )
+
+    def test_no_ranged_hits_lazy_build(self):
+        parent = self._parent_with([None, None])
+        index = RealizingHitsIndex(parent, self.PARENT, 5.0, DEC)
+        piece = Interval.closed(0, 50)
+        assert index.hits_for(piece) == 0.0  # scalar path
+        assert index.hits_for(piece) == 0.0  # empty-array path
+
+    def test_parent_interval_clamping_matches(self):
+        parent_iv = Interval.closed(0, 30)
+        parent = FragmentStats("v", "a", parent_iv, size_bytes=10.0)
+        parent.record_hit(1.0, Interval.closed(20, 90))
+        parent.record_hit(2.0, Interval.closed(25, 28))
+        index = RealizingHitsIndex(parent, parent_iv, 3.0, DEC)
+        for piece in (Interval.closed(15, 30), Interval.closed(24, 29)):
+            expected = realizing_hits(parent, parent_iv, piece, 3.0, DEC)
+            assert index.hits_for(piece) == expected
+
+
+class TestPartitionDistributionsOracle:
+    def _store(self):
+        store = StatisticsStore()
+        spec = {
+            ("v1", "a"): [(Interval.closed(0, 20), 6), (Interval.open_closed(20, 100), 2)],
+            ("v1", "b"): [(Interval.closed(0, 100), 0)],
+            ("v2", "a"): [
+                (Interval.closed(0, 50), 3),
+                (Interval.closed(40, 80), 3),  # overlapping: shared hit times
+                (Interval.open_closed(80, 100), 1),
+            ],
+        }
+        for (view_id, attr), frags in spec.items():
+            for iv, nhits in frags:
+                f = store.ensure_fragment(view_id, attr, iv)
+                for t in range(1, nhits + 1):
+                    f.record_hit(float(t), iv)
+        return store
+
+    def test_batched_equals_scalar_recomputation(self):
+        store = self._store()
+        decay = ProportionalDecay(t_max=50)
+        t_now = 10.0
+        partitions = [("v1", "a", DOMAIN), ("v1", "b", DOMAIN), ("v2", "a", DOMAIN)]
+        results = partition_distributions(store, partitions, t_now, decay)
+        for view_id, attr, domain in partitions:
+            frags = store.fragments_for(view_id, attr)
+            values = [
+                sum(decay(t_now, t) for t in f.hit_times) if f.hit_times else 0.0
+                for f in frags
+            ]
+            distinct = {t for f in frags for t in f.hit_times}
+            total = sum(decay(t_now, t) for t in sorted(distinct))
+            got = results[(view_id, attr)]
+            if total <= 0:
+                assert got is None
+                continue
+            pairs = [(f.interval, v) for f, v in zip(frags, values)]
+            expected = fit_partition_distribution(domain, pairs, 256)
+            assert got is not None
+            fitted, got_total = got
+            assert got_total == pytest.approx(total)
+            assert fitted.mu == pytest.approx(expected.mu)
+            assert fitted.sigma2 == pytest.approx(expected.sigma2)
+
+    def test_batched_equals_one_at_a_time(self):
+        decay = ProportionalDecay(t_max=50)
+        partitions = [("v1", "a", DOMAIN), ("v1", "b", DOMAIN), ("v2", "a", DOMAIN)]
+        batched = partition_distributions(self._store(), partitions, 10.0, decay)
+        store = self._store()  # fresh store: no memo cross-talk
+        for view_id, attr, domain in partitions:
+            single = partition_distribution(store, view_id, attr, domain, 10.0, decay)
+            got = batched[(view_id, attr)]
+            if single is None:
+                assert got is None
+            else:
+                assert got[0] == single[0]  # FittedNormal dataclass: exact fields
+                assert got[1] == single[1]
+
+    def test_seeds_fragment_hits_memo(self):
+        store = self._store()
+        decay = ProportionalDecay(t_max=50)
+        partition_distributions(store, [("v1", "a", DOMAIN)], 10.0, decay)
+        for f in store.fragments_for("v1", "a"):
+            memo = f._hits_memo
+            assert memo is not None and memo[0] == decay and memo[1] == 10.0
+            if f.hit_times:
+                assert memo[2] == sum(decay.weights(10.0, f.times_array()).tolist())
+            else:
+                assert memo[2] == 0.0

@@ -534,3 +534,73 @@ class TestResultCache:
         assert cache_stats() == {
             "hits": 0, "misses": 0, "evictions": 0, "entries": 0, "bytes": 0,
         }
+
+
+class TestMaskDeferral:
+    """filter() keeps the boolean mask; flatnonzero happens on demand."""
+
+    MASK = np.array([True, False, True, True, False])
+
+    def test_filter_defers_flatnonzero(self):
+        view = str_table().filter(self.MASK)
+        assert view._rows_arr is None  # still mask-backed
+        assert view.nrows == 3  # count straight off the mask
+
+    def test_chained_filters_combine_masks_without_indices(self):
+        view = str_table().filter(self.MASK)
+        narrowed = view.filter(np.array([True, False, True]))
+        assert isinstance(narrowed, TableView)
+        assert narrowed._rows_arr is None
+        assert view._rows_arr is None  # refining didn't resolve the parent
+        assert narrowed.to_rows() == [str_table().to_rows()[0], str_table().to_rows()[3]]
+
+    def test_mask_gather_bit_identical_to_index_gather(self):
+        masked = str_table().filter(self.MASK)
+        col_masked = masked.column("v")
+        resolved = str_table().filter(self.MASK)
+        _ = resolved._rows  # force index resolution first
+        col_indexed = resolved.column("v")
+        assert np.array_equal(col_masked, col_indexed)
+        assert col_masked.dtype == col_indexed.dtype
+
+    def test_take_resolves_and_composes(self):
+        view = str_table().filter(self.MASK)
+        picked = view.take([2, 0])
+        assert picked.to_rows() == [str_table().to_rows()[3], str_table().to_rows()[0]]
+        assert view._rows_arr is not None  # composition needed indices
+
+    def test_lineage_resolves_lazily(self):
+        t = str_table()
+        view = t.filter(self.MASK)
+        assert view._rows_arr is None
+        root, rows, monotonic = view._lineage
+        assert root is t
+        assert rows.tolist() == [0, 2, 3]
+        assert monotonic
+
+    def test_projection_shares_mask_and_gather_cache(self):
+        view = str_table().filter(self.MASK)
+        narrow = view.project(["k", "v"])
+        assert isinstance(narrow, TableView)
+        assert narrow._rows_arr is None
+        a = view.column("v")
+        assert narrow.column("v") is a  # shared gather cache
+
+    def test_string_columns_gather_through_mask(self):
+        view = str_table().filter(self.MASK)
+        col = view.column("name")
+        assert isinstance(col, EncodedColumn)
+        assert list(col) == ["cherry", "beet", "apple"]
+
+    def test_eager_mode_still_copies(self):
+        eager = set_lazy_views(False)
+        try:
+            out = str_table().filter(self.MASK)
+        finally:
+            set_lazy_views(eager)
+        assert type(out) is Table
+        assert out.to_rows() == [
+            str_table().to_rows()[0],
+            str_table().to_rows()[2],
+            str_table().to_rows()[3],
+        ]
