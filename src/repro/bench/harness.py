@@ -18,6 +18,10 @@ if TYPE_CHECKING:
 from repro import caches
 from repro.core.deepsea import DeepSea
 from repro.core.reports import QueryReport
+
+# Re-exported for compatibility: the prewarm pass lives with the worker
+# pools it serves.
+from repro.parallel.prewarm import prewarm_shared_caches  # noqa: F401
 from repro.partitioning.intervals import Interval
 from repro.query.algebra import Plan
 from repro.workloads.bigbench import BigBenchInstance, generate_bigbench
@@ -116,64 +120,6 @@ def run_system(
             system.profiler = None
 
 
-def prewarm_shared_caches(plans: list[Plan], catalog) -> None:
-    """Populate every plan-pure memo and base-table join index once, here.
-
-    The work-stealing scheduler forks its workers *warm*: whatever the
-    parent has cached at spawn time is shared copy-on-write into every
-    worker.  A cold parent wastes that — each worker then rebuilds the
-    same plan analyses, pushdowns, signatures, and base-table sort/probe
-    indexes privately, once per process.  This pass pays those builds a
-    single time in the parent, so a pool of N workers amortizes them N
-    ways instead of multiplying them.
-
-    Everything warmed is a pure function of the immutable plans and the
-    shared catalog tables (index caches key on table *identity*, and all
-    system factories close over the same catalog), so the pass is
-    semantically invisible: ledgers and result tables are byte-identical
-    with or without it.
-    """
-    from repro.engine.indexes import prewarm_join, sort_index
-    from repro.errors import PlanError
-    from repro.query.algebra import Join, Project, Relation, Select, walk
-    from repro.query.analysis import analyze_plan
-    from repro.query.optimizer import push_down
-    from repro.query.signature import compute_signature
-
-    schemas = {n: catalog.get(n).schema.names for n in catalog.names}
-
-    def leaf_relation(node) -> "str | None":
-        # Only Select/Project chains keep a view's lineage anchored to the
-        # base table; anything else (joins, aggregates) yields per-query
-        # temporaries the cross-query caches would never see again.
-        while isinstance(node, (Select, Project)):
-            node = node.child
-        return node.name if isinstance(node, Relation) else None
-
-    for plan in plans:
-        analyze_plan(plan)
-        try:
-            compute_signature(plan, schemas)
-        except PlanError:
-            pass  # signatures cover definition-shaped plans only
-        pushed = push_down(plan, schemas)
-        analyze_plan(pushed)
-        for node in walk(pushed):
-            if not isinstance(node, Join):
-                continue
-            right_name = leaf_relation(node.right)
-            if right_name is None:
-                continue
-            left_name = leaf_relation(node.left)
-            if left_name is None:
-                sort_index(catalog.get(right_name), node.right_attr)
-            else:
-                prewarm_join(
-                    catalog.get(left_name),
-                    node.left_attr,
-                    catalog.get(right_name),
-                    node.right_attr,
-                )
 
 
 def run_systems(

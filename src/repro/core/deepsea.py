@@ -207,6 +207,12 @@ class DeepSea:
         self.filter_tree.subscribe_to(self.pool)
         self.domains = DomainResolver(catalog, domains)
         self.tentative = TentativePartitions()
+        # (view, attr) -> the exact Fragmentation whose intervals have
+        # been ensured in PSTAT.  Designs are replaced (never mutated) on
+        # refinement and stats fragments are never dropped, so an `is`
+        # match means the per-query ensure loop in
+        # _update_match_statistics has nothing to add.
+        self._pstat_synced: dict = {}
         self.schemas = {n: catalog.get(n).schema.names for n in catalog.names}
         self.rewriter = Rewriter(
             self.schemas, self.filter_tree, self.pool, catalog, self.cluster, self.domains
@@ -543,9 +549,7 @@ class DeepSea:
         for piece in candidate.pieces:
             piece_stats = self.stats.ensure_fragment(view_id, attr, piece)
             if parent is not None and not piece_stats.hit_times:
-                for t, theta in zip(parent.hit_times, parent.hit_ranges):
-                    if theta is None or theta.overlaps(piece):
-                        piece_stats.record_hit(t, theta)
+                piece_stats.inherit_hits(parent, piece)
 
     # ------------------------------------------------------------------
     # Statistics update (§8.4)
@@ -585,10 +589,12 @@ class DeepSea:
                 # Hits are recorded over PSTAT — every tracked fragment,
                 # including unmaterialized candidate pieces — so that
                 # refinement candidates accumulate their own evidence.
-                for interval in self.tentative.intervals(view_id, attr):
-                    self.stats.ensure_fragment(view_id, attr, interval)
-                for interval in self.stats.overlapping_intervals(view_id, attr, theta):
-                    self.stats.fragment(view_id, attr, interval).record_hit(t, theta)
+                design = self.tentative.get(view_id, attr)
+                if design is not None and self._pstat_synced.get((view_id, attr)) is not design:
+                    for interval in design.intervals:
+                        self.stats.ensure_fragment(view_id, attr, interval)
+                    self._pstat_synced[(view_id, attr)] = design
+                self.stats.record_overlapping_hits(view_id, attr, t, theta)
 
     # ------------------------------------------------------------------
     # View selection (§7.2-7.3)

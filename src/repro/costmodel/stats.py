@@ -18,7 +18,7 @@ derive from the owning view (§7.1).
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from itertools import chain
 
@@ -120,12 +120,54 @@ class FragmentStats:
             self._times_arr = np.array(self.hit_times, dtype=np.float64)
         return self._times_arr
 
+    def inherit_hits(self, parent: "FragmentStats", piece: Interval) -> None:
+        """Copy the parent's hits whose recorded range touches ``piece``.
+
+        Hits without a range are copied wholesale.  Equivalent to calling
+        :meth:`record_hit` per qualifying hit, with the cache resets and
+        the revision-cell bump applied once per batch instead of per hit
+        (split inheritance replays whole histories, so the per-call
+        overhead was measurable).
+        """
+        pl, pu = piece._lkey, piece._ukey
+        times, ranges = self.hit_times, self.hit_ranges
+        last = self.last_access_t
+        added = 0
+        for t, theta in zip(parent.hit_times, parent.hit_ranges):
+            if theta is None or (theta._lkey <= pu and pl <= theta._ukey):
+                times.append(t)
+                ranges.append(theta)
+                if t > last:
+                    last = t
+                added += 1
+        if added:
+            self.last_access_t = last
+            self._times_arr = None
+            self._hits_memo = None
+            if self._hit_cell is not None:
+                self._hit_cell[0] += added
+
     def set_actual_size(self, size_bytes: float) -> None:
         self.size_bytes = size_bytes
         self.size_is_actual = True
 
 
 FragmentStatsKey = tuple[str, str, Interval]
+
+
+def _insert_bound_row(arr: np.ndarray, pos: int, row: tuple[float, int]) -> np.ndarray:
+    """``np.insert(arr, pos, row, axis=0)`` without its Python overhead.
+
+    The bound-key arrays are patched on nearly every query (candidate
+    tracking), and ``np.insert``'s generic argument handling cost more
+    than the copy itself.  Same float64 rows in the same order.
+    """
+    n = arr.shape[0]
+    out = np.empty((n + 1, 2), dtype=np.float64)
+    out[:pos] = arr[:pos]
+    out[pos] = row
+    out[pos + 1 :] = arr[pos:]
+    return out
 
 
 class StatisticsStore:
@@ -186,10 +228,41 @@ class StatisticsStore:
             # sort_key is injective over the distinct intervals of a
             # partition, so a bisected insert lands exactly where a full
             # re-sort would place it — at O(n) instead of O(n log n).
-            insort(ivs, interval, key=sort_key)
-            self._bounds_cache.pop((view_id, attr), None)
-            self._times_cache.pop((view_id, attr), None)
-            self._frags_cache.pop((view_id, attr), None)
+            pos = bisect_right(ivs, sort_key(interval), key=sort_key)
+            ivs.insert(pos, interval)
+            # Patch the derived caches in place of popping them: candidate
+            # tracking adds a fragment on most queries, and the from-scratch
+            # rebuilds (Python listcomps over every interval) dominated the
+            # warm profile.  Each patched entry is element-for-element what
+            # a rebuild would produce — the new interval's bound keys slot
+            # in at the same bisected position, and a fragment with no hits
+            # contributes nothing to the concatenated or distinct hit
+            # times.  Fresh copies replace the cached tuples so snapshots
+            # already handed to callers stay internally consistent.
+            cache_key = (view_id, attr)
+            bounds = self._bounds_cache.get(cache_key)
+            if bounds is not None:
+                civs, lk, uk = bounds
+                civs = civs.copy()
+                civs.insert(pos, interval)
+                self._bounds_cache[cache_key] = (
+                    civs,
+                    _insert_bound_row(lk, pos, interval._lower_key()),
+                    _insert_bound_row(uk, pos, interval._upper_key()),
+                )
+            frags = self._frags_cache.get(cache_key)
+            if frags is not None:
+                frags = frags.copy()
+                frags.insert(pos, stats)
+                self._frags_cache[cache_key] = frags
+            times = self._times_cache.get(cache_key)
+            if times is not None:
+                rev, tfrags, lens, concat, distinct = times
+                tfrags = tfrags.copy()
+                tfrags.insert(pos, stats)
+                lens = lens.copy()
+                lens.insert(pos, 0)
+                self._times_cache[cache_key] = (rev, tfrags, lens, concat, distinct)
         return stats
 
     def drop_fragment(self, view_id: str, attr: str, interval: Interval) -> None:
@@ -245,6 +318,34 @@ class StatisticsStore:
         lo_ok = (lk[:, 0] < tu[0]) | ((lk[:, 0] == tu[0]) & (lk[:, 1] <= tu[1]))
         hi_ok = (tl[0] < uk[:, 0]) | ((tl[0] == uk[:, 0]) & (tl[1] <= uk[:, 1]))
         return [ivs[i] for i in np.flatnonzero(lo_ok & hi_ok)]
+
+    def record_overlapping_hits(self, view_id: str, attr: str, t: float, theta: Interval) -> None:
+        """Record one hit on every PSTAT(V, A) fragment overlapping ``theta``.
+
+        Equivalent to ``for iv in overlapping_intervals(...):
+        fragment(...).record_hit(t, theta)`` but resolved through the
+        cached aligned fragment list and applied inline — one overlap
+        scan, no per-fragment key hashing, same appended state bit for
+        bit.  This is the per-query statistics write (§8.4), hot enough
+        that the scalar loop showed up in profiles.
+        """
+        ivs, lk, uk = self.partition_bounds(view_id, attr)
+        if not ivs:
+            return
+        tl, tu = theta._lower_key(), theta._upper_key()
+        lo_ok = (lk[:, 0] < tu[0]) | ((lk[:, 0] == tu[0]) & (lk[:, 1] <= tu[1]))
+        hi_ok = (tl[0] < uk[:, 0]) | ((tl[0] == uk[:, 0]) & (tl[1] <= uk[:, 1]))
+        fragments = self.fragments_for(view_id, attr)
+        for i in np.flatnonzero(lo_ok & hi_ok):
+            stats = fragments[i]
+            stats.hit_times.append(t)
+            stats.hit_ranges.append(theta)
+            if t > stats.last_access_t:
+                stats.last_access_t = t
+            stats._times_arr = None
+            stats._hits_memo = None
+            if stats._hit_cell is not None:
+                stats._hit_cell[0] += 1
 
     def fragments_for(self, view_id: str, attr: str) -> list[FragmentStats]:
         """Fragment stats in :meth:`intervals_for` order (shared list — don't mutate).

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine import result_cache
+from repro.matching import fragment_cache
 from repro.engine.catalog import Catalog
 from repro.engine.cost import ClusterSpec, CostLedger
 from repro.engine.indexes import join_probe
@@ -146,6 +147,9 @@ class Executor:
         if isinstance(plan, MaterializedScan):
             return self._eval_materialized(plan, ledger)
         if isinstance(plan, Select):
+            fused = self._fused_materialized_select(plan, ledger)
+            if fused is not None:
+                return fused
             child = self._eval(plan.child, ledger)
             return child.filter(conjunction_mask(plan.predicates, child))
         if isinstance(plan, Project):
@@ -165,6 +169,65 @@ class Executor:
             ledger.charge_shuffle(out.size_bytes)
             return out
         raise PlanError(f"cannot execute node of type {type(plan).__name__}")
+
+    def _fused_materialized_select(self, plan: Select, ledger: CostLedger) -> "Table | None":
+        """Selection fused into a fragment scan via the fragment cache.
+
+        ``Select`` directly over a fragmented ``MaterializedScan`` is the
+        shape every partition rewriting produces.  The seed evaluation
+        reads every fragment payload, clips each piece, concatenates, and
+        then evaluates the selection conjunction over the concatenation.
+        The fragment cache classifies each piece against the predicate
+        intersection instead: ``EMPTY`` pieces skip the payload read
+        entirely, ``FULL`` pieces skip masking, and ``PARTIAL`` pieces
+        get one fused (predicates ∧ clip) mask — so each surviving row is
+        tested once, at the scan.
+
+        Wall-clock only: the ledger charge is identical to the seed path
+        (all fragment bytes, all files — see the charging invariant in
+        :meth:`_eval_materialized`), and the returned rows match the
+        unfused evaluation bit for bit.  Returns ``None`` when the shape
+        or safety guards do not apply (faulted ledger, capture target or
+        job boundary on the scan, multi-attribute conjunction), in which
+        case the caller runs the seed path.
+        """
+        scan = plan.child
+        if not isinstance(scan, MaterializedScan) or not scan.fragment_ids:
+            return None
+        if ledger.faults is not None:
+            return None  # fault RNG draws on payload reads must replay
+        if scan in self._capture_targets or scan in self._boundaries:
+            return None  # the unselected scan output is observable
+        pool = self.context.pool
+        if pool is None:
+            raise PlanError("MaterializedScan requires a pool")
+        cache = fragment_cache.GLOBAL
+        decisions = cache.classify(pool, scan, plan.predicates)
+        if decisions is None:
+            return None
+        total_bytes = 0.0
+        pieces: list[Table] = []
+        for fid, decision in zip(scan.fragment_ids, decisions):
+            entry = pool.get_fragment(fid)
+            total_bytes += entry.size_bytes
+            if decision.state == fragment_cache.EMPTY:
+                cache.note_empty()
+                continue
+            piece = pool.read_entry(fid, ledger)
+            if decision.state == fragment_cache.FULL:
+                cache.note_rows(piece.nrows, piece.nrows)
+                pieces.append(piece)
+                continue
+            masked = piece.filter(decision.eff.mask(piece.column(scan.attr)))
+            cache.note_rows(piece.nrows, masked.nrows)
+            pieces.append(masked)
+        ledger.charge_read(total_bytes, nfiles=len(scan.fragment_ids))
+        if not pieces:
+            # All pieces pruned: an empty selection over the first
+            # fragment's payload preserves schema and column kinds.
+            donor = pool.read_entry(scan.fragment_ids[0], ledger)
+            return donor.filter(np.zeros(donor.nrows, dtype=bool))
+        return Table.concat_many(pieces)
 
     def _eval_relation(self, plan: Relation, ledger: CostLedger) -> Table:
         table = self.context.catalog.get(plan.name)

@@ -17,10 +17,14 @@ Safety rules (each mechanically enforced at lookup/store time):
 
 * **Keying** — entries key on the memoized plan hash plus the catalog's
   ``(uid, version)``; plans containing a ``MaterializedScan`` leaf
-  additionally key on the pool's ``(uid, epoch)``, which
-  :class:`~repro.storage.pool.MaterializedViewPool` bumps on every admit/
-  evict/rollback-restore, so a stale fragment read can never be served.
-  The :class:`~repro.engine.cost.ClusterSpec` joins the key because the
+  additionally key on the pool uid and the **per-view cover versions** of
+  exactly the views the plan reads (its version vector).
+  :class:`~repro.storage.pool.MaterializedViewPool` bumps a view's cover
+  version on every admit/evict/rollback-restore touching it, so a stale
+  fragment read can never be served — while mutations to *other* views
+  leave the entry's vector unchanged and the entry live (the pool-wide
+  epoch key this replaces flushed everything on any mutation).  The
+  :class:`~repro.engine.cost.ClusterSpec` joins the key because the
   recorded charges embed its constants.
 * **Pristine ledgers only** — replay adds recorded charges into the
   caller's ledger.  Starting from exact zero (``0.0 + x == x``) is the
@@ -92,12 +96,24 @@ class ResultCache:
         Plans that never touch the pool deliberately omit the pool
         component: their results are pool-independent, so H's direct
         plans and the identical unrewritten plans of NP/DS share entries.
+
+        Pool-reading plans key on a **version vector**: the cover version
+        of each view the plan's ``MaterializedScan`` leaves read (sorted
+        view-id order), not the pool-wide epoch.  Admitting, evicting, or
+        repartitioning fragments of view V bumps only V's cover version,
+        so entries for plans reading disjoint views stay live across the
+        mutation — and a journal rollback, which restores the prior
+        version numbers, re-validates pre-transaction entries for free.
         """
         if analysis.has_materialized:
             pool = context.pool
             if pool is None:
                 return None
-            pool_key = (pool.uid, pool.epoch)
+            pool_key = (
+                pool.uid,
+                tuple(pool.cover_version(view_id) for view_id in analysis.view_ids),
+                analysis.view_ids,
+            )
         else:
             pool_key = None
         catalog = context.catalog

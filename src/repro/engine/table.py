@@ -367,8 +367,14 @@ class TableView(Table):
         arr = self._gathered.get(name)
         if arr is None:
             # Boolean-mask and row-index gathers are bit-identical; use
-            # whichever form the selection is already in.
-            sel = self._rows_arr if self._rows_arr is not None else self._mask
+            # whichever form the selection is already in — except from
+            # the second gathered column on, where the mask is converted
+            # to indices once so every further gather costs O(kept rows)
+            # instead of another full-mask scan (concat and aggregate
+            # materialize several columns of the same view back to back).
+            sel = self._rows_arr
+            if sel is None:
+                sel = self._rows if self._gathered else self._mask
             arr = self._root.columns[name][sel]
             self._gathered[name] = arr
         return arr

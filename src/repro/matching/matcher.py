@@ -92,6 +92,13 @@ _SHAPE_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
 _ABSENT = object()
 _UNBOUNDED = Interval.unbounded()
 
+# Shape tuple -> small interned id.  Signatures are shared objects (the
+# signature memo returns the same instance for equal plans), so each one
+# computes its shape tuple once and caches the id on the instance; memo
+# keys become int pairs, replacing the per-call construction and hashing
+# of two large nested tuples on the match_view hot path.
+_SHAPE_IDS: dict[tuple, int] = {}
+
 
 def _shape_key(sig: Signature) -> tuple:
     """Range-free structural identity (range attr *names*, not intervals)."""
@@ -103,6 +110,16 @@ def _shape_key(sig: Signature) -> tuple:
         sig.output,
         tuple(attr for attr, _ in sig.ranges),
     )
+
+
+def _shape_id(sig: Signature) -> int:
+    cached = sig.__dict__.get("_matcher_shape_id")
+    if cached is None:
+        # Direct __dict__ write: Signature is frozen, but instance dicts
+        # are still writable and the id is derived, not state.
+        cached = _SHAPE_IDS.setdefault(_shape_key(sig), len(_SHAPE_IDS))
+        sig.__dict__["_matcher_shape_id"] = cached
+    return cached
 
 
 def _build_skeleton(view_sig: Signature, query_sig: Signature) -> "_MatchSkeleton | None":
@@ -134,7 +151,7 @@ def match_view(view_sig: Signature, query_sig: Signature) -> Compensation | None
     :class:`Compensation` instances are immutable, so sharing the
     shape-level ``fixed`` instance across calls is safe.
     """
-    key = (_shape_key(view_sig), _shape_key(query_sig))
+    key = (_shape_id(view_sig), _shape_id(query_sig))
     skeleton = _SHAPE_MEMO.get(key, _ABSENT)
     if skeleton is _ABSENT:
         _SHAPE_COUNTERS["misses"] += 1

@@ -15,12 +15,15 @@ The rewriter drives three things per query:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.caches import register_cache
 from repro.engine.catalog import Catalog
 from repro.engine.cost import ClusterSpec
 from repro.errors import MatchError
+from repro.matching import fragment_cache
 from repro.matching.cover_cache import CoverCache
 from repro.matching.filter_tree import FilterTree
 from repro.matching.matcher import Compensation, match_view, partition_attr_ranges
@@ -35,7 +38,7 @@ from repro.query.algebra import (
     Select,
     replace_subplan,
 )
-from repro.query.analysis import SchemaMap, job_boundaries
+from repro.query.analysis import SchemaMap, analyze_plan, job_boundaries
 from repro.query.optimizer import push_down
 from repro.query.predicates import RangePredicate
 from repro.query.signature import Signature, compute_signature
@@ -50,6 +53,30 @@ DomainLookup = Callable[[str], "Interval | None"]
 _SELECT_FACTOR = 0.2
 _PROJECT_FACTOR = 0.8
 _AGG_FACTOR = 0.05
+
+# Live rewriter instances, for registry-driven clearing of the
+# per-instance plan-cost memos (worker isolation, cold/warm tests).
+_REWRITERS: "weakref.WeakSet[Rewriter]" = weakref.WeakSet()
+_ESTIMATE_MEMO_STATS = {"hits": 0, "misses": 0}
+
+
+def _clear_estimate_memos() -> None:
+    for rewriter in _REWRITERS:
+        rewriter._estimate_memo.clear()
+    _ESTIMATE_MEMO_STATS["hits"] = 0
+    _ESTIMATE_MEMO_STATS["misses"] = 0
+
+
+def _estimate_memo_stats() -> dict:
+    return {
+        "hits": _ESTIMATE_MEMO_STATS["hits"],
+        "misses": _ESTIMATE_MEMO_STATS["misses"],
+        "evictions": 0,
+        "entries": sum(len(r._estimate_memo) for r in _REWRITERS),
+    }
+
+
+register_cache("matching.estimate_memo", _clear_estimate_memos, _estimate_memo_stats)
 
 
 @dataclass(frozen=True)
@@ -110,6 +137,11 @@ class Rewriter:
         # Greedy-cover memo invalidated by pool cover deltas (per-view
         # versions), shared with DeepSea's reconstruction planning.
         self.cover_cache = CoverCache(pool)
+        # Plan-cost memo keyed on everything the estimate reads: the plan,
+        # the catalog version, and the cover versions of the views its
+        # MaterializedScan leaves resolve against (see estimate_plan_cost).
+        self._estimate_memo: dict[tuple, PlanEstimate] = {}
+        _REWRITERS.add(self)
 
     # ------------------------------------------------------------------
     def signature_of(self, plan: Plan) -> Signature:
@@ -204,6 +236,16 @@ class Rewriter:
         fids = tuple(by_interval[c.interval].fragment_id for c in cover)
         clips = tuple(c.clip for c in cover)
         scan = MaterializedScan(match.view_id, fids, attr, clips)
+        # Intersect the cached per-conjunct fragment sets before costing:
+        # the compensating selection is the conjunction the executor will
+        # evaluate over this scan, so classifying it here fills the
+        # fragment cache (one miss); the execution of the winning
+        # rewriting — and every later query with the same conjunct shape
+        # and constants at this cover version — is a pure hit.  Pruning
+        # is wall-clock-only: the estimate below still costs the full
+        # cover, keeping the simulated economics byte-identical.
+        if match.compensation.selections:
+            fragment_cache.GLOBAL.classify(self.pool, scan, match.compensation.selections)
         replacement = self._compensated(scan, match.compensation)
         plan = replace_subplan(query, match.subplan, replacement)
         return Rewriting(
@@ -220,10 +262,32 @@ class Rewriter:
     # Cost estimation
     # ------------------------------------------------------------------
     def estimate_plan_cost(self, plan: Plan) -> PlanEstimate:
-        """Estimated simulated cost, including intermediate job-boundary writes."""
-        est = self._estimate(plan, job_boundaries(plan))
+        """Estimated simulated cost, including intermediate job-boundary writes.
+
+        Memoized: the estimate is pure in the plan tree, the catalog
+        version (base-relation sizes), and the cover versions of the
+        views the plan reads (fragment entries are immutable, so a
+        matching version pins every ``get_fragment``/``whole_view_entry``
+        resolution).  Matching and statistics re-cost the same plans many
+        times per query — and a memo hit replays the identical floats, so
+        the simulated economics are unchanged.
+        """
+        analysis = analyze_plan(plan)
+        key = (
+            plan,
+            self.catalog.version,
+            tuple(self.pool.cover_version(v) for v in analysis.view_ids),
+        )
+        memo = self._estimate_memo
+        est = memo.get(key)
+        if est is not None:
+            _ESTIMATE_MEMO_STATS["hits"] += 1
+            return est
+        _ESTIMATE_MEMO_STATS["misses"] += 1
+        est = self._estimate(plan, analysis.boundaries)
         if est.jobs == 0:
             est = PlanEstimate(est.bytes_out, est.cost_s + self.cluster.job_overhead_s, 1)
+        memo[key] = est
         return est
 
     def _estimate(self, plan: Plan, boundaries: set[Plan]) -> PlanEstimate:

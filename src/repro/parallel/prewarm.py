@@ -1,0 +1,82 @@
+"""Parent-side cache prewarm for warm-forked worker pools.
+
+The work-stealing scheduler (:func:`repro.parallel.pool.steal_map`) forks
+its workers *warm*: whatever the parent has cached at spawn time is
+shared copy-on-write into every worker.  A cold parent wastes that —
+each worker then rebuilds the same plan analyses, pushdowns, signatures,
+conjunct normalizations, and base-table sort/probe indexes privately,
+once per process.  :func:`prewarm_shared_caches` pays those builds a
+single time in the parent, so a pool of N workers amortizes them N ways
+instead of multiplying them.
+
+Everything warmed is a pure function of the immutable plans and the
+shared catalog tables (index caches key on table *identity*, and all
+system factories close over the same catalog), so the pass is
+semantically invisible: ledgers and result tables are byte-identical
+with or without it.  The *stateful* tiers of the caches — fragment prune
+decisions, cover-version-validated entries, result tables — cannot be
+prewarmed here because the pool starts empty; only their plan-pure tiers
+are.
+
+Static fan-out workers (:func:`repro.parallel.pool.fan_out`) are the
+deliberate opposite: they clear every registered cache at startup so no
+parent state can leak into an isolation comparison.
+"""
+
+from __future__ import annotations
+
+from repro.engine.indexes import prewarm_join, sort_index
+from repro.errors import PlanError
+from repro.matching.fragment_cache import normalize_conjuncts
+from repro.query.algebra import Join, Plan, Project, Relation, Select, walk
+from repro.query.analysis import analyze_plan
+from repro.query.optimizer import push_down
+from repro.query.signature import compute_signature
+
+
+def _leaf_relation(node) -> "str | None":
+    # Only Select/Project chains keep a view's lineage anchored to the
+    # base table; anything else (joins, aggregates) yields per-query
+    # temporaries the cross-query caches would never see again.
+    while isinstance(node, (Select, Project)):
+        node = node.child
+    return node.name if isinstance(node, Relation) else None
+
+
+def prewarm_shared_caches(plans: list[Plan], catalog) -> None:
+    """Populate every plan-pure memo and base-table join index once, here.
+
+    Covers the plan-analysis, signature, and pushdown memos, the fragment
+    cache's conjunct-shape normalization (its plan-pure tier — see
+    :mod:`repro.matching.fragment_cache`), and the sort/probe indexes of
+    every base table the pushed-down plans join.
+    """
+    schemas = {n: catalog.get(n).schema.names for n in catalog.names}
+
+    for plan in plans:
+        analyze_plan(plan)
+        try:
+            compute_signature(plan, schemas)
+        except PlanError:
+            pass  # signatures cover definition-shaped plans only
+        pushed = push_down(plan, schemas)
+        analyze_plan(pushed)
+        for node in walk(pushed):
+            if isinstance(node, Select):
+                normalize_conjuncts(node.predicates)
+                continue
+            if not isinstance(node, Join):
+                continue
+            right_name = _leaf_relation(node.right)
+            if right_name is None:
+                continue
+            left_name = _leaf_relation(node.left)
+            if left_name is None:
+                sort_index(catalog.get(right_name), node.right_attr)
+            else:
+                prewarm_join(
+                    catalog.get(left_name),
+                    node.left_attr,
+                    catalog.get(right_name),
+                    node.right_attr,
+                )

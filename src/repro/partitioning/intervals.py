@@ -161,9 +161,24 @@ class Interval:
         return self._lkey <= other._ukey and other._lkey <= self._ukey
 
     def intersect(self, other: "Interval") -> "Interval | None":
-        """The intersection, or ``None`` when disjoint."""
-        lo_key = max(self._lower_key(), other._lower_key())
-        hi_key = min(self._upper_key(), other._upper_key())
+        """The intersection, or ``None`` when disjoint.
+
+        Containment fast paths return the contained operand itself — the
+        intersection of nested intervals *is* the inner interval, and
+        returning the existing (frozen, value-equal) instance skips the
+        construction that dominates interval arithmetic on the matching
+        and pruning hot paths.
+        """
+        sl, su = self._lkey, self._ukey
+        ol, ou = other._lkey, other._ukey
+        if ol <= sl and su <= ou:
+            return self
+        if sl <= ol and ou <= su:
+            return other
+        if sl > ou or ol > su:
+            return None
+        lo_key = max(sl, ol)
+        hi_key = min(su, ou)
         lo, lo_open = lo_key[0], lo_key[1] == 1
         hi, hi_open = hi_key[0], hi_key[1] == -1
         if lo > hi or (lo == hi and (lo_open or hi_open)):

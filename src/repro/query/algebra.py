@@ -212,11 +212,25 @@ _install_hash_cache(Relation, MaterializedScan, Select, Project, Join, Aggregate
 # ----------------------------------------------------------------------
 # Tree utilities
 # ----------------------------------------------------------------------
-def walk(plan: Plan):
-    """Yield every node of the plan, root first."""
-    yield plan
-    for child in plan.children:
-        yield from walk(child)
+def walk(plan: Plan) -> tuple[Plan, ...]:
+    """Every node of the plan, root first.
+
+    Returns a tuple cached on the (immutable) node — the same instance-
+    attribute idiom as the hash cache above — so the many per-query
+    passes over one plan (analysis, signatures, pushdown, estimates)
+    traverse each subtree once instead of rebuilding generator frames
+    per pass.  Subtree tuples are cached by the recursion too, so a
+    shared child costs nothing across parents.
+    """
+    try:
+        return object.__getattribute__(plan, "_cached_nodes")
+    except AttributeError:
+        nodes = [plan]
+        for child in plan.children:
+            nodes.extend(walk(child))
+        out = tuple(nodes)
+        object.__setattr__(plan, "_cached_nodes", out)
+        return out
 
 
 def replace_subplan(plan: Plan, target: Plan, replacement: Plan) -> Plan:

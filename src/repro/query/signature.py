@@ -46,7 +46,14 @@ class Signature:
 
     @property
     def range_map(self) -> dict[str, Interval]:
-        return dict(self.ranges)
+        # Built once per instance (signatures are shared via the memo
+        # below and matching reads this on every candidate check).
+        # Callers treat the dict as read-only.  Direct __dict__ write:
+        # the dataclass is frozen but instance dicts are writable.
+        cached = self.__dict__.get("_range_map")
+        if cached is None:
+            cached = self.__dict__["_range_map"] = dict(self.ranges)
+        return cached
 
     @property
     def agg_key(self) -> tuple:
@@ -64,6 +71,23 @@ class Signature:
 _SIGNATURE_CACHE: dict[tuple, Signature] = {}
 _SIGNATURE_CACHE_MAX = 65_536
 
+# Hashable snapshots of schema maps, keyed by dict identity.  Holding a
+# strong reference to the snapshotted dict pins its id (no reuse after
+# GC), and the ``is`` check rejects id collisions outright, so the only
+# way to observe a stale snapshot is in-place mutation of a schema map —
+# which no caller does (schema maps are built once per catalog).  This
+# turns the per-call ``tuple(sorted(schemas.items()))`` into a dict hit.
+_SCHEMA_SNAPSHOTS: dict[int, tuple[SchemaMap, tuple]] = {}
+
+
+def _schema_snapshot(schemas: SchemaMap) -> tuple:
+    entry = _SCHEMA_SNAPSHOTS.get(id(schemas))
+    if entry is None or entry[0] is not schemas:
+        snapshot = tuple(sorted(schemas.items()))
+        _SCHEMA_SNAPSHOTS[id(schemas)] = (schemas, snapshot)
+        return snapshot
+    return entry[1]
+
 
 def compute_signature(plan: Plan, schemas: SchemaMap) -> Signature:
     """Build the signature of a plan over base relations (memoized).
@@ -72,7 +96,7 @@ def compute_signature(plan: Plan, schemas: SchemaMap) -> Signature:
     only computed over *definitions* (queries and candidate views), never
     over already-rewritten plans.
     """
-    key = (plan, tuple(sorted(schemas.items())))
+    key = (plan, _schema_snapshot(schemas))
     cached = _SIGNATURE_CACHE.get(key)
     if cached is not None:
         return cached
@@ -129,6 +153,7 @@ def view_id_for(plan: Plan) -> str:
 def clear_signature_caches() -> None:
     """Drop memoized signatures and view ids (tests / long-lived sessions)."""
     _SIGNATURE_CACHE.clear()
+    _SCHEMA_SNAPSHOTS.clear()
     view_id_for.cache_clear()
 
 

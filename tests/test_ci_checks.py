@@ -151,6 +151,32 @@ class TestCheckResultCacheReuse:
         assert "rerun result-cache hits:" in proc.stdout
 
 
+class TestCheckFragmentPrune:
+    def test_scaled_down_run_clears_both_floors(self):
+        proc = run_check(
+            "check_fragment_prune.py", "--queries", "15", "--instance-gb", "5"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "hit rate:" in proc.stdout
+        assert "pruned-row fraction:" in proc.stdout
+
+    def test_unreachable_hit_floor_fails_with_observed_rate(self):
+        proc = run_check(
+            "check_fragment_prune.py",
+            "--queries", "15", "--instance-gb", "5", "--hit-floor", "0.99",
+        )
+        assert proc.returncode == 1
+        assert "below floor 0.99" in proc.stderr
+
+    def test_unreachable_pruned_floor_fails(self):
+        proc = run_check(
+            "check_fragment_prune.py",
+            "--queries", "15", "--instance-gb", "5", "--pruned-floor", "0.999",
+        )
+        assert proc.returncode == 1
+        assert "pruned-row fraction" in proc.stderr
+
+
 class TestCheckSelectionShare:
     @staticmethod
     def _report(tmp_path: Path, selection: float, execution: float) -> str:
