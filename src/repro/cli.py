@@ -517,6 +517,90 @@ def cmd_chaos(
     return status
 
 
+def cmd_serve_bench(
+    queries: int,
+    instance_gb: float,
+    seed: int,
+    workers: int,
+    queue_depth: int,
+    deadline: float | None,
+    chaos: str,
+    rate: float,
+    phases: list[str],
+    output: str | None,
+) -> int:
+    """Open-loop load over the serving layer; verify the serving invariant.
+
+    Drives steady / burst / chaos phases through :class:`repro.serve
+    .QueryService` — concurrent snapshot readers, a single journaling
+    writer repartitioning throughout, admission control and deadlines in
+    front — and checks every answered query's digest against a serial
+    fault-free direct run.  Exits non-zero if any answer diverged, the
+    accounting invariant broke, any query failed outright, burst shed
+    nothing, or chaos never exercised the retry path.
+    """
+    import json
+
+    from repro.serve.driver import PHASES, run_serve_bench
+
+    wanted = tuple(phases) if phases else PHASES
+    unknown = [p for p in wanted if p not in PHASES]
+    if unknown:
+        print(f"unknown phase(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    report = run_serve_bench(
+        queries=queries,
+        instance_gb=instance_gb,
+        seed=seed,
+        workers=workers,
+        queue_depth=queue_depth,
+        deadline_s=deadline,
+        chaos_schedule=chaos,
+        rate_qps=rate,
+        phases=wanted,
+    )
+    rows = []
+    for name, phase in report["phases"].items():
+        rows.append(
+            (
+                name,
+                phase["offered"],
+                phase["answered"],
+                phase["shed"],
+                phase["timed_out"],
+                phase["retries"],
+                phase["qps"],
+                phase["p50_ms"],
+                phase["p95_ms"],
+                phase["p99_ms"],
+                phase["pool_epoch"],
+            )
+        )
+    print(
+        format_table(
+            ["phase", "offered", "answered", "shed", "timed out", "retries",
+             "qps", "p50 (ms)", "p95 (ms)", "p99 (ms)", "epoch"],
+            rows,
+            title=f"Serve bench — {queries} SDSS-mapped queries, "
+            f"{instance_gb:.0f}GB, {workers} readers, queue depth "
+            f"{queue_depth}, chaos schedule {chaos}",
+        )
+    )
+    if output:
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {output}")
+    for problem in report["problems"]:
+        print(f"GATE: {problem}", file=sys.stderr)
+    print(
+        "all answers byte-identical to the serial fault-free run; accounting holds"
+        if report["ok"]
+        else "SERVING INVARIANT VIOLATED",
+        file=sys.stdout if report["ok"] else sys.stderr,
+    )
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -575,6 +659,28 @@ def main(argv: list[str] | None = None) -> int:
                          help="fan (system x schedule) runs out over N pool workers")
     chaos_p.add_argument("--list-schedules", action="store_true",
                          help="print the built-in schedules and exit")
+    serve_p = sub.add_parser(
+        "serve-bench",
+        help="open-loop load driver for the concurrent serving layer",
+    )
+    serve_p.add_argument("--queries", type=int, default=120)
+    serve_p.add_argument("--instance-gb", type=float, default=20.0)
+    serve_p.add_argument("--seed", type=int, default=2)
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="executor reader threads")
+    serve_p.add_argument("--queue-depth", type=int, default=16,
+                         help="admission queue bound (excess load is shed)")
+    serve_p.add_argument("--deadline", type=float, default=5.0,
+                         help="per-query deadline in wall seconds (0 = none)")
+    serve_p.add_argument("--chaos", default="perfect-storm", metavar="NAME|JSON",
+                         help="fault schedule for the chaos phase")
+    serve_p.add_argument("--rate", type=float, default=150.0,
+                         help="steady/chaos arrival rate (queries per second)")
+    serve_p.add_argument("--phase", action="append", default=[], metavar="NAME",
+                         help="run only these phases (steady, burst, chaos); "
+                         "repeatable; default: all three")
+    serve_p.add_argument("--output", default=None, metavar="PATH",
+                         help="write the JSON report here")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -598,6 +704,12 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_chaos(
             args.schedule, args.queries, args.instance_gb, args.seed,
             args.workers, args.list_schedules,
+        )
+    if args.command == "serve-bench":
+        return cmd_serve_bench(
+            args.queries, args.instance_gb, args.seed, args.workers,
+            args.queue_depth, args.deadline or None, args.chaos, args.rate,
+            args.phase, args.output,
         )
     return cmd_compare(args.queries, args.pool, args.instance_gb, args.seed)
 

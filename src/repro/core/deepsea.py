@@ -248,6 +248,13 @@ class DeepSea:
         # fresh controller that picks the step up does not immediately
         # die again, so the retry draws no crash decision.
         self._retrying = False
+        # Journal every repartitioning step even without fault injection.
+        # The serving layer's single writer sets this: concurrent snapshot
+        # readers rely on each step being an atomic journaled transaction
+        # (and on rollback restoring the exact pre-step configuration)
+        # regardless of whether chaos is attached.  Off by default — the
+        # batch benchmarks keep their zero-overhead path.
+        self.always_journal = False
 
     _NULL_STAGE = nullcontext()
 
@@ -471,7 +478,7 @@ class DeepSea:
         fault-free run saw, so it makes the same decisions — the crash
         costs time, never answers.
         """
-        if self.faults is None:
+        if self.faults is None and not self.always_journal:
             return fn()
         self.pool.begin(site)
         try:
@@ -484,9 +491,19 @@ class DeepSea:
             try:
                 out = fn()
                 self.pool.commit()
+            except BaseException:
+                # Roll the retry back too: whatever happened, the journal
+                # must not stay open (a wedged journal turns every later
+                # step into a PoolError) and the pool must not stay
+                # half-mutated under concurrent snapshot readers.
+                self.pool.rollback(ledger)
+                raise
             finally:
                 self._retrying = False
             return out
+        except BaseException:
+            self.pool.rollback(ledger)
+            raise
         self.pool.commit()
         return out
 

@@ -46,6 +46,7 @@ exactly like every other acceleration cache.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -83,6 +84,11 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # The serving layer runs reader threads against the one GLOBAL
+        # cache; LRU bookkeeping (move_to_end + the eviction loop) is a
+        # compound mutation, so lookup/store/clear take this lock.  The
+        # serial engine pays one uncontended acquire per query — noise.
+        self._lock = threading.Lock()
 
     # -- keying --------------------------------------------------------
     @staticmethod
@@ -121,26 +127,28 @@ class ResultCache:
 
     # -- lookup/store --------------------------------------------------
     def lookup(self, key: tuple) -> "_Entry | None":
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def store(self, key: tuple, table: Table, ledger: CostLedger) -> None:
-        if key in self._entries:  # racing duplicate store; keep the first
-            return
         nbytes = table.memory_bytes()
         if nbytes > self.max_bytes:
             return
-        self._entries[key] = _Entry(table, ledger.snapshot(), nbytes)
-        self._bytes += nbytes
-        while self._bytes > self.max_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self._bytes -= evicted.nbytes
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:  # racing duplicate store; keep the first
+                return
+            self._entries[key] = _Entry(table, ledger.snapshot(), nbytes)
+            self._bytes += nbytes
+            while self._bytes > self.max_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.evictions += 1
 
     @staticmethod
     def replay(entry: _Entry, ledger: CostLedger) -> Table:
@@ -151,11 +159,12 @@ class ResultCache:
 
     # -- registry hooks ------------------------------------------------
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> dict:
         return {

@@ -1,4 +1,13 @@
-"""Exception hierarchy for the DeepSea reproduction."""
+"""Exception hierarchy for the DeepSea reproduction.
+
+Every library error derives from :class:`ReproError` and carries a
+machine-readable ``kind`` string (a stable snake_case tag, independent of
+the class name) so operational layers — the serving layer's per-query
+outcome records, the chaos harness's event counters, structured logs —
+can classify failures without string-matching messages or importing every
+concrete class.  ``kind`` is a class attribute: subclasses that do not
+declare their own inherit the nearest ancestor's tag.
+"""
 
 from __future__ import annotations
 
@@ -6,37 +15,55 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all library errors."""
 
+    kind: str = "error"
+
 
 class SchemaError(ReproError):
     """Invalid schema construction or column lookup."""
+
+    kind = "schema"
 
 
 class CatalogError(ReproError):
     """Unknown table or duplicate registration."""
 
+    kind = "catalog"
+
 
 class PlanError(ReproError):
     """Malformed logical plan or unexecutable operator."""
+
+    kind = "plan"
 
 
 class IntervalError(ReproError):
     """Invalid interval construction or operation."""
 
+    kind = "interval"
+
 
 class PartitionError(ReproError):
     """Invalid fragmentation or partitioning operation."""
+
+    kind = "partition"
 
 
 class MatchError(ReproError):
     """View/partition matching failure that should not occur."""
 
+    kind = "match"
+
 
 class PoolError(ReproError):
     """Materialized-view pool invariant violation."""
 
+    kind = "pool"
+
 
 class WorkloadError(ReproError):
     """Invalid workload specification."""
+
+    kind = "workload"
 
 
 class FaultError(ReproError):
@@ -50,9 +77,13 @@ class FaultError(ReproError):
     :class:`PoolError`.
     """
 
+    kind = "fault"
+
 
 class BlockLostError(FaultError):
     """Every replica of a stored file is gone; a plain read cannot succeed."""
+
+    kind = "block_lost"
 
     def __init__(self, path: str):
         super().__init__(f"all replicas lost: {path!r}")
@@ -62,6 +93,8 @@ class BlockLostError(FaultError):
 class ControllerCrashError(FaultError):
     """Injected controller death between repartitioning steps."""
 
+    kind = "controller_crash"
+
     def __init__(self, site: str):
         super().__init__(f"controller crashed at {site!r}")
         self.site = site
@@ -69,6 +102,8 @@ class ControllerCrashError(FaultError):
 
 class RecoveryError(FaultError):
     """A recovery path failed to restore a consistent, equivalent state."""
+
+    kind = "recovery"
 
 
 class WorkerCrashError(ReproError):
@@ -79,7 +114,48 @@ class WorkerCrashError(ReproError):
     of hanging on a result that will never arrive.
     """
 
+    kind = "worker_crash"
+
     def __init__(self, message: str, *, index: int | None = None, dispatches: int = 0):
         super().__init__(message)
         self.index = index
         self.dispatches = dispatches
+
+
+class ServeError(ReproError):
+    """Base for serving-layer rejections (:mod:`repro.serve`).
+
+    These are *flow-control outcomes*, not engine failures: the service
+    refuses or abandons a query to protect the rest of the workload, and
+    the typed class tells the client exactly which contract fired.
+    """
+
+    kind = "serve"
+
+
+class Overloaded(ServeError):
+    """The admission queue is full; the query was shed, never enqueued.
+
+    Queue-based load leveling demands a *typed, immediate* rejection under
+    overload — an unbounded queue (or a blocking put) converts overload
+    into unbounded latency, which is indistinguishable from a hang.
+    """
+
+    kind = "overloaded"
+
+    def __init__(self, depth: int):
+        super().__init__(f"admission queue full (depth {depth}); query shed")
+        self.depth = depth
+
+
+class DeadlineExceeded(ServeError):
+    """The query's deadline passed before an answer could be produced."""
+
+    kind = "deadline_exceeded"
+
+    def __init__(self, deadline_s: float, waited_s: float):
+        super().__init__(
+            f"deadline of {deadline_s:.3f}s exceeded after {waited_s:.3f}s"
+        )
+        self.deadline_s = deadline_s
+        self.waited_s = waited_s

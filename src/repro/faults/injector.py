@@ -142,6 +142,22 @@ class FaultInjector:
         self._record(site, "controller_crash", "died before commit")
         return True
 
+    def worker_crash(self, site: str) -> bool:
+        """One executor-worker death draw at the ``worker_kill`` rate.
+
+        Where :meth:`worker_kill_plan` pre-draws a whole fan-out batch,
+        this is the per-attempt form used by long-lived executors (the
+        serving layer): each query attempt asks once whether its worker
+        dies mid-flight, and a ``True`` is surfaced as a
+        :class:`~repro.errors.WorkerCrashError` that the caller's bounded
+        retry-with-backoff absorbs.
+        """
+        rate = self._rates.get("worker_kill", 0.0)
+        if rate <= 0.0 or self._rng.random() >= rate:
+            return False
+        self._record(site, "worker_kill", "executor worker died mid-query")
+        return True
+
     def worker_kill_plan(self, n_tasks: int) -> dict[int, int]:
         """Which fan-out tasks get their first attempt's worker killed.
 

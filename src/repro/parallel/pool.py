@@ -223,7 +223,7 @@ def fan_out(
     done = 0
     try:
         while done < len(tasks):
-            for worker in crew:
+            for slot, worker in enumerate(crew):
                 if worker.current is None and pending:
                     index = pending.popleft()
                     if dispatches[index] >= max_dispatches:
@@ -241,8 +241,24 @@ def fan_out(
                         if task_timeout is not None
                         else None
                     )
-                    worker.conn.send((index, dispatches[index], fault_plan.get(index, 0)))
+                    try:
+                        worker.conn.send(
+                            (index, dispatches[index], fault_plan.get(index, 0))
+                        )
+                    except (BrokenPipeError, OSError):
+                        # The idle worker died between tasks; the task was
+                        # never received, so it keeps its dispatch budget
+                        # and goes back to the queue front for the fresh
+                        # worker picked up on the next pass.
+                        dispatches[index] -= 1
+                        worker.kill()
+                        crew[slot] = spawn()
+                        pending.appendleft(index)
             busy = [w for w in crew if w.current is not None]
+            if not busy:
+                # Every in-flight dispatch just failed on a dead pipe;
+                # loop back to hand the re-queued tasks to fresh workers.
+                continue
             wait_for = None
             if task_timeout is not None:
                 soonest = min(w.deadline for w in busy)
@@ -457,6 +473,11 @@ def steal_map(
                         crew[slot] = spawn()
                         dispatch(crew[slot], chunk)
             busy = [w for w in crew if w.current is not None]
+            if not busy:
+                # All dispatches failed on dead pipes this pass; loop back
+                # to hand the re-queued chunks to fresh workers instead of
+                # waiting on an empty pipe set (which never wakes).
+                continue
             ready = set(connection.wait([w.conn for w in busy]))
             for slot, worker in enumerate(crew):
                 if worker.current is None or worker.conn not in ready:

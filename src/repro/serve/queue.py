@@ -1,0 +1,84 @@
+"""Bounded admission queue: queue-based load leveling with typed shedding.
+
+The queue is the service's only buffer between clients and executor
+workers, and it is deliberately small.  Under overload the right behavior
+is a *typed, immediate* rejection — :class:`~repro.errors.Overloaded` —
+because the alternatives both turn overload into something worse: an
+unbounded queue converts it into unbounded latency, and a blocking put
+converts it into a hang.  ``offer`` therefore never blocks and ``take``
+never busy-waits; both run under one condition variable.
+
+Accounting is built in (``offered``/``shed``/``taken`` counters) because
+the serving invariant is audited arithmetically: every offered query must
+be accounted for as shed, answered, timed out, or failed — nothing may
+vanish into the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from repro.errors import Overloaded
+
+
+class AdmissionQueue:
+    """A bounded FIFO with non-blocking, counted admission.
+
+    ``close()`` starts the drain: later ``offer`` calls shed (the service
+    is shutting down, which to a client is indistinguishable from
+    overload), while ``take`` keeps returning queued items until the
+    queue is empty and then returns ``None`` without waiting — the
+    worker's signal to exit.
+    """
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = depth
+        self._items: deque[Any] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.offered = 0
+        self.shed = 0
+        self.taken = 0
+
+    def offer(self, item: Any) -> None:
+        """Enqueue ``item`` or raise :class:`Overloaded` — never block."""
+        with self._cond:
+            self.offered += 1
+            if self._closed or len(self._items) >= self.depth:
+                self.shed += 1
+                raise Overloaded(self.depth)
+            self._items.append(item)
+            self._cond.notify()
+
+    def take(self, timeout: "float | None" = None) -> Any:
+        """Dequeue the oldest item, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout, and immediately once the queue is
+        closed and drained.
+        """
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+            self.taken += 1
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Refuse new work and wake every waiting taker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)

@@ -1,0 +1,418 @@
+"""The query service: admission, epoch-pinned readers, degradation ladder.
+
+:class:`QueryService` turns one :class:`~repro.core.deepsea.DeepSea`
+instance into a long-lived concurrent service:
+
+* **Admission.**  ``submit`` either enqueues a ticket or raises a typed
+  :class:`~repro.errors.Overloaded` — clients are never blocked and never
+  hung.  Admitted queries also feed the single writer's adaptation loop
+  (where *that* is saturated, learning is shed, not serving).
+* **Readers.**  N threads pull tickets.  Each attempt plans under the
+  shared plan lock (matching memos and the writer's mutations are
+  serialized there), pins an epoch lease, and executes *outside* the lock
+  against the leased snapshot — readers never block on the writer for the
+  expensive part, and never observe a half-applied repartitioning.
+* **Deadlines.**  A ticket whose deadline passes while queued or between
+  retries resolves as :class:`~repro.errors.DeadlineExceeded` — typed,
+  counted, never a hang.
+* **Degradation ladder.**  A failed attempt (injected worker crash, a
+  lost block that recovery could not heal, any engine fault) is retried
+  with backoff against a *fresh* lease — re-planned at the current epoch,
+  so a query that raced a repartitioning of its best view simply falls
+  back to whatever cover now exists.  When retries are exhausted the
+  final rung executes the pushed-down plan directly against the base
+  tables, which cannot lose a race with the pool.  Views are semantically
+  transparent, so every rung returns byte-identical rows: the ladder
+  trades cost for robustness, never answers.
+
+The per-query outcome is a :class:`QueryOutcome` with machine-readable
+status and error kinds, so the load driver can audit the accounting
+invariant: ``answered + shed + timed_out + failed == offered``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.engine.cost import CostLedger
+from repro.engine.executor import ExecutionContext, Executor
+from repro.errors import DeadlineExceeded, ReproError, WorkerCrashError
+from repro.faults.injector import FaultInjector
+from repro.query.optimizer import push_down
+from repro.serve.queue import AdmissionQueue
+from repro.serve.snapshot import SnapshotManager
+from repro.serve.writer import PoolWriter
+
+if TYPE_CHECKING:
+    from repro.core.deepsea import DeepSea
+    from repro.engine.table import Table
+    from repro.query.algebra import Plan
+
+# How long a blocked reader waits before re-checking for shutdown.
+_POLL_S = 0.05
+
+
+class LockedInjector(FaultInjector):
+    """A :class:`FaultInjector` safe to share across service threads.
+
+    numpy's ``Generator`` is not thread-safe, and the injector's event
+    log is an append-heavy list — so every draw site takes one lock.
+    Draw *order* across threads is scheduling-dependent, which is fine:
+    the serving invariant is checked on answers (digests against the
+    serial fault-free run), not on event-log byte-equality.
+    """
+
+    def __init__(self, schedule) -> None:
+        super().__init__(schedule)
+        self._draw_lock = threading.Lock()
+
+    def map_task_faults(self, tasks):
+        with self._draw_lock:
+            return super().map_task_faults(tasks)
+
+    def block_read_faults(self, path, size_bytes, ledger):
+        with self._draw_lock:
+            return super().block_read_faults(path, size_bytes, ledger)
+
+    def lose_fragment(self, n_candidates):
+        with self._draw_lock:
+            return super().lose_fragment(n_candidates)
+
+    def controller_crash(self, site):
+        with self._draw_lock:
+            return super().controller_crash(site)
+
+    def worker_crash(self, site):
+        with self._draw_lock:
+            return super().worker_crash(site)
+
+    def worker_kill_plan(self, n_tasks):
+        with self._draw_lock:
+            return super().worker_kill_plan(n_tasks)
+
+    def record_recovery(self, site, detail):
+        with self._draw_lock:
+            return super().record_recovery(site, detail)
+
+
+@dataclass
+class QueryOutcome:
+    """What happened to one admitted query."""
+
+    index: int
+    status: str  # "answered" | "timed_out" | "failed"
+    latency_s: float
+    sim_cost_s: float = 0.0
+    epoch: "int | None" = None
+    retries: int = 0
+    # "none" (planned path, first try), "replan" (answered after at least
+    # one fresh-lease retry), "direct" (final base-table rung).
+    degraded: str = "none"
+    error_kind: "str | None" = None
+    used_view: bool = False
+    table: "Table | None" = field(default=None, repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "status": self.status,
+            "latency_s": self.latency_s,
+            "sim_cost_s": self.sim_cost_s,
+            "epoch": self.epoch,
+            "retries": self.retries,
+            "degraded": self.degraded,
+            "error_kind": self.error_kind,
+            "used_view": self.used_view,
+        }
+
+
+class ServeTicket:
+    """A client's handle on one admitted query."""
+
+    def __init__(self, index: int, plan: "Plan", deadline_s: "float | None"):
+        self.index = index
+        self.plan = plan
+        self.submitted = time.monotonic()
+        self.deadline_s = deadline_s
+        self.deadline = None if deadline_s is None else self.submitted + deadline_s
+        self._done = threading.Event()
+        self.outcome: "QueryOutcome | None" = None
+
+    def result(self, timeout: "float | None" = None) -> "QueryOutcome | None":
+        """Wait for the outcome; ``None`` only if ``timeout`` expires."""
+        self._done.wait(timeout)
+        return self.outcome
+
+
+class QueryService:
+    """A bounded-queue, N-reader, single-writer serving layer.
+
+    Chaos is opted into via ``faults`` (a schedule name, JSON, or
+    :class:`~repro.faults.schedule.FaultSchedule`): the service mints a
+    :class:`LockedInjector` and attaches it to the system, so storage
+    damage, controller crashes, and per-attempt reader deaths all draw
+    from one thread-safe stream.  Attach chaos through this parameter —
+    not ``system.attach_faults`` — when using more than one worker.
+    """
+
+    def __init__(
+        self,
+        system: "DeepSea",
+        *,
+        workers: int = 2,
+        queue_depth: int = 32,
+        deadline_s: "float | None" = None,
+        retries: int = 2,
+        backoff_s: float = 0.005,
+        faults=None,
+        adapt: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.system = system
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.deadline_s = deadline_s
+        self.plan_lock = threading.RLock()
+        self.queue = AdmissionQueue(queue_depth)
+        self.snapshots = SnapshotManager(system.pool)
+        if faults is not None:
+            from repro.faults.schedule import FaultSchedule
+
+            system.attach_faults(LockedInjector(FaultSchedule.resolve(faults)))
+        self._injector = system.faults
+        self.writer = PoolWriter(system, self.plan_lock, depth=queue_depth * 4) if adapt else None
+        self._readers = [
+            threading.Thread(target=self._reader_loop, name=f"serve-reader-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        self._mlock = threading.Lock()
+        self._seq = 0
+        self.answered = 0
+        self.timed_out = 0
+        self.failed = 0
+        self.retry_count = 0
+        self.degraded_direct = 0
+        self.via_view = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryService":
+        if not self._started:
+            self._started = True
+            if self.writer is not None:
+                self.writer.start()
+            for thread in self._readers:
+                thread.start()
+        return self
+
+    def submit(self, plan: "Plan", *, deadline_s: "float | None" = None) -> ServeTicket:
+        """Admit one query or raise :class:`~repro.errors.Overloaded`."""
+        with self._mlock:
+            self._seq += 1
+            index = self._seq
+        ticket = ServeTicket(
+            index, plan, self.deadline_s if deadline_s is None else deadline_s
+        )
+        self.queue.offer(ticket)  # Overloaded propagates; ticket never queued
+        if self.writer is not None:
+            self.writer.feed(plan)
+        return ticket
+
+    def stop(self, *, drain_writer: bool = True, timeout: float = 60.0) -> None:
+        """Close admission, finish queued tickets, stop readers + writer."""
+        self.queue.close()
+        for thread in self._readers:
+            if thread.is_alive():
+                thread.join(timeout)
+        if self.writer is not None:
+            self.writer.stop(drain=drain_writer, timeout=timeout)
+        self.snapshots.detach()
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Counters for reporting and the accounting-invariant audit."""
+        with self._mlock:
+            counts = {
+                "answered": self.answered,
+                "timed_out": self.timed_out,
+                "failed": self.failed,
+                "retries": self.retry_count,
+                "degraded_direct": self.degraded_direct,
+                "via_view": self.via_view,
+            }
+        out = {
+            "offered": self.queue.offered,
+            "shed": self.queue.shed,
+            **counts,
+            "pool_epoch": self.system.pool.epoch,
+            "snapshots": {
+                "retained_total": self.snapshots.retained_total,
+                "served_from_retained": self.snapshots.served_from_retained,
+                "retained_now": self.snapshots.retained_count,
+            },
+            "fault_events": self._injector.fired if self._injector is not None else 0,
+        }
+        if self.writer is not None:
+            out["writer"] = {
+                "steps": self.writer.steps,
+                "dropped": self.writer.dropped,
+                "errors": len(self.writer.errors),
+            }
+        out["accounted"] = (
+            out["answered"] + out["shed"] + out["timed_out"] + out["failed"]
+        )
+        out["accounting_ok"] = out["accounted"] == out["offered"]
+        return out
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def _reader_loop(self) -> None:
+        while True:
+            ticket = self.queue.take(_POLL_S)
+            if ticket is None:
+                if self.queue.closed:
+                    return
+                continue
+            self._serve(ticket)
+
+    def _serve(self, ticket: ServeTicket) -> None:
+        retries = 0
+        last_kind: "str | None" = None
+        while True:
+            now = time.monotonic()
+            if ticket.deadline is not None and now > ticket.deadline:
+                exc = DeadlineExceeded(ticket.deadline_s, now - ticket.submitted)
+                self._resolve(
+                    ticket, "timed_out", retries=retries, error_kind=exc.kind
+                )
+                return
+            try:
+                table, sim_cost, epoch, used_view = self._attempt(ticket.plan)
+            except ReproError as exc:
+                last_kind = exc.kind
+                if retries < self.retries:
+                    retries += 1
+                    with self._mlock:
+                        self.retry_count += 1
+                    time.sleep(self.backoff_s * retries)
+                    continue
+                break  # retry budget spent: drop to the base-table rung
+            self._resolve(
+                ticket,
+                "answered",
+                table=table,
+                sim_cost_s=sim_cost,
+                epoch=epoch,
+                retries=retries,
+                degraded="replan" if retries else "none",
+                used_view=used_view,
+            )
+            return
+        try:
+            table, sim_cost = self._direct(ticket.plan)
+        except Exception as exc:  # a real bug, not adversity — surface it
+            self._resolve(
+                ticket,
+                "failed",
+                retries=retries,
+                error_kind=getattr(exc, "kind", type(exc).__name__),
+            )
+            return
+        self._resolve(
+            ticket,
+            "answered",
+            table=table,
+            sim_cost_s=sim_cost,
+            retries=retries,
+            degraded="direct",
+            error_kind=last_kind,
+        )
+
+    def _attempt(self, plan: "Plan"):
+        """One planned attempt: plan under the lock, execute epoch-pinned."""
+        with self.plan_lock:
+            chosen = self._plan(plan)
+            lease = self.snapshots.acquire()
+        try:
+            if self._injector is not None and self._injector.worker_crash("serve.reader"):
+                raise WorkerCrashError("injected reader death mid-query")
+            ledger = CostLedger(self.system.cluster)
+            if self._injector is not None:
+                ledger.faults = self._injector
+            to_run = (
+                chosen.plan
+                if chosen is not None
+                else push_down(plan, self.system.schemas)
+            )
+            executor = Executor(
+                ExecutionContext(self.system.catalog, lease.pool_view(), self.system.cluster)
+            )
+            result = executor.execute(to_run, ledger)
+            return result.table, ledger.total_seconds, lease.epoch, chosen is not None
+        finally:
+            lease.release()
+
+    def _plan(self, plan: "Plan"):
+        """Best rewriting against the live pool, or ``None`` for direct.
+
+        Planning trouble is never fatal — it degrades to direct execution,
+        which the matching layer already treats as the universal fallback.
+        """
+        system = self.system
+        try:
+            matches = system.rewriter.find_matches(plan)
+            rewritings = system.rewriter.build_rewritings(plan, matches)
+            if not rewritings:
+                return None
+            direct_est = system.rewriter.estimate_plan_cost(
+                push_down(plan, system.schemas)
+            ).cost_s
+            best = min(rewritings, key=lambda r: r.est_cost_s)
+            return best if best.est_cost_s < direct_est else None
+        except ReproError:
+            return None
+
+    def _direct(self, plan: "Plan"):
+        """The ladder's floor: base tables only, no pool, no crash draws."""
+        ledger = CostLedger(self.system.cluster)
+        executor = Executor(
+            ExecutionContext(self.system.catalog, None, self.system.cluster)
+        )
+        result = executor.execute(push_down(plan, self.system.schemas), ledger)
+        return result.table, ledger.total_seconds
+
+    def _resolve(self, ticket: ServeTicket, status: str, **kwargs) -> None:
+        outcome = QueryOutcome(
+            index=ticket.index,
+            status=status,
+            latency_s=time.monotonic() - ticket.submitted,
+            **kwargs,
+        )
+        with self._mlock:
+            if status == "answered":
+                self.answered += 1
+                if outcome.degraded == "direct":
+                    self.degraded_direct += 1
+                if outcome.used_view:
+                    self.via_view += 1
+            elif status == "timed_out":
+                self.timed_out += 1
+            else:
+                self.failed += 1
+        ticket.outcome = outcome
+        ticket._done.set()

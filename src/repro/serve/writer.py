@@ -1,0 +1,98 @@
+"""The single writer: adaptation applied as journaled transactions.
+
+Exactly one thread mutates the pool.  It consumes the admitted query
+stream (readers answer; the writer *learns*) and runs each query through
+the full DeepSea loop — matching, statistics, selection, materialization,
+refinement — under the service's plan lock, with ``always_journal`` set
+so every repartitioning step is an atomic begin/commit transaction even
+without chaos attached.  Snapshot readers rely on that atomicity: between
+two plan-lock acquisitions the pool is always a committed configuration,
+and a crashed step's rollback restores the exact pre-step bytes and
+cover versions the readers' leases were promised.
+
+The feed is itself a bounded :class:`~repro.serve.queue.AdmissionQueue`:
+under overload, adaptation work is shed (counted, never blocking the
+admission path).  A service that is too busy to learn keeps answering —
+the pool just stops improving until pressure drops, which is the
+degradation the serving layer promises.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.errors import Overloaded, ReproError
+from repro.serve.queue import AdmissionQueue
+
+if TYPE_CHECKING:
+    from repro.core.deepsea import DeepSea
+    from repro.query.algebra import Plan
+
+# How long a blocked take() waits before re-checking for shutdown.
+_POLL_S = 0.05
+
+
+class PoolWriter:
+    """One thread applying DeepSea's adaptive steps as transactions."""
+
+    def __init__(self, system: "DeepSea", plan_lock: threading.RLock, *, depth: int = 64):
+        self.system = system
+        self.plan_lock = plan_lock
+        system.always_journal = True
+        self._feed: AdmissionQueue = AdmissionQueue(depth)
+        self._thread = threading.Thread(
+            target=self._loop, name="serve-writer", daemon=True
+        )
+        self._draining = threading.Event()
+        self.steps = 0
+        self.errors: list[str] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._thread.start()
+
+    def feed(self, plan: "Plan") -> bool:
+        """Offer one admitted query to the adaptation loop.
+
+        Returns ``False`` when the feed is saturated and the query's
+        evidence is dropped — load shedding for the learning path.
+        """
+        try:
+            self._feed.offer(plan)
+            return True
+        except Overloaded:
+            return False
+
+    def stop(self, *, drain: bool = True, timeout: "float | None" = 30.0) -> None:
+        """Stop the writer, by default after finishing the queued feed."""
+        if drain:
+            self._draining.set()
+        self._feed.close()
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+
+    @property
+    def dropped(self) -> int:
+        return self._feed.shed
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            plan = self._feed.take(_POLL_S)
+            if plan is None:
+                if self._feed.closed:
+                    return
+                continue
+            if self._feed.closed and not self._draining.is_set():
+                continue  # fast shutdown: discard without executing
+            with self.plan_lock:
+                try:
+                    self.system.execute(plan)
+                    self.steps += 1
+                except ReproError as exc:
+                    # The writer must outlive any single bad step: the
+                    # hardened _crash_safe has already rolled the journal
+                    # back, so the pool is a committed configuration and
+                    # the next query can proceed.
+                    self.errors.append(f"{type(exc).__name__}: {exc}")

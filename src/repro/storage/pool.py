@@ -146,6 +146,13 @@ class MaterializedViewPool:
         # repro.faults.recovery.FragmentRecovery recomputes the payload
         # from base tables.  None (the default) surfaces the loss.
         self.recovery: "FragmentRecovery | None" = None
+        # Retention hook for snapshot readers (repro.serve.snapshot): if
+        # set, every entry leaving the pool is offered — with its payload —
+        # to the hook *before* the file is deleted, so a reader pinned to
+        # an older epoch can still produce the byte-identical bytes the
+        # epoch promised.  The hook must not raise and must not touch the
+        # pool (it runs mid-mutation).
+        self.retention: "Callable[[FragmentEntry, Table], None] | None" = None
 
     # ------------------------------------------------------------------
     # Cover-delta protocol (per-view versions + subscriber deltas)
@@ -245,6 +252,15 @@ class MaterializedViewPool:
     def all_entries(self) -> list[FragmentEntry]:
         return list(self._fragments.values())
 
+    def entries_snapshot(self) -> dict[str, FragmentEntry]:
+        """Shallow copy of the fragment-id → entry map, for epoch-pinned
+        readers (entries are immutable records, so sharing them is safe)."""
+        return dict(self._fragments)
+
+    def cover_versions_snapshot(self) -> dict[str, int]:
+        """Copy of the per-view cover versions, for epoch-pinned readers."""
+        return dict(self._cover_versions)
+
     @property
     def used_bytes(self) -> float:
         return sum(f.size_bytes for f in self._fragments.values())
@@ -291,6 +307,11 @@ class MaterializedViewPool:
                 del view.partitions[entry.key.attr]
         if view.whole_id is None and not view.partitions:
             del self._views[entry.key.view_id]
+        if self.retention is not None:
+            # Offer the payload to snapshot retention before the bytes
+            # vanish (peek, not read: retention is recovery machinery and
+            # must see the payload even when every replica is lost).
+            self.retention(entry, self.hdfs.peek(entry.path))
         self.hdfs.delete(entry.path)
         del self._fragments[entry.fragment_id]
         self._by_key.pop(entry.key, None)

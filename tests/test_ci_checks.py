@@ -231,3 +231,67 @@ class TestCheckSelectionShare:
         assert proc.returncode == 0, proc.stderr
         gate = run_check("check_selection_share.py", str(out))
         assert gate.returncode == 0, gate.stderr
+
+
+def serve_phase(**over) -> dict:
+    base = {
+        "offered": 20, "answered": 20, "shed": 0, "timed_out": 0,
+        "failed": 0, "retries": 2, "qps": 100.0, "p99_ms": 5.0,
+        "digest_mismatches": [], "accounting_ok": True, "unresolved": 0,
+        "pool_epoch": 4, "writer": {"steps": 9},
+    }
+    base.update(over)
+    return base
+
+
+def write_serve_report(tmp_path: Path, phases: dict) -> str:
+    path = tmp_path / "serve.json"
+    path.write_text(json.dumps({"phases": phases}))
+    return str(path)
+
+
+class TestServeInvariantsGate:
+    def good_phases(self) -> dict:
+        return {
+            "steady": serve_phase(),
+            "burst": serve_phase(shed=8, answered=12),
+            "chaos": serve_phase(),
+        }
+
+    def test_passes_on_clean_report(self, tmp_path):
+        report = write_serve_report(tmp_path, self.good_phases())
+        proc = run_check("check_serve_invariants.py", report)
+        assert proc.returncode == 0, proc.stderr
+        assert "serving invariants hold" in proc.stdout
+
+    def test_fails_on_digest_divergence(self, tmp_path):
+        phases = self.good_phases()
+        phases["chaos"] = serve_phase(digest_mismatches=[7])
+        proc = run_check("check_serve_invariants.py", write_serve_report(tmp_path, phases))
+        assert proc.returncode == 1
+        assert "diverged" in proc.stderr
+
+    def test_fails_on_broken_accounting(self, tmp_path):
+        phases = self.good_phases()
+        phases["steady"] = serve_phase(accounting_ok=False)
+        proc = run_check("check_serve_invariants.py", write_serve_report(tmp_path, phases))
+        assert proc.returncode == 1
+        assert "accounting" in proc.stderr
+
+    def test_fails_when_burst_shed_nothing(self, tmp_path):
+        phases = self.good_phases()
+        phases["burst"] = serve_phase(shed=0)
+        proc = run_check("check_serve_invariants.py", write_serve_report(tmp_path, phases))
+        assert proc.returncode == 1
+        assert "admission control never fired" in proc.stderr
+
+    def test_fails_when_chaos_never_retried(self, tmp_path):
+        phases = self.good_phases()
+        phases["chaos"] = serve_phase(retries=0)
+        proc = run_check("check_serve_invariants.py", write_serve_report(tmp_path, phases))
+        assert proc.returncode == 1
+        assert "retries" in proc.stderr or "retry" in proc.stderr
+
+    def test_fails_on_empty_report(self, tmp_path):
+        proc = run_check("check_serve_invariants.py", write_serve_report(tmp_path, {}))
+        assert proc.returncode == 1

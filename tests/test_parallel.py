@@ -596,3 +596,104 @@ class TestPrewarmSharedCaches:
             catalog=fx.catalog,
         )
         assert fingerprint(serial) == fingerprint(stolen)
+
+
+def _guarded(fn, timeout_s=60.0):
+    """Run a pool call under a watchdog: a hang fails instead of wedging CI."""
+    import threading
+
+    box = {}
+
+    def run():
+        try:
+            box["value"] = fn()
+        except BaseException as exc:
+            box["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    assert not thread.is_alive(), "pool call hung past its guard timeout"
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+class _DeadSendConn:
+    """A pipe whose far end died while the worker sat idle: send raises."""
+
+    def __init__(self, conn):
+        self._conn = conn
+
+    def send(self, *args, **kwargs):
+        raise BrokenPipeError("stub: worker died while idle")
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+
+def _poison_first_spawn(monkeypatch):
+    """First worker the pool spawns gets a dead pipe; the rest are healthy."""
+    from repro.parallel import pool as pl
+
+    real = pl._Worker
+    state = {"poisoned": False}
+
+    def factory(proc, conn, *args, **kwargs):
+        if not state["poisoned"]:
+            state["poisoned"] = True
+            conn = _DeadSendConn(conn)
+        return real(proc, conn, *args, **kwargs)
+
+    monkeypatch.setattr(pl, "_Worker", factory)
+
+
+class TestPoolEdgeCases:
+    """Worker/task-count edges and the dead-idle-worker dispatch path."""
+
+    def test_fan_out_zero_tasks(self):
+        assert _guarded(lambda: fan_out([], workers=4)) == []
+
+    def test_steal_map_zero_tasks(self):
+        assert _guarded(lambda: steal_map([], workers=4)) == []
+
+    def test_fan_out_more_workers_than_tasks(self):
+        tasks = [(lambda i=i: i * 3) for i in range(2)]
+        assert _guarded(lambda: fan_out(tasks, workers=8)) == [0, 3]
+
+    def test_steal_map_more_workers_than_chunks(self):
+        tasks = [(lambda i=i: i * 3) for i in range(3)]
+        out = _guarded(lambda: steal_map(tasks, workers=8, chunk_size=1, warm=False))
+        assert out == [0, 3, 6]
+
+    def test_steal_map_chunk_larger_than_tasks(self):
+        tasks = [(lambda i=i: i + 1) for i in range(3)]
+        out = _guarded(lambda: steal_map(tasks, workers=2, chunk_size=99, warm=False))
+        assert out == [1, 2, 3]
+
+    def test_single_task_runs_serially_for_any_worker_count(self):
+        assert _guarded(lambda: fan_out([lambda: 41], workers=16)) == [41]
+        assert _guarded(lambda: steal_map([lambda: 41], workers=16)) == [41]
+
+    def test_fan_out_dead_idle_worker_redispatches(self, monkeypatch):
+        # A worker that dies *between* tasks surfaces as a send failure on
+        # its next dispatch — the task must keep its retry budget, move to
+        # a fresh worker, and the pool must neither hang nor crash.
+        _poison_first_spawn(monkeypatch)
+        tasks = [(lambda i=i: i * i) for i in range(4)]
+        assert _guarded(lambda: fan_out(tasks, workers=2)) == [0, 1, 4, 9]
+
+    def test_fan_out_dead_idle_worker_keeps_retry_budget(self, monkeypatch):
+        # retries=0: any *re-dispatch* would raise, so finishing proves the
+        # failed send was not charged against the task's budget.
+        _poison_first_spawn(monkeypatch)
+        tasks = [(lambda i=i: i + 7) for i in range(3)]
+        assert _guarded(lambda: fan_out(tasks, workers=2, retries=0)) == [7, 8, 9]
+
+    def test_steal_map_dead_idle_worker_redispatches(self, monkeypatch):
+        _poison_first_spawn(monkeypatch)
+        tasks = [(lambda i=i: i * i) for i in range(4)]
+        out = _guarded(
+            lambda: steal_map(tasks, workers=2, chunk_size=1, warm=False, retries=0)
+        )
+        assert out == [0, 1, 4, 9]
