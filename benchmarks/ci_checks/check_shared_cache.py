@@ -1,0 +1,101 @@
+"""CI gate: the shared cache tier proves cross-worker reuse and zero stale reads.
+
+Runs the fig-5a smoke three ways against one
+:class:`~repro.parallel.shared_cache.SharedCacheServer`:
+
+1. serial, tier off — the reference fingerprint;
+2. work-stealing pool, tier on — must fingerprint-match the reference
+   while publishing entries through the pipe frames;
+3. the same steal run again — its workers are fresh forks (new pids), so
+   every hit on a run-2 entry is by construction a **cross-worker** hit.
+
+Gates: all three fingerprints identical; at least one cross-worker hit
+(``cross_hits >= 1``); and the ``stale_served`` tripwire — a
+version-mismatched entry returned as a hit — exactly zero.
+
+Runnable locally:
+
+    PYTHONPATH=src python benchmarks/ci_checks/check_shared_cache.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=40)
+    parser.add_argument("--instance-gb", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    from repro.baselines import deepsea, hive
+    from repro.bench.harness import clear_caches, run_systems, sdss_fixture
+    from repro.parallel import fingerprint
+    from repro.parallel.shared_cache import SharedCacheServer
+    from repro.workloads.generator import sdss_mapped_workload
+
+    fx = sdss_fixture(args.instance_gb)
+    plans = sdss_mapped_workload(
+        fx.log, fx.item_domain, n_queries=args.queries, seed=args.seed
+    )
+    factories = {
+        "H": lambda: hive(fx.catalog, domains=fx.domains),
+        "DS": lambda: deepsea(fx.catalog, domains=fx.domains),
+    }
+    scope = ("check_shared_cache", args.queries, args.instance_gb, args.seed)
+
+    clear_caches()
+    reference = fingerprint(run_systems(factories, plans, workers=0))
+
+    server = SharedCacheServer()
+    try:
+        clear_caches()  # warm forks must not inherit the serial run's locals
+        first = run_systems(
+            factories, plans, workers=args.workers,
+            scheduler="steal", stateless=("H",),
+            shared=server, shared_scope=scope,
+        )
+        published = server.stats()["publishes"]
+        second = run_systems(
+            factories, plans, workers=args.workers,
+            scheduler="steal", stateless=("H",),
+            shared=server, shared_scope=scope,
+        )
+        stats = server.stats()
+    finally:
+        server.close()
+
+    print(
+        f"shared-cache smoke: publishes={published} gets={stats['gets']} "
+        f"hits={stats['hits']} cross_hits={stats['cross_hits']} "
+        f"stale={stats['stale']} stale_served={stats['stale_served']}"
+    )
+
+    failures = []
+    if fingerprint(first) != reference:
+        failures.append("tier-on steal run diverged from the serial reference")
+    if fingerprint(second) != reference:
+        failures.append("second tier-on steal run diverged from the serial reference")
+    if published <= 0:
+        failures.append("no entries were ever published to the shared tier")
+    if stats["cross_hits"] < 1:
+        failures.append(
+            f"expected >= 1 cross-worker hit, got {stats['cross_hits']} "
+            "(tier provides no cross-process reuse)"
+        )
+    if stats["stale_served"] != 0:
+        failures.append(
+            f"stale_served tripwire fired {stats['stale_served']} times — "
+            "a version-mismatched entry was served as a hit"
+        )
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,20 +25,29 @@ from typing import Callable
 
 _CLEARERS: dict[str, Callable[[], None]] = {}
 _STATS: dict[str, Callable[[], dict]] = {}
+_TIERS: dict[str, str] = {}
 
 
 def register_cache(
     name: str,
     clear: Callable[[], None],
     stats: "Callable[[], dict] | None" = None,
+    *,
+    tier: str = "local",
 ) -> None:
     """Register one cache's ``clear`` (and optional ``stats``) callable.
 
     Called at module import time by every cache-bearing module; the
     ``name`` should be the dotted location of the cache so registry
-    snapshots read like a map of the process.
+    snapshots read like a map of the process.  ``tier`` distinguishes
+    process-local caches (``"local"``, the default) from the cross-worker
+    shared tier (``"shared"``) so profile reports can break counters out
+    per tier.
     """
+    if tier not in ("local", "shared"):
+        raise ValueError(f"unknown cache tier {tier!r}")
     _CLEARERS[name] = clear
+    _TIERS[name] = tier
     if stats is not None:
         _STATS[name] = stats
     else:
@@ -48,6 +57,11 @@ def register_cache(
 def registered_caches() -> tuple[str, ...]:
     """Names of every cache currently registered (sorted, for tests)."""
     return tuple(sorted(_CLEARERS))
+
+
+def cache_tier(name: str) -> str:
+    """The registered tier of one cache (``"local"`` or ``"shared"``)."""
+    return _TIERS[name]
 
 
 def clear_all_caches() -> None:

@@ -32,6 +32,13 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self.uid: int = next(_CATALOG_UIDS)
         self.version: int = 0
+        # Cross-process identity for the shared cache tier: ``uid`` is a
+        # process-local counter, so it cannot name "the same catalog" on
+        # two pool workers.  Builders that deterministically reconstruct
+        # identical content from a spec (the benchmark fixtures) stamp a
+        # content-stable token here; None keeps this catalog out of the
+        # shared tier entirely.
+        self.shared_ident: "tuple | None" = None
 
     def register(self, name: str, table: Table) -> None:
         if name in self._tables:

@@ -94,10 +94,12 @@ class Executor:
         ledger = ledger if ledger is not None else CostLedger(self.context.cluster)
         analysis = analyze_plan(plan)  # boundaries + job count, one traversal
         key = None
+        shared = None
         if not self._capture_targets and result_cache.eligible(ledger):
             key = result_cache.ResultCache.key_for(plan, analysis, self.context)
             if key is not None:
-                entry = result_cache.GLOBAL.lookup(key)
+                shared = result_cache.ResultCache.shared_parts(plan, analysis, self.context)
+                entry = result_cache.GLOBAL.lookup_through(key, shared)
                 if entry is not None:
                     table = result_cache.ResultCache.replay(entry, ledger)
                     return ExecutionResult(table, ledger)
@@ -106,7 +108,7 @@ class Executor:
         if analysis.job_ops == 0:
             ledger.charge_jobs(1)
         if key is not None:
-            result_cache.GLOBAL.store(key, table, ledger)
+            result_cache.GLOBAL.store(key, table, ledger, shared)
         return ExecutionResult(table, ledger)
 
     def execute_with_capture(

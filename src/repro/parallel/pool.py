@@ -47,6 +47,7 @@ from multiprocessing import connection
 from typing import Any, Callable, Sequence, TypeVar
 
 from repro.errors import WorkerCrashError
+from repro.parallel import shared_cache
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -69,7 +70,20 @@ def _worker_init() -> None:
     clear_all_caches()
 
 
-def _worker_main(conn) -> None:
+def _install_worker_client(conn, shared_on: bool, arena_path: "str | None") -> None:
+    """Point this worker's shared-tier hooks at the parent, or at nothing.
+
+    Always called, even with the tier off: a forked worker may inherit
+    the parent's installed client (e.g. the serving layer's in-process
+    one), which would silently operate on the worker's private copy of
+    the parent's server — installing ``None`` severs that.
+    """
+    client = shared_cache.PipeClient(conn, arena_path) if shared_on else None
+    shared_cache.install_client(client)
+    shared_cache.install_server(None)
+
+
+def _worker_main(conn, shared_on: bool = False, arena_path: "str | None" = None) -> None:
     """Worker loop: receive ``(index, attempt, crashes)``, send results.
 
     ``crashes`` is the task's entry in the caller's ``fault_plan``: while
@@ -78,7 +92,13 @@ def _worker_main(conn) -> None:
     just a dead process and an EOF on the pipe) used by the chaos tests
     to prove the parent's crash detection end to end.  A ``None`` index
     is the shutdown sentinel.
+
+    With ``shared_on`` the worker speaks shared-cache frames over the
+    same ``conn`` between tasks' request/response pairs (the parent loop
+    multiplexes them); cache lookups happen strictly mid-task, so a
+    cache reply can never be confused with a task dispatch.
     """
+    _install_worker_client(conn, shared_on, arena_path)
     _worker_init()
     while True:
         try:
@@ -159,6 +179,7 @@ def fan_out(
     retries: int = 1,
     task_timeout: "float | None" = None,
     fault_plan: "dict[int, int] | None" = None,
+    shared: "shared_cache.SharedCacheServer | None" = None,
 ) -> list[T]:
     """Run independent thunks, results in task order for any worker count.
 
@@ -180,6 +201,13 @@ def fan_out(
     worker_kill_plan`).  Because results are slotted by index and each
     re-run executes the identical thunk, crashes perturb scheduling only
     — outputs are byte-identical to a crash-free run.
+
+    ``shared`` plugs in a :class:`~repro.parallel.shared_cache.
+    SharedCacheServer`: the parent loop answers cache request frames
+    alongside task results and workers publish what they compute, so an
+    entry one worker paid for is a hit for every other.  The serial
+    fallback installs an in-process client against the same server, so
+    ``workers=1`` exercises the identical code path.
     """
     global _TASKS
     tasks = list(tasks)
@@ -197,8 +225,17 @@ def fan_out(
     )
     results: list[Any] = [None] * len(tasks)
     if serial:
-        for index in order:
-            results[index] = tasks[index]()
+        prior_client = (
+            shared_cache.install_client(shared_cache.InProcessClient(shared))
+            if shared is not None
+            else None
+        )
+        try:
+            for index in order:
+                results[index] = tasks[index]()
+        finally:
+            if shared is not None:
+                shared_cache.install_client(prior_client)
         return results
 
     context = multiprocessing.get_context("fork")
@@ -210,7 +247,13 @@ def fan_out(
     def spawn() -> _Worker:
         parent_conn, child_conn = context.Pipe()
         proc = context.Process(
-            target=_worker_main, args=(child_conn,), daemon=True
+            target=_worker_main,
+            args=(
+                child_conn,
+                shared is not None,
+                shared.arena_path if shared is not None else None,
+            ),
+            daemon=True,
         )
         proc.start()
         # Close the child end immediately: after this, the only open copy
@@ -271,15 +314,29 @@ def fan_out(
                 crashed = None
                 if worker.conn in ready:
                     try:
-                        kind, index, payload = worker.conn.recv()
+                        message = worker.conn.recv()
                     except (EOFError, OSError):
                         crashed = "died"
                     else:
-                        if kind == "err":
-                            raise payload
-                        results[index] = payload
-                        worker.current = None
-                        done += 1
+                        if message[0] in shared_cache.CACHE_FRAMES:
+                            # Mid-task cache traffic: answer and leave the
+                            # worker busy on its current task (a queued
+                            # follow-up frame re-readies the pipe).
+                            reply = shared.handle(message) if shared is not None else None
+                            if message[0] == shared_cache.GET_FRAME:
+                                try:
+                                    worker.conn.send(
+                                        reply if reply is not None else shared_cache.MISS_REPLY
+                                    )
+                                except (BrokenPipeError, OSError):
+                                    crashed = "died"
+                        else:
+                            kind, index, payload = message
+                            if kind == "err":
+                                raise payload
+                            results[index] = payload
+                            worker.current = None
+                            done += 1
                 elif worker.deadline is not None and now >= worker.deadline:
                     crashed = f"exceeded task_timeout={task_timeout}s"
                 if crashed is not None:
@@ -296,7 +353,9 @@ def fan_out(
     return results
 
 
-def _steal_worker_main(conn, warm: bool) -> None:
+def _steal_worker_main(
+    conn, warm: bool, shared_on: bool = False, arena_path: "str | None" = None
+) -> None:
     """Persistent steal-pool worker: pull chunks, push per-task results.
 
     Messages from the parent are ``("run", units)`` — one chunk of
@@ -313,6 +372,7 @@ def _steal_worker_main(conn, warm: bool) -> None:
     """
     from repro import caches
 
+    _install_worker_client(conn, shared_on, arena_path)
     if not warm:
         caches.clear_all_caches()
     before = caches.snapshot_stats()
@@ -354,6 +414,7 @@ def steal_map(
     retries: int = 1,
     fault_plan: "dict[int, int] | None" = None,
     worker_stats: "list[dict] | None" = None,
+    shared: "shared_cache.SharedCacheServer | None" = None,
 ) -> list[T]:
     """Run thunks over a work-stealing pool; results in task order.
 
@@ -381,6 +442,12 @@ def steal_map(
     (``pid``, ``tasks`` completed, per-cache counter ``deltas``) — the
     per-worker section of the profile JSON.  The serial fallback appends
     a single self-entry so callers see a uniform shape.
+
+    ``shared`` attaches a cross-worker cache server exactly as in
+    :func:`fan_out`; here the warm fork makes it strictly additive —
+    whatever the parent cached pre-fork is copy-on-write shared, and the
+    shared tier carries what workers earn *after* the fork across the
+    pool.
     """
     global _TASKS
     tasks = list(tasks)
@@ -400,14 +467,23 @@ def steal_map(
     if serial:
         from repro import caches
 
-        before = caches.snapshot_stats() if worker_stats is not None else None
-        for index in order:
-            results[index] = tasks[index]()
-        if worker_stats is not None:
-            delta = caches.stats_delta(before, caches.snapshot_stats())
-            worker_stats.append(
-                {"pid": os.getpid(), "tasks": len(tasks), "caches": delta}
-            )
+        prior_client = (
+            shared_cache.install_client(shared_cache.InProcessClient(shared))
+            if shared is not None
+            else None
+        )
+        try:
+            before = caches.snapshot_stats() if worker_stats is not None else None
+            for index in order:
+                results[index] = tasks[index]()
+            if worker_stats is not None:
+                delta = caches.stats_delta(before, caches.snapshot_stats())
+                worker_stats.append(
+                    {"pid": os.getpid(), "tasks": len(tasks), "caches": delta}
+                )
+        finally:
+            if shared is not None:
+                shared_cache.install_client(prior_client)
         return results
 
     if chunk_size <= 0:
@@ -424,7 +500,14 @@ def steal_map(
     def spawn() -> _Worker:
         parent_conn, child_conn = context.Pipe()
         proc = context.Process(
-            target=_steal_worker_main, args=(child_conn, warm), daemon=True
+            target=_steal_worker_main,
+            args=(
+                child_conn,
+                warm,
+                shared is not None,
+                shared.arena_path if shared is not None else None,
+            ),
+            daemon=True,
         )
         proc.start()
         child_conn.close()
@@ -483,7 +566,7 @@ def steal_map(
                 if worker.current is None or worker.conn not in ready:
                     continue
                 try:
-                    kind, index, payload = worker.conn.recv()
+                    message = worker.conn.recv()
                 except (EOFError, OSError):
                     # Re-queue only what the dead worker had not finished,
                     # at the front so its retry budget settles first.
@@ -492,6 +575,22 @@ def steal_map(
                     pending.appendleft(remainder)
                     crew[slot] = spawn()
                     continue
+                if message[0] in shared_cache.CACHE_FRAMES:
+                    # Mid-task cache traffic; the worker stays busy on its
+                    # current chunk.
+                    reply = shared.handle(message) if shared is not None else None
+                    if message[0] == shared_cache.GET_FRAME:
+                        try:
+                            worker.conn.send(
+                                reply if reply is not None else shared_cache.MISS_REPLY
+                            )
+                        except (BrokenPipeError, OSError):
+                            remainder = sorted(worker.current)
+                            worker.kill()
+                            pending.appendleft(remainder)
+                            crew[slot] = spawn()
+                    continue
+                kind, index, payload = message
                 if kind == "err":
                     raise payload
                 results[index] = payload
@@ -510,7 +609,13 @@ def steal_map(
 
 
 def _steal_shutdown(worker: _Worker) -> "dict | None":
-    """Stop one steal worker, harvesting its final stats message."""
+    """Stop one steal worker, harvesting its final stats message.
+
+    A worker can still be mid-task when "stop" is queued, so leftover
+    cache frames may precede the stats message: publishes are dropped
+    (the tier is going away) and lookups get a canned miss so the task
+    can finish and the worker reach its stop handler.
+    """
     stats = None
     try:
         if worker.alive:
@@ -520,6 +625,9 @@ def _steal_shutdown(worker: _Worker) -> "dict | None":
                 if message[0] == "stats":
                     stats = {"pid": message[1], **message[2]}
                     break
+                if message[0] == shared_cache.GET_FRAME:
+                    worker.conn.send(shared_cache.MISS_REPLY)
+                # cput / trailing ok frames: drained and dropped
     except (EOFError, OSError, BrokenPipeError):
         pass
     worker.proc.join(_REAP_GRACE_S)

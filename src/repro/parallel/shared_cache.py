@@ -1,0 +1,567 @@
+"""Shared cross-worker cache tier (DESIGN.md §15).
+
+The per-process caches (result cache, cover cache, fragment prune cache)
+make work *one* process paid for free for that process — but a pool of N
+workers still pays N times.  The warm-forked steal pool shares whatever
+the parent cached *before* the fork copy-on-write; everything earned
+*after* the fork stays worker-private.  This module adds the missing
+read-mostly tier behind them:
+
+* a **parent-side cache server** (:class:`SharedCacheServer`) multiplexed
+  over the pool's existing per-worker pipes — cache request/response
+  frames travel alongside task dispatch, so there is no extra socket, no
+  extra thread, and a dead worker is still exactly an EOF;
+* an optional **mmap'd append-only arena** for large payloads: the parent
+  appends the pickled bytes once, replies with ``(offset, length)``, and
+  workers read the bytes straight out of the shared file instead of
+  re-pickling them through the parent's pipe;
+* an **in-process client** (:class:`InProcessClient`) so the serving
+  layer's reader threads — and the serial fallbacks of ``fan_out`` /
+  ``steal_map`` — go through the identical lookup/publish path without a
+  process boundary.
+
+Keys and validation reuse the DESIGN.md §13 three-tier scheme exactly:
+every entry is stored under a content-stable key (sha-256 of the
+canonical ``repr`` of identity parts that survive pickling and process
+boundaries) together with the **version token** it was computed at —
+catalog version plus per-view cover-version vector for results, the
+single per-view cover version for cover and fragment entries.  A ``get``
+must present the *current* version: an exact match is a hit, anything
+else is a miss (counted ``stale``), so invalidation needs no coordination
+beyond the CoverDelta stream that already bumps the versions.  A journal
+rollback restores pre-transaction versions, which re-validates entries
+published before the transaction and strands entries published inside it
+(mid-transaction versions are never re-issued — see
+``tests/test_cover_delta.py``).
+
+Cross-process key identity cannot lean on ``catalog.uid`` / ``pool.uid``
+(process-local counters): only catalogs and pools that carry a
+``shared_ident`` — a content-stable token stamped by the fixture builders
+and the task specs that deterministically rebuild the same state on every
+worker — participate in the tier.  Everything else silently skips it.
+
+Publishing is guarded by a per-namespace **admission threshold**
+(:class:`AdmissionPolicy`): entries whose pickled payload is smaller than
+the floor never pay the round trip, and payloads above the ceiling never
+bloat the server.  ``stale_served`` is a tripwire counter: the server
+increments it if a version-mismatched entry would ever be returned as a
+hit; CI asserts it stays zero.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.caches import register_cache
+
+# Frame tags, shared with repro.parallel.pool's multiplexing loops.
+GET_FRAME = "cget"
+PUT_FRAME = "cput"
+CACHE_FRAMES = (GET_FRAME, PUT_FRAME)
+_REPLY_HIT = "chit"
+_REPLY_ARENA = "carena"
+_REPLY_MISS = "cmiss"
+# Canned non-stale miss, for pool shutdown paths that must answer a
+# worker's in-flight cget without consulting a (gone) server.
+MISS_REPLY = (_REPLY_MISS, False)
+
+NAMESPACES = ("result", "cover", "fragment")
+
+# Payloads at or above this many pickled bytes go to the arena instead of
+# crossing the pipe on every hit.
+DEFAULT_ARENA_THRESHOLD = 64 * 1024
+# In-memory payload budget (arena bytes are bounded separately).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+DEFAULT_ARENA_MAX_BYTES = 1024 * 1024 * 1024
+
+
+def stable_key(namespace: str, parts: Any) -> bytes:
+    """Content-stable cross-process key: sha-256 over canonical ``repr``.
+
+    ``parts`` must repr deterministically from values alone — tuples of
+    primitives, frozen dataclasses, and ``repr``-ed plans/intervals
+    qualify; anything keyed on object identity or process-local counters
+    does not (that is what ``shared_ident`` exists for).
+    """
+    digest = hashlib.sha256(namespace.encode())
+    digest.update(b"\x00")
+    digest.update(repr(parts).encode())
+    return digest.digest()
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Size gates deciding which payloads are worth publishing.
+
+    ``min_bytes`` keeps trivially-recomputable entries from paying the
+    pipe round trip at all; ``max_bytes`` keeps a pathological result
+    table from monopolizing the server.  Both are measured on the pickled
+    payload, the actual wire/arena cost.
+    """
+
+    min_bytes: dict = field(
+        default_factory=lambda: {"result": 96, "cover": 48, "fragment": 48}
+    )
+    max_bytes: int = 16 * 1024 * 1024
+
+    def admits(self, namespace: str, payload_bytes: int) -> bool:
+        return self.min_bytes.get(namespace, 0) <= payload_bytes <= self.max_bytes
+
+
+class _Arena:
+    """Append-only payload file: parent appends, workers mmap and slice.
+
+    Offsets are stable forever (nothing is ever rewritten or truncated),
+    so a reader holding yesterday's ``(offset, length)`` ref always reads
+    the exact bytes the publisher appended.  Readers remap lazily when a
+    ref points past their current mapping; platforms where ``mmap``
+    misbehaves fall back to ``os.pread`` — same bytes either way.
+    """
+
+    def __init__(self, path: "str | None" = None):
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro-shared-arena-", suffix=".bin")
+            self._wfd: "int | None" = fd
+            self._owner = True
+        else:
+            self._wfd = None
+            self._owner = False
+        self.path = path
+        self.size = os.path.getsize(path) if os.path.exists(path) else 0
+        self._rfd: "int | None" = None
+        self._map: "mmap.mmap | None" = None
+
+    # -- parent side ---------------------------------------------------
+    def append(self, payload: bytes) -> tuple[int, int]:
+        if self._wfd is None:
+            raise RuntimeError("arena is read-only in this process")
+        offset = self.size
+        view = memoryview(payload)
+        while view:
+            written = os.write(self._wfd, view)
+            view = view[written:]
+        self.size += len(payload)
+        return offset, len(payload)
+
+    # -- worker side ---------------------------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        if self._rfd is None:
+            self._rfd = os.open(self.path, os.O_RDONLY)
+        end = offset + length
+        if self._map is None or end > len(self._map):
+            try:
+                if self._map is not None:
+                    self._map.close()
+                self._map = mmap.mmap(self._rfd, 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                self._map = None  # empty file or no mmap: pread below
+        if self._map is not None and end <= len(self._map):
+            return bytes(self._map[offset:end])
+        return os.pread(self._rfd, length, offset)
+
+    def close(self) -> None:
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+        if self._rfd is not None:
+            os.close(self._rfd)
+            self._rfd = None
+        if self._wfd is not None:
+            os.close(self._wfd)
+            self._wfd = None
+        if self._owner:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+            self._owner = False
+
+
+class _Entry:
+    __slots__ = ("version", "location", "length", "origin")
+
+    def __init__(self, version, location, length: int, origin) -> None:
+        self.version = version
+        # ("mem", payload_bytes) or ("arena", offset)
+        self.location = location
+        self.length = length
+        self.origin = origin  # publisher pid/thread id, for cross-hit proof
+
+
+class SharedCacheServer:
+    """The parent-side store behind every worker's shared-tier client.
+
+    Thread-safety: mutations take one lock; ``get`` reads the entry dict
+    lock-free (a CPython dict read races only against whole-value
+    replacement, and entries are immutable once stored), which is what
+    lets the serving layer's reader threads hit the tier without the
+    result cache's LRU lock.  Counters are plain ints — exact in every
+    single-threaded context, best-effort under thread races.
+    """
+
+    def __init__(
+        self,
+        *,
+        use_arena: bool = True,
+        arena_threshold: int = DEFAULT_ARENA_THRESHOLD,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        arena_max_bytes: int = DEFAULT_ARENA_MAX_BYTES,
+        admission: "AdmissionPolicy | None" = None,
+    ):
+        self.admission = admission if admission is not None else AdmissionPolicy()
+        self.arena_threshold = arena_threshold
+        self.max_bytes = max_bytes
+        self.arena_max_bytes = arena_max_bytes
+        self._entries: dict[tuple[str, bytes], _Entry] = {}
+        self._mem_bytes = 0
+        self._lock = threading.Lock()
+        self._arena: "_Arena | None" = _Arena() if use_arena else None
+        self.gets = 0
+        self.hits = 0
+        self.cross_hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.stale_served = 0  # tripwire: must stay 0 (CI-gated)
+        self.publishes = 0
+        self.republishes = 0
+        self.rejected = 0
+        self.evictions = 0
+        self.bytes_served = 0
+
+    @property
+    def arena_path(self) -> "str | None":
+        return self._arena.path if self._arena is not None else None
+
+    # -- core operations -----------------------------------------------
+    def get(self, namespace: str, key: bytes, version, origin=None) -> tuple:
+        """Reply frame for one lookup: hit, arena ref, or (stale) miss."""
+        self.gets += 1
+        entry = self._entries.get((namespace, key))
+        if entry is None:
+            self.misses += 1
+            return (_REPLY_MISS, False)
+        if entry.version != version:
+            self.stale += 1
+            return (_REPLY_MISS, True)
+        # Version matched exactly — the only way an entry may be served.
+        # (The tripwire below can only fire if this comparison is ever
+        # weakened; check_shared_cache.py asserts it never does.)
+        if entry.version != version:  # pragma: no cover - defensive
+            self.stale_served += 1
+        self.hits += 1
+        if origin is not None and entry.origin is not None and origin != entry.origin:
+            self.cross_hits += 1
+        self.bytes_served += entry.length
+        if entry.location[0] == "arena":
+            return (_REPLY_ARENA, entry.location[1], entry.length)
+        return (_REPLY_HIT, entry.location[1])
+
+    def put(self, namespace: str, key: bytes, version, payload: bytes, origin=None) -> bool:
+        """Store (or overwrite) one entry; returns whether it was kept."""
+        if not self.admission.admits(namespace, len(payload)):
+            self.rejected += 1
+            return False
+        with self._lock:
+            slot = (namespace, key)
+            prior = self._entries.get(slot)
+            use_arena = (
+                self._arena is not None
+                and len(payload) >= self.arena_threshold
+                and self._arena.size + len(payload) <= self.arena_max_bytes
+            )
+            if use_arena:
+                offset, length = self._arena.append(payload)
+                location = ("arena", offset)
+            else:
+                location, length = ("mem", payload), len(payload)
+                self._mem_bytes += length
+            self._entries[slot] = _Entry(version, location, length, origin)
+            if prior is not None:
+                if prior.location[0] == "mem":
+                    self._mem_bytes -= prior.length
+                self.republishes += 1
+            else:
+                self.publishes += 1
+            while self._mem_bytes > self.max_bytes:
+                victim = next(
+                    (s for s, e in self._entries.items() if e.location[0] == "mem"),
+                    None,
+                )
+                if victim is None or victim == slot:
+                    break
+                evicted = self._entries.pop(victim)
+                self._mem_bytes -= evicted.length
+                self.evictions += 1
+        return True
+
+    def read_payload(self, reply: tuple) -> "bytes | None":
+        """Resolve a reply frame to payload bytes (in-process client path)."""
+        if reply[0] == _REPLY_HIT:
+            return reply[1]
+        if reply[0] == _REPLY_ARENA:
+            return self._arena.read(reply[1], reply[2])
+        return None
+
+    def handle(self, frame: tuple) -> "tuple | None":
+        """Dispatch one pipe frame; a reply tuple for gets, None for puts."""
+        if frame[0] == GET_FRAME:
+            _, namespace, key, version, origin = frame
+            return self.get(namespace, key, version, origin)
+        if frame[0] == PUT_FRAME:
+            _, namespace, key, version, payload, origin = frame
+            self.put(namespace, key, version, payload, origin)
+            return None
+        raise ValueError(f"not a shared-cache frame: {frame[0]!r}")
+
+    # -- registry hooks ------------------------------------------------
+    def clear(self) -> None:
+        """Drop every entry (counters too) — the parent-side isolation hook.
+
+        ``repro.caches.clear_all_caches()`` in a process holding the
+        server empties the shared tier outright, so tests and sessions
+        that reset local caches can never resurrect a shared entry whose
+        producing state was discarded with them.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._mem_bytes = 0
+            self.gets = self.hits = self.cross_hits = self.misses = 0
+            self.stale = self.stale_served = 0
+            self.publishes = self.republishes = self.rejected = self.evictions = 0
+            self.bytes_served = 0
+
+    def stats(self) -> dict:
+        return {
+            "gets": self.gets,
+            "hits": self.hits,
+            "cross_hits": self.cross_hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "stale_served": self.stale_served,
+            "publishes": self.publishes,
+            "republishes": self.republishes,
+            "rejected": self.rejected,
+            "evictions": self.evictions,
+            "bytes_served": self.bytes_served,
+            "entries": len(self._entries),
+            "mem_bytes": self._mem_bytes,
+            "arena_bytes": self._arena.size if self._arena is not None else 0,
+        }
+
+    def close(self) -> None:
+        if self._arena is not None:
+            self._arena.close()
+
+
+class SharedCacheClient:
+    """Common counter surface for both client flavors.
+
+    ``prefer_shared`` marks clients whose shared lookup is cheaper than
+    the local cache's lock (the serving layer's in-process tier): cache
+    integrations consult the shared tier *first* when it is set.
+    """
+
+    prefer_shared = False
+
+    def __init__(self, admission: "AdmissionPolicy | None" = None):
+        self.admission = admission if admission is not None else AdmissionPolicy()
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.publishes = 0
+        self.skipped = 0
+        self.errors = 0
+
+    def admit(self, namespace: str, payload_bytes: int) -> bool:
+        if self.admission.admits(namespace, payload_bytes):
+            return True
+        self.skipped += 1
+        return False
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "publishes": self.publishes,
+            "skipped": self.skipped,
+            "errors": self.errors,
+        }
+
+    def clear(self) -> None:
+        self.hits = self.misses = self.stale = 0
+        self.publishes = self.skipped = self.errors = 0
+
+    # subclass surface: get(ns, key, version) -> bytes | None ; put(...)
+
+
+class PipeClient(SharedCacheClient):
+    """Worker-side client speaking cache frames over the task pipe.
+
+    The protocol is strictly worker-initiated: a ``cget`` is answered by
+    exactly one reply frame before anything else arrives on the pipe
+    (the parent only dispatches new tasks to idle workers, and a worker
+    is never idle mid-lookup), and a ``cput`` is fire-and-forget.  Any
+    unexpected reply or pipe error permanently disables the client —
+    the shared tier degrades to all-miss, never to a wrong answer.
+    """
+
+    def __init__(
+        self,
+        conn,
+        arena_path: "str | None" = None,
+        admission: "AdmissionPolicy | None" = None,
+    ):
+        super().__init__(admission)
+        self._conn = conn
+        self._arena = _Arena(arena_path) if arena_path else None
+        self._origin = os.getpid()
+        self._dead = False
+
+    def get(self, namespace: str, key: bytes, version) -> "bytes | None":
+        if self._dead:
+            self.misses += 1
+            return None
+        try:
+            self._conn.send((GET_FRAME, namespace, key, version, self._origin))
+            reply = self._conn.recv()
+        except (EOFError, OSError, BrokenPipeError):
+            self._dead = True
+            self.errors += 1
+            self.misses += 1
+            return None
+        if reply[0] == _REPLY_HIT:
+            self.hits += 1
+            return reply[1]
+        if reply[0] == _REPLY_ARENA:
+            if self._arena is None:
+                self._dead = True
+                self.errors += 1
+                self.misses += 1
+                return None
+            self.hits += 1
+            return self._arena.read(reply[1], reply[2])
+        if reply[0] == _REPLY_MISS:
+            if reply[1]:
+                self.stale += 1
+            self.misses += 1
+            return None
+        # Interleaved non-cache message: protocol breach (e.g. the parent
+        # is tearing the pool down mid-task).  Disable rather than guess.
+        self._dead = True
+        self.errors += 1
+        self.misses += 1
+        return None
+
+    def put(self, namespace: str, key: bytes, version, payload: bytes) -> None:
+        if self._dead:
+            return
+        try:
+            self._conn.send((PUT_FRAME, namespace, key, version, payload, self._origin))
+            self.publishes += 1
+        except (EOFError, OSError, BrokenPipeError):
+            self._dead = True
+            self.errors += 1
+
+    def close(self) -> None:
+        if self._arena is not None:
+            self._arena.close()
+
+
+class InProcessClient(SharedCacheClient):
+    """Direct-call client for threads sharing the server's process.
+
+    Used by the serving layer's readers (``prefer_shared=True``: the
+    lock-free dict read beats the result cache's LRU lock) and by the
+    pool schedulers' serial fallbacks (so ``--shared-cache on`` at
+    ``--workers 1`` exercises the identical code path).
+    """
+
+    def __init__(
+        self,
+        server: SharedCacheServer,
+        *,
+        prefer_shared: bool = False,
+        admission: "AdmissionPolicy | None" = None,
+    ):
+        super().__init__(admission if admission is not None else server.admission)
+        self.server = server
+        self.prefer_shared = prefer_shared
+
+    def _origin(self) -> tuple:
+        return (os.getpid(), threading.get_ident())
+
+    def get(self, namespace: str, key: bytes, version) -> "bytes | None":
+        reply = self.server.get(namespace, key, version, self._origin())
+        if reply[0] == _REPLY_MISS:
+            if reply[1]:
+                self.stale += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self.server.read_payload(reply)
+
+    def put(self, namespace: str, key: bytes, version, payload: bytes) -> None:
+        self.server.put(namespace, key, version, payload, self._origin())
+        self.publishes += 1
+
+
+# ----------------------------------------------------------------------
+# Process-wide installation (what the cache integrations consult)
+# ----------------------------------------------------------------------
+_CLIENT: "SharedCacheClient | None" = None
+_SERVER: "SharedCacheServer | None" = None
+
+
+def client() -> "SharedCacheClient | None":
+    """The installed shared-tier client, or None when the tier is off."""
+    return _CLIENT
+
+
+def install_client(new: "SharedCacheClient | None") -> "SharedCacheClient | None":
+    """Install (or, with None, remove) the process client; returns prior."""
+    global _CLIENT
+    prior = _CLIENT
+    _CLIENT = new
+    return prior
+
+
+def install_server(new: "SharedCacheServer | None") -> "SharedCacheServer | None":
+    """Expose a parent-side server to this process's registry stats."""
+    global _SERVER
+    prior = _SERVER
+    _SERVER = new
+    return prior
+
+
+def server() -> "SharedCacheServer | None":
+    return _SERVER
+
+
+def _registry_clear() -> None:
+    if _CLIENT is not None:
+        _CLIENT.clear()
+    if _SERVER is not None:
+        _SERVER.clear()
+
+
+def _registry_stats() -> dict:
+    stats = (
+        _CLIENT.stats()
+        if _CLIENT is not None
+        else {"hits": 0, "misses": 0, "stale": 0, "publishes": 0, "skipped": 0, "errors": 0}
+    )
+    stats["evictions"] = _SERVER.evictions if _SERVER is not None else 0
+    stats["entries"] = len(_SERVER._entries) if _SERVER is not None else 0
+    if _SERVER is not None:
+        stats["server"] = _SERVER.stats()
+    return stats
+
+
+register_cache("parallel.shared_cache", _registry_clear, _registry_stats, tier="shared")

@@ -134,6 +134,17 @@ class RunTask:
             system.clock = self.clock0
         if self.faults is not None:
             system.attach_faults(self.faults)
+        pool = getattr(system, "pool", None)
+        if pool is not None:
+            # Shared-cache identity: the whole frozen spec, because the
+            # pool's mutation sequence (and hence the content behind each
+            # cover version) is a deterministic function of exactly
+            # (fixture, system options, workload slice, fault schedule,
+            # clock offset).  Two workers running the same spec replay the
+            # same mutations, so a version-matched shared entry from one
+            # is bit-identical on the other; any differing spec gets a
+            # different identity and can never collide.
+            pool.shared_ident = ("run_task", self)
         return run_system(self.label, system, plans, profiler)
 
     def slices(self, n_slices: int) -> "list[RunTask]":

@@ -256,6 +256,131 @@ def test_bucket_eviction_is_bounded_fifo():
     assert stats["evictions"] >= 1
 
 
+class TestSharedTierRollback:
+    """Journal rollback vs the cross-worker shared tier (DESIGN.md §15).
+
+    A rolled-back repartition must leave the shared tier either empty
+    (``clear_all_caches`` in the server's process) or version-stale:
+    entries published mid-transaction were stored at versions the journal
+    rollback retires forever, so post-rollback lookups present the
+    restored versions and the stranded entries can never be served.
+    """
+
+    @staticmethod
+    def _tier(pool):
+        from repro.parallel import shared_cache
+        from repro.parallel.shared_cache import InProcessClient, SharedCacheServer
+
+        pool.shared_ident = ("test-shared-rollback", id(pool))
+        server = SharedCacheServer(use_arena=False)
+        prior_server = shared_cache.install_server(server)
+        prior_client = shared_cache.install_client(InProcessClient(server))
+        return server, prior_server, prior_client
+
+    @staticmethod
+    def _teardown(server, prior_server, prior_client):
+        from repro.parallel import shared_cache
+
+        shared_cache.install_client(prior_client)
+        shared_cache.install_server(prior_server)
+        server.close()
+
+    def test_mid_transaction_publishes_stranded_by_rollback(self):
+        pool = make_pool("va")
+        server, prior_server, prior_client = self._tier(pool)
+        try:
+            pool.add_fragment("va", "v", Interval.closed(0, 10), payload())
+            theta = Interval.closed(0, 18)
+            pre_cover = CoverCache(pool).cover("va", "v", theta)  # published @ pre
+            pre_version = pool.cover_version("va")
+
+            pool.begin("step")
+            pool.add_fragment("va", "v", Interval.open_closed(10, 20), payload())
+            # A cold cache (fresh worker) publishes at the mid-transaction
+            # version, overwriting the shared entry for this (view, θ).
+            mid_cover = CoverCache(pool).cover("va", "v", theta)
+            assert mid_cover != pre_cover
+            pool.rollback()
+
+            assert pool.cover_version("va") == pre_version
+            # The stranded mid-transaction entry is version-stale: a fresh
+            # cache recomputes the pre-transaction cover from the pool.
+            got = CoverCache(pool).cover("va", "v", theta)
+            assert got == pre_cover
+            assert got == greedy_cover(theta, pool.intervals_of("va", "v"))
+            stats = server.stats()
+            assert stats["stale"] >= 1  # the stranded entry was probed
+            assert stats["stale_served"] == 0
+        finally:
+            self._teardown(server, prior_server, prior_client)
+
+    def test_rollback_revalidates_pre_transaction_shared_entries(self):
+        pool = make_pool("va")
+        server, prior_server, prior_client = self._tier(pool)
+        try:
+            pool.add_fragment("va", "v", Interval.closed(0, 10), payload())
+            theta = Interval.closed(2, 8)
+            pre_cover = CoverCache(pool).cover("va", "v", theta)  # published @ pre
+
+            pool.begin("step")
+            pool.add_fragment("va", "v", Interval.open_closed(10, 20), payload())
+            pool.rollback()
+
+            # Nothing republished for this θ mid-transaction, so the
+            # pre-transaction entry validates again at the restored
+            # version — a fresh (memo-cold) cache hits the shared tier.
+            hits_before = server.hits
+            assert CoverCache(pool).cover("va", "v", theta) == pre_cover
+            assert server.hits == hits_before + 1
+            assert server.stats()["stale_served"] == 0
+        finally:
+            self._teardown(server, prior_server, prior_client)
+
+    def test_clear_all_caches_empties_shared_tier_with_locals(self):
+        from repro.caches import clear_all_caches
+
+        pool = make_pool("va")
+        server, prior_server, prior_client = self._tier(pool)
+        try:
+            pool.add_fragment("va", "v", Interval.closed(0, 10), payload())
+            CoverCache(pool).cover("va", "v", Interval.closed(1, 9))
+            assert server.stats()["entries"] >= 1
+            clear_all_caches()
+            assert server.stats()["entries"] == 0
+        finally:
+            self._teardown(server, prior_server, prior_client)
+
+    def test_fragment_cache_rollback_strands_shared_decisions(self):
+        from repro.matching.fragment_cache import FragmentPruneCache
+
+        pool = make_pool("va")
+        server, prior_server, prior_client = self._tier(pool)
+        try:
+            pool.add_fragment("va", "v", Interval.closed(0, 10), payload())
+            pre_version = pool.cover_version("va")
+
+            pool.begin("step")
+            pool.add_fragment("va", "v", Interval.open_closed(10, 20), payload())
+            mid_version = pool.cover_version("va")
+            pool.rollback()
+
+            assert pool.cover_version("va") == pre_version
+            assert mid_version != pre_version
+            # Any fragment decision published at mid_version can only miss
+            # now: rolled-back versions are never re-issued (see
+            # TestRollbackRestoresVersions), so exact-match validation
+            # strands it without coordination.
+            from repro.parallel import shared_cache
+
+            key = shared_cache.stable_key("fragment", ("stranded",))
+            shared_cache.client().put("fragment", key, mid_version, b"p" * 64)
+            assert shared_cache.client().get("fragment", key, pre_version) is None
+            assert server.stats()["stale_served"] == 0
+            assert FragmentPruneCache is not None  # the client under test
+        finally:
+            self._teardown(server, prior_server, prior_client)
+
+
 class TestFilterTreeResidency:
     """§8.3 registry counters ride the same delta stream as the memo."""
 
