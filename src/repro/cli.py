@@ -339,6 +339,8 @@ def cmd_determinism(
     seed: int,
     worker_counts: list[int],
     shared: str = "off",
+    scheduler: str = "both",
+    ingest: str = "off",
 ) -> int:
     """Verify parallel runs are byte-identical to serial (CI smoke gate).
 
@@ -346,15 +348,20 @@ def cmd_determinism(
     requested worker count — submitting tasks in *reversed* order to
     exercise the canonical-order merge — and compares full result
     fingerprints (both simulated-second ledgers, all decision counters,
-    and every result table's sorted rows).  Each worker count is checked
-    under *both* schedulers: the static cold-worker fan-out and the
-    work-stealing pool with warm-forked workers and the stateless H
-    baseline sliced into query chunks.  ``--shared-cache on`` (or
-    ``both``) additionally runs every row with the cross-worker shared
-    cache tier attached — same serial reference, so a digest match *is*
-    the proof that shared-tier hits never change an answer or a ledger.
-    Exits non-zero, printing the first divergences, if any run changes a
-    single byte.
+    and every result table's sorted rows).  ``--scheduler`` picks which
+    schedulers each worker count is checked under: the static cold-worker
+    fan-out, the work-stealing pool with warm-forked workers and the
+    stateless H baseline sliced into query chunks, or ``both`` (the
+    default; CI runs one scheduler per matrix entry).  ``--shared-cache
+    on`` (or ``both``) additionally runs every row with the cross-worker
+    shared cache tier attached — same serial reference, so a digest match
+    *is* the proof that shared-tier hits never change an answer or a
+    ledger.  ``--ingest on`` adds a fourth task — DS with the steady-drip
+    micro-batch schedule interleaved against a forked catalog — so the
+    fingerprints also cover ingest's maintenance ledgers (``maint_s``,
+    rows routed/applied, fragments patched) across worker counts and
+    schedulers.  Exits non-zero, printing the first divergences, if any
+    run changes a single byte.
     """
     from repro.bench.harness import RunResult
     from repro.parallel import shared_cache
@@ -372,6 +379,10 @@ def cmd_determinism(
             ("DS", "deepsea"),
         )
     ]
+    if ingest == "on":
+        tasks.append(
+            RunTask("DS+ingest", SystemSpec.of("deepsea"), fixture, workload, ingest="drip")
+        )
     labels = [t.label for t in tasks]
 
     serial = {t.label: t.run() for t in tasks}
@@ -401,34 +412,36 @@ def cmd_determinism(
     for n in worker_counts:
         for tier_on in tiers:
             suffix = " shared" if tier_on else ""
-            shuffled = list(reversed(range(len(tasks))))
-            server = shared_cache.SharedCacheServer() if tier_on else None
-            try:
-                outputs = fan_out(tasks, n, submission_order=shuffled, shared=server)
-            finally:
-                if server is not None:
-                    server.close()
-            check(f"workers={n}{suffix}", dict(zip(labels, outputs)))
+            if scheduler in ("static", "both"):
+                shuffled = list(reversed(range(len(tasks))))
+                server = shared_cache.SharedCacheServer() if tier_on else None
+                try:
+                    outputs = fan_out(tasks, n, submission_order=shuffled, shared=server)
+                finally:
+                    if server is not None:
+                        server.close()
+                check(f"workers={n}{suffix}", dict(zip(labels, outputs)))
 
-            server = shared_cache.SharedCacheServer() if tier_on else None
-            try:
-                stolen = steal_map(
-                    [part for _, part in sliced], n, chunk_size=1, shared=server
-                )
-            finally:
-                if server is not None:
-                    server.close()
-            merged: dict[str, RunResult] = {}
-            for (label, _), result in zip(sliced, stolen):
-                if label in merged:
-                    merged[label] = RunResult(
-                        label,
-                        merged[label].reports + result.reports,
-                        merged[label].fault_events + result.fault_events,
+            if scheduler in ("steal", "both"):
+                server = shared_cache.SharedCacheServer() if tier_on else None
+                try:
+                    stolen = steal_map(
+                        [part for _, part in sliced], n, chunk_size=1, shared=server
                     )
-                else:
-                    merged[label] = result
-            check(f"workers={n} steal{suffix}", merged)
+                finally:
+                    if server is not None:
+                        server.close()
+                merged: dict[str, RunResult] = {}
+                for (label, _), result in zip(sliced, stolen):
+                    if label in merged:
+                        merged[label] = RunResult(
+                            label,
+                            merged[label].reports + result.reports,
+                            merged[label].fault_events + result.fault_events,
+                        )
+                    else:
+                        merged[label] = result
+                check(f"workers={n} steal{suffix}", merged)
     print(
         format_table(
             ["run", "fingerprint", "verdict"],
@@ -648,6 +661,96 @@ def cmd_serve_bench(
     return 0 if report["ok"] else 1
 
 
+def cmd_ingest_bench(
+    scenarios: list[str],
+    modes: list[str],
+    queries: int,
+    instance_gb: float,
+    seed: int,
+    workers: int,
+    output: str | None,
+) -> int:
+    """Micro-batch ingest scenarios; verify delta maintenance end to end.
+
+    Each scenario (steady drip, flash-crowd burst, drifting hot range)
+    runs in ``delta`` and ``rebuild`` modes over identical inputs.  After
+    every batch the harness proves each resident fragment payload
+    byte-identical to a from-scratch recompute over the grown base table,
+    and probes every query answer against a direct base-table evaluation
+    (stale cache reads must be zero).  Exits non-zero if any identity
+    check fails, maintenance is never charged, no fragment is
+    delta-patched, or the two modes' per-query answers diverge.
+    """
+    import json
+
+    from repro.bench.ingest_bench import MODES, SCENARIOS, run_ingest_bench
+
+    wanted = tuple(scenarios) if scenarios else SCENARIOS
+    unknown = [s for s in wanted if s not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    mode_set = tuple(modes) if modes else MODES
+    unknown = [m for m in mode_set if m not in MODES]
+    if unknown:
+        print(f"unknown mode(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    report = run_ingest_bench(
+        wanted,
+        modes=mode_set,
+        queries=queries,
+        instance_gb=instance_gb,
+        seed=seed,
+        workers=workers,
+    )
+    rows = []
+    for res in report["results"]:
+        third = max(1, len(res["per_query_s"]) // 3)
+        early = sum(res["per_query_s"][:third]) / third
+        late = sum(res["per_query_s"][-third:]) / third
+        rows.append(
+            (
+                res["scenario"],
+                res["mode"],
+                res["batches"],
+                res["rows_ingested"],
+                f"{res['maint_s']:.1f}",
+                res["fragments_patched"],
+                res["fragments_rebuilt"],
+                res["fragments_dropped"],
+                f"{res['total_s']:.1f}",
+                f"{early:.1f}",
+                f"{late:.1f}",
+                "yes" if res["identity_ok"] else "NO",
+                res["stale_reads"],
+            )
+        )
+    print(
+        format_table(
+            ["scenario", "mode", "batches", "rows", "maint (s)", "patched",
+             "rebuilt", "dropped", "total (s)", "early q (s)", "late q (s)",
+             "identity", "stale"],
+            rows,
+            title=f"Ingest bench — {queries} queries/scenario, "
+            f"{instance_gb:.0f}GB instance, per-batch identity proof"
+            + (f", {workers} workers" if workers >= 2 else ""),
+        )
+    )
+    if output:
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True, default=float)
+        print(f"report written to {output}")
+    for problem in report["problems"]:
+        print(f"GATE: {problem}", file=sys.stderr)
+    print(
+        "delta-maintained answers byte-identical to full recompute after every batch"
+        if report["ok"]
+        else "INGEST INVARIANT VIOLATED",
+        file=sys.stdout if report["ok"] else sys.stderr,
+    )
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -696,6 +799,14 @@ def main(argv: list[str] | None = None) -> int:
         "--shared-cache", choices=("on", "off", "both"), default="off",
         help="also (or only) run each row with the shared cache tier attached",
     )
+    det_p.add_argument(
+        "--scheduler", choices=("static", "steal", "both"), default="both",
+        help="which pool scheduler(s) to check each worker count under",
+    )
+    det_p.add_argument(
+        "--ingest", choices=("on", "off"), default="off",
+        help="add a DS task with the steady-drip ingest schedule interleaved",
+    )
     chaos_p = sub.add_parser(
         "chaos",
         help="run fig5a under fault schedules; verify answers never change",
@@ -738,6 +849,24 @@ def main(argv: list[str] | None = None) -> int:
                          help="route reader threads through the in-process "
                          "shared cache tier (lock-free result lookups)")
 
+    ing_p = sub.add_parser(
+        "ingest-bench",
+        help="micro-batch ingest scenarios with per-batch identity proof",
+    )
+    ing_p.add_argument("--scenario", action="append", default=[], metavar="NAME",
+                       help="run only these scenarios (drip, burst, drift); "
+                       "repeatable; default: all three")
+    ing_p.add_argument("--mode", action="append", default=[], metavar="NAME",
+                       help="maintenance mode (delta, rebuild); repeatable; "
+                       "default: both, with cross-mode answer check")
+    ing_p.add_argument("--queries", type=int, default=40)
+    ing_p.add_argument("--instance-gb", type=float, default=2.0)
+    ing_p.add_argument("--seed", type=int, default=1)
+    ing_p.add_argument("--workers", type=int, default=0,
+                       help="fan (scenario x mode) units out over N pool workers")
+    ing_p.add_argument("--output", default=None, metavar="PATH",
+                       help="write the JSON report here")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -756,12 +885,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"invalid --workers list: {args.workers!r}", file=sys.stderr)
             return 2
         return cmd_determinism(
-            args.queries, args.instance_gb, args.seed, counts, args.shared_cache
+            args.queries, args.instance_gb, args.seed, counts, args.shared_cache,
+            args.scheduler, args.ingest,
         )
     if args.command == "chaos":
         return cmd_chaos(
             args.schedule, args.queries, args.instance_gb, args.seed,
             args.workers, args.list_schedules,
+        )
+    if args.command == "ingest-bench":
+        return cmd_ingest_bench(
+            args.scenario, args.mode, args.queries, args.instance_gb,
+            args.seed, args.workers, args.output,
         )
     if args.command == "serve-bench":
         return cmd_serve_bench(

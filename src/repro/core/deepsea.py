@@ -76,6 +76,7 @@ from repro.query.optimizer import push_down
 from repro.query.signature import view_id_for
 from repro.query.subqueries import view_candidate_subplans
 from repro.storage.hdfs import SimulatedHDFS
+from repro.storage.ingest import DeltaMaintainer, IngestReport
 from repro.storage.pool import FragmentKey, MaterializedViewPool
 
 # Cap on tentative-design fragmentation growth for views that accumulate
@@ -255,6 +256,15 @@ class DeepSea:
         # regardless of whether chaos is attached.  Off by default — the
         # batch benchmarks keep their zero-overhead path.
         self.always_journal = False
+        # Incremental ingest (repro.storage.ingest): routes appended
+        # micro-batches into resident fragments and prices the upkeep the
+        # §7 selector weighs against read benefit.  Inert until the first
+        # ingest() call — workloads without appends are bit-identical.
+        self.maintenance = DeltaMaintainer(self)
+        # Maintenance charged between queries lands on the *next* query's
+        # creation ledger (upkeep is part of serving the workload, and
+        # per-query ledgers are what the determinism fingerprints see).
+        self._pending_maintenance: CostLedger | None = None
 
     _NULL_STAGE = nullcontext()
 
@@ -295,6 +305,9 @@ class DeepSea:
         t = float(self.clock)
         exec_ledger = CostLedger(self.cluster)
         creation_ledger = CostLedger(self.cluster)
+        if self._pending_maintenance is not None:
+            creation_ledger.merge(self._pending_maintenance)
+            self._pending_maintenance = None
         if self.faults is not None:
             exec_ledger.faults = self.faults
             creation_ledger.faults = self.faults
@@ -411,6 +424,33 @@ class DeepSea:
         self.reports.append(report)
         return report
 
+    def ingest(self, name: str, rows) -> IngestReport:
+        """Append a micro-batch to base table ``name`` and maintain views.
+
+        Always runs as a journaled pool transaction — unlike
+        repartitioning steps, which only journal under fault injection or
+        a serving writer — because the append mutates the *catalog* too:
+        a crash mid-batch must restore the base table, the catalog
+        version, and the pool configuration together, stranding every
+        cache entry (local or shared-tier) stamped with the aborted
+        version.  The maintenance cost lands on the next query's creation
+        ledger via ``_pending_maintenance``.
+        """
+        ledger = CostLedger(self.cluster)
+        if self.faults is not None:
+            ledger.faults = self.faults
+        report = self._crash_safe(
+            "ingest",
+            partial(self.maintenance.apply, name, rows, ledger),
+            ledger,
+            force_journal=True,
+        )
+        if self._pending_maintenance is None:
+            self._pending_maintenance = ledger
+        else:
+            self._pending_maintenance.merge(ledger)
+        return report
+
     def run_workload(self, plans: list[Plan]) -> WorkloadSummary:
         """Execute a sequence of queries and return the aggregate summary."""
         return WorkloadSummary([self.execute(p) for p in plans])
@@ -466,7 +506,7 @@ class DeepSea:
         if self.faults.controller_crash(site):
             raise ControllerCrashError(site)
 
-    def _crash_safe(self, site: str, fn, ledger: CostLedger):
+    def _crash_safe(self, site: str, fn, ledger: CostLedger, *, force_journal: bool = False):
         """Run one repartitioning step with journaled crash recovery.
 
         Without faults this is a plain call — no transaction, no
@@ -476,9 +516,11 @@ class DeepSea:
         replayed re-writes charged to ``ledger``) and a fresh controller
         retries the step.  The retry starts from the same state the
         fault-free run saw, so it makes the same decisions — the crash
-        costs time, never answers.
+        costs time, never answers.  ``force_journal`` opens the
+        transaction regardless of fault/serving configuration — ingest
+        steps are always journaled (they mutate the catalog).
         """
-        if self.faults is None and not self.always_journal:
+        if self.faults is None and not self.always_journal and not force_journal:
             return fn()
         self.pool.begin(site)
         try:
@@ -632,7 +674,12 @@ class DeepSea:
                 continue  # recent attempt could not win pool space
             vstats = self.stats.view(view_id)
             benefit = view_benefit(vstats, t, self.policy.effective_decay)
-            if benefit < self.policy.evidence_factor * vstats.creation_cost_s:
+            # COST(V) plus predicted upkeep: under ingest, a candidate
+            # must also amortize the maintenance its base tables' append
+            # rate will cause (exactly 0.0 when no batch has arrived, so
+            # static workloads gate bit-identically).
+            upkeep = self.maintenance.predicted_upkeep_s(view_id, sub)
+            if benefit < self.policy.evidence_factor * (vstats.creation_cost_s + upkeep):
                 continue
             attrs = self._choose_partition_attrs(view_id)
             # A first-ever attempt runs regardless (it establishes actual

@@ -137,11 +137,29 @@ class CostLedger:
     task_retries: int = 0
     speculative_tasks: int = 0
     fault_events: int = 0
+    # Maintenance accounting (repro.storage.ingest): simulated seconds
+    # spent keeping materialized fragments consistent with ingested
+    # micro-batches, plus how the delta pass spent them — rows routed
+    # through the interval index, rows actually appended to payloads,
+    # and fragments patched in place vs rebuilt from base tables.  The
+    # §7 selector weighs this upkeep against read benefit.
+    maint_s: float = 0.0
+    delta_rows_routed: int = 0
+    delta_rows_applied: int = 0
+    fragments_patched: int = 0
+    fragments_rebuilt: int = 0
     faults: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def total_seconds(self) -> float:
-        return self.read_s + self.write_s + self.shuffle_s + self.overhead_s + self.fault_s
+        return (
+            self.read_s
+            + self.write_s
+            + self.shuffle_s
+            + self.overhead_s
+            + self.fault_s
+            + self.maint_s
+        )
 
     @property
     def is_pristine(self) -> bool:
@@ -167,6 +185,11 @@ class CostLedger:
             and self.task_retries == 0
             and self.speculative_tasks == 0
             and self.fault_events == 0
+            and self.maint_s == 0.0
+            and self.delta_rows_routed == 0
+            and self.delta_rows_applied == 0
+            and self.fragments_patched == 0
+            and self.fragments_rebuilt == 0
         )
 
     def snapshot(self) -> "CostLedger":
@@ -225,6 +248,26 @@ class CostLedger:
     def charge_shuffle(self, nbytes: float) -> None:
         self.shuffle_s += self.cluster.shuffle_elapsed(nbytes)
 
+    def charge_maintenance(
+        self,
+        seconds: float,
+        *,
+        routed: int = 0,
+        applied: int = 0,
+        patched: int = 0,
+        rebuilt: int = 0,
+    ) -> None:
+        """Charge delta-maintenance work (repro.storage.ingest).
+
+        Kept out of read_s/write_s so benchmarks can isolate upkeep from
+        serving cost; ``total_seconds`` still includes it.
+        """
+        self.maint_s += seconds
+        self.delta_rows_routed += routed
+        self.delta_rows_applied += applied
+        self.fragments_patched += patched
+        self.fragments_rebuilt += rebuilt
+
     def charge_jobs(self, njobs: int) -> None:
         self.jobs += njobs
         self.overhead_s += njobs * self.cluster.job_overhead_s
@@ -244,3 +287,8 @@ class CostLedger:
         self.task_retries += other.task_retries
         self.speculative_tasks += other.speculative_tasks
         self.fault_events += other.fault_events
+        self.maint_s += other.maint_s
+        self.delta_rows_routed += other.delta_rows_routed
+        self.delta_rows_applied += other.delta_rows_applied
+        self.fragments_patched += other.fragments_patched
+        self.fragments_rebuilt += other.fragments_rebuilt

@@ -82,7 +82,13 @@ class Executor:
         self._boundaries: frozenset[Plan] = frozenset()
 
     # ------------------------------------------------------------------
-    def execute(self, plan: Plan, ledger: CostLedger | None = None) -> ExecutionResult:
+    def execute(
+        self,
+        plan: Plan,
+        ledger: CostLedger | None = None,
+        *,
+        use_cache: bool = True,
+    ) -> ExecutionResult:
         """Run ``plan`` and return its result table and cost ledger.
 
         Whole-plan executions go through the cross-query result cache
@@ -90,12 +96,16 @@ class Executor:
         capture targets, no fault injection, and a pristine ledger to
         replay into.  A hit returns the cached table and merges the
         recorded simulated charges — bit-identical to re-executing.
+        ``use_cache=False`` bypasses the cache entirely — one-shot
+        executions against throwaway catalogs (the delta-maintenance pass
+        runs view plans over batch-only catalogs whose uids never recur)
+        would otherwise fill the LRU with unreachable entries.
         """
         ledger = ledger if ledger is not None else CostLedger(self.context.cluster)
         analysis = analyze_plan(plan)  # boundaries + job count, one traversal
         key = None
         shared = None
-        if not self._capture_targets and result_cache.eligible(ledger):
+        if use_cache and not self._capture_targets and result_cache.eligible(ledger):
             key = result_cache.ResultCache.key_for(plan, analysis, self.context)
             if key is not None:
                 shared = result_cache.ResultCache.shared_parts(plan, analysis, self.context)

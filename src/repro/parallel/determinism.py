@@ -40,6 +40,11 @@ _LEDGER_FIELDS = (
     "task_retries",
     "speculative_tasks",
     "fault_events",
+    "maint_s",
+    "delta_rows_routed",
+    "delta_rows_applied",
+    "fragments_patched",
+    "fragments_rebuilt",
 )
 
 

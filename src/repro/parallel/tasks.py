@@ -101,6 +101,14 @@ class WorkloadSpec:
 
 
 @dataclass(frozen=True)
+class _ForkedFixture:
+    """Fixture stand-in wrapping a forked catalog (ingest tasks)."""
+
+    catalog: Any
+    domains: Any
+
+
+@dataclass(frozen=True)
 class RunTask:
     """One fan-out unit: run ``system`` over ``workload`` on ``fixture``.
 
@@ -120,6 +128,14 @@ class RunTask:
     # query — what keeps a query-slice task's report indexes (and hit
     # timestamps) identical to the same queries inside a whole run.
     clock0: int = 0
+    # Ingest scenario name (repro.bench.ingest_bench.SCENARIOS): when
+    # set, the run interleaves that scenario's deterministic micro-batch
+    # schedule with the workload — batch k applies to ``store_sales``
+    # right before its scheduled query — against a *fork* of the fixture
+    # catalog (fixtures are cached and shared; appends must not leak into
+    # other tasks).  Ingest tasks are stateful by construction and are
+    # never sliced.
+    ingest: "str | None" = None
 
     def __call__(self) -> "RunResult":
         return self.run()
@@ -129,6 +145,8 @@ class RunTask:
 
         fixture = self.fixture.build()
         plans = self.workload.build(fixture)
+        if self.ingest is not None:
+            return self._run_with_ingest(fixture, plans, profiler)
         system = self.system.build(fixture)
         if self.clock0:
             system.clock = self.clock0
@@ -147,6 +165,43 @@ class RunTask:
             pool.shared_ident = ("run_task", self)
         return run_system(self.label, system, plans, profiler)
 
+    def _run_with_ingest(self, fixture, plans, profiler) -> "RunResult":
+        """Replay the scenario's batch schedule between the workload's
+        queries — one deterministic interleaving for any worker count."""
+        from repro.bench.harness import RunResult
+        from repro.bench.ingest_bench import scenario_schedule
+
+        catalog = fixture.catalog.fork(("run_task_ingest", self))
+        system = self.system.build(_ForkedFixture(catalog, fixture.domains))
+        if self.clock0:
+            system.clock = self.clock0
+        if self.faults is not None:
+            system.attach_faults(self.faults)
+        pool = getattr(system, "pool", None)
+        if pool is not None:
+            pool.shared_ident = ("run_task", self)
+        _, batches = scenario_schedule(
+            self.ingest, len(plans), fixture.item_domain, self.workload.seed
+        )
+        by_index: dict[int, list] = {}
+        for spec in batches:
+            by_index.setdefault(spec.at, []).append(spec)
+        id0 = catalog.get("store_sales").nrows
+
+        if profiler is not None:
+            system.profiler = profiler
+        try:
+            reports = []
+            for i, plan in enumerate(plans):
+                for spec in by_index.get(i, ()):
+                    system.ingest("store_sales", spec.rows(id0))
+                reports.append(system.execute(plan))
+            events = system.faults.event_log() if system.faults is not None else ()
+            return RunResult(self.label, reports, events)
+        finally:
+            if profiler is not None:
+                system.profiler = None
+
     def slices(self, n_slices: int) -> "list[RunTask]":
         """Cut this run into contiguous query-slice tasks (stateless systems).
 
@@ -161,7 +216,7 @@ class RunTask:
         start = self.workload.start
         stop = self.workload.stop if self.workload.stop is not None else self.workload.n_queries
         total = stop - start
-        if self.faults is not None or n_slices <= 1 or total < 2:
+        if self.faults is not None or self.ingest is not None or n_slices <= 1 or total < 2:
             return [self]
         n_slices = min(n_slices, total)
         per = total / n_slices

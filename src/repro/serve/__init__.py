@@ -36,11 +36,12 @@ and concurrency change latency and cost — never answers.**
 from repro.serve.queue import AdmissionQueue
 from repro.serve.service import QueryOutcome, QueryService
 from repro.serve.snapshot import EpochLease, SnapshotManager
-from repro.serve.writer import PoolWriter
+from repro.serve.writer import IngestBatch, PoolWriter
 
 __all__ = [
     "AdmissionQueue",
     "EpochLease",
+    "IngestBatch",
     "PoolWriter",
     "QueryOutcome",
     "QueryService",

@@ -263,6 +263,17 @@ class QueryService:
             self.writer.feed(plan)
         return ticket
 
+    def feed_batch(self, name: str, rows) -> bool:
+        """Offer an ingest micro-batch; the writer thread applies it as a
+        journaled transaction under the plan lock, between queries — no
+        reader ever observes a half-applied append (snapshot leases pin
+        the pre-batch configuration; post-batch reads see the exact
+        post-maintenance fragments).  Returns ``False`` when shed (no
+        writer, or feed saturated)."""
+        if self.writer is None:
+            return False
+        return self.writer.feed_batch(name, rows)
+
     def stop(self, *, drain_writer: bool = True, timeout: float = 60.0) -> None:
         """Close admission, finish queued tickets, stop readers + writer."""
         self.queue.close()
@@ -310,6 +321,7 @@ class QueryService:
         if self.writer is not None:
             out["writer"] = {
                 "steps": self.writer.steps,
+                "batches": self.writer.batches,
                 "dropped": self.writer.dropped,
                 "errors": len(self.writer.errors),
             }

@@ -20,7 +20,8 @@ degradation the serving layer promises.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import Overloaded, ReproError
 from repro.serve.queue import AdmissionQueue
@@ -31,6 +32,21 @@ if TYPE_CHECKING:
 
 # How long a blocked take() waits before re-checking for shutdown.
 _POLL_S = 0.05
+
+
+@dataclass(frozen=True)
+class IngestBatch:
+    """Feed sentinel: append ``rows`` to base table ``name``.
+
+    Rides the same bounded feed as adaptation work — batches queue behind
+    (and interleave with) learning steps, and the writer applies each one
+    atomically under the plan lock via ``DeepSea.ingest`` (journaled, so
+    snapshot readers between two lock acquisitions always see a committed
+    catalog + pool pair).
+    """
+
+    name: str
+    rows: Any
 
 
 class PoolWriter:
@@ -46,6 +62,7 @@ class PoolWriter:
         )
         self._draining = threading.Event()
         self.steps = 0
+        self.batches = 0
         self.errors: list[str] = []
 
     # ------------------------------------------------------------------
@@ -60,6 +77,20 @@ class PoolWriter:
         """
         try:
             self._feed.offer(plan)
+            return True
+        except Overloaded:
+            return False
+
+    def feed_batch(self, name: str, rows) -> bool:
+        """Offer one ingest micro-batch to the writer.
+
+        Same shedding contract as :meth:`feed` — ``False`` means the feed
+        is saturated and the batch was dropped (the caller owns durability
+        of unaccepted batches; the serving layer promises only that an
+        *accepted* batch is applied atomically or not at all).
+        """
+        try:
+            self._feed.offer(IngestBatch(name, rows))
             return True
         except Overloaded:
             return False
@@ -88,8 +119,12 @@ class PoolWriter:
                 continue  # fast shutdown: discard without executing
             with self.plan_lock:
                 try:
-                    self.system.execute(plan)
-                    self.steps += 1
+                    if isinstance(plan, IngestBatch):
+                        self.system.ingest(plan.name, plan.rows)
+                        self.batches += 1
+                    else:
+                        self.system.execute(plan)
+                        self.steps += 1
                 except ReproError as exc:
                     # The writer must outlive any single bad step: the
                     # hardened _crash_safe has already rolled the journal

@@ -9,11 +9,13 @@ controller would have produced.
 
 The journal records an *undo image* for every operation inside an open
 transaction: admits log the entry (undo = remove), evicts log the entry
-plus its payload (undo = re-write and re-register).  On a crash the pool
-rolls the open transaction back in reverse order, restoring exactly the
-pre-transaction configuration; the controller then retries the step, so
-the faulted run converges to the same catalog trajectory as the fault-free
-run — at strictly higher cost, which is the whole point.
+plus its payload (undo = re-write and re-register), and base-table ingests
+log the pre-batch table plus the catalog version (undo = re-install both,
+stranding any cache entries stamped with the aborted version).  On a crash
+the pool rolls the open transaction back in reverse order, restoring
+exactly the pre-transaction configuration; the controller then retries the
+step, so the faulted run converges to the same catalog trajectory as the
+fault-free run — at strictly higher cost, which is the whole point.
 
 The journal is process-local state, not a persisted file: the simulated
 "disk" it would live on is this process's memory, and what matters for the
@@ -28,6 +30,7 @@ from typing import TYPE_CHECKING
 from repro.errors import PoolError
 
 if TYPE_CHECKING:
+    from repro.engine.catalog import Catalog
     from repro.engine.table import Table
     from repro.storage.pool import FragmentEntry
 
@@ -36,9 +39,18 @@ if TYPE_CHECKING:
 class JournalOp:
     """One journaled pool mutation with enough state to undo it."""
 
-    op: str  # "admit" | "evict"
-    entry: "FragmentEntry"
-    payload: "Table | None" = None  # undo image; evicts only
+    op: str  # "admit" | "evict" | "ingest"
+    entry: "FragmentEntry | None"
+    payload: "Table | None" = None  # undo image; evicts + ingests
+    # Catalog undo image (ingests only): the base table and catalog
+    # version as they were before the micro-batch was appended.  The
+    # version counter itself is *not* rewound on rollback, so version
+    # numbers stamped by the aborted transaction are never re-issued —
+    # in-process and shared-tier cache entries published mid-transaction
+    # are stranded instead of aliasing later catalog states.
+    catalog: "Catalog | None" = None
+    table_name: str | None = None
+    prior_version: int = 0
 
 
 @dataclass
@@ -83,6 +95,22 @@ class PoolJournal:
     def record_evict(self, entry: "FragmentEntry", payload: "Table") -> None:
         if self.active is not None:
             self.active.ops.append(JournalOp("evict", entry, payload))
+
+    def record_ingest(
+        self, catalog: "Catalog", name: str, prior_table: "Table", prior_version: int
+    ) -> None:
+        """Log a base-table append's undo image (pre-batch table + version)."""
+        if self.active is not None:
+            self.active.ops.append(
+                JournalOp(
+                    "ingest",
+                    None,
+                    prior_table,
+                    catalog=catalog,
+                    table_name=name,
+                    prior_version=prior_version,
+                )
+            )
 
     def commit(self) -> None:
         if self.active is None:

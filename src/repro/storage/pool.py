@@ -301,6 +301,25 @@ class MaterializedViewPool:
             self.journal.record_evict(entry, self.hdfs.peek(entry.path))
         self._remove_entry(entry)
 
+    def patch_entry(self, fragment_id: str, table: Table) -> FragmentEntry:
+        """Replace one entry's payload under the same :class:`FragmentKey`.
+
+        Delta maintenance (repro.storage.ingest) appends ingested rows to
+        the fragments they route to.  The replacement is deliberately an
+        evict + re-admit — never an in-place overwrite — because three
+        subsystems rely on payload immutability per fragment id: the
+        fragment prune cache's min/max sidecar, epoch-pinned snapshot
+        leases, and the cover-delta subscribers (which see the ordinary
+        evict/admit pair and need no new delta kind).  The new entry gets
+        a fresh fragment id and path; rollback restores the old entry via
+        the standard journal replay.
+        """
+        entry = self.get_fragment(fragment_id)
+        if self.journal.journaling:
+            self.journal.record_evict(entry, self.hdfs.peek(entry.path))
+        self._remove_entry(entry)
+        return self._admit(entry.key, table)
+
     def _remove_entry(self, entry: FragmentEntry) -> None:
         view = self._views[entry.key.view_id]
         if entry.key.attr is None:
@@ -369,8 +388,10 @@ class MaterializedViewPool:
         for op in reversed(txn.ops):
             if op.op == "admit":
                 self._remove_entry(op.entry)
-            else:
+            elif op.op == "evict":
                 self._restore_entry(op.entry, op.payload, ledger)
+            else:  # "ingest": catalog undo image (see journal.record_ingest)
+                op.catalog.rollback_ingest(op.table_name, op.payload, op.prior_version)
         # The configuration is now byte-identical to the pre-transaction
         # one, so the cover versions must be too: memo entries keyed on
         # them were computed against exactly this configuration.

@@ -305,3 +305,89 @@ class TestServeInvariantsGate:
     def test_fails_on_empty_report(self, tmp_path):
         proc = run_check("check_serve_invariants.py", write_serve_report(tmp_path, {}))
         assert proc.returncode == 1
+
+
+def ingest_result(
+    scenario="drip",
+    mode="delta",
+    digest="abc123",
+    batches=20,
+    identity_ok=True,
+    identity_checks=40,
+    stale_reads=0,
+    maint_s=120.5,
+    fragments_patched=12,
+):
+    return {
+        "scenario": scenario,
+        "mode": mode,
+        "answer_digest": digest,
+        "batches": batches,
+        "identity_ok": identity_ok,
+        "identity_checks": identity_checks,
+        "identity_problems": [] if identity_ok else ["v_x/frag_1: column k diverged"],
+        "stale_reads": stale_reads,
+        "maint_s": maint_s,
+        "fragments_patched": fragments_patched,
+    }
+
+
+def write_ingest_report(tmp_path: Path, results: list) -> str:
+    path = tmp_path / "ingest.json"
+    path.write_text(json.dumps({"results": results}))
+    return str(path)
+
+
+class TestCheckIngestDelta:
+    def good_results(self):
+        return [
+            ingest_result(mode="delta"),
+            ingest_result(mode="rebuild", fragments_patched=0),
+        ]
+
+    def test_passes_on_clean_report(self, tmp_path):
+        report = write_ingest_report(tmp_path, self.good_results())
+        proc = run_check("check_ingest_delta.py", report)
+        assert proc.returncode == 0, proc.stderr
+        assert "ingest delta gate passed" in proc.stdout
+
+    def test_fails_when_delta_diverges_from_recompute(self, tmp_path):
+        results = [
+            ingest_result(mode="delta", digest="aaa"),
+            ingest_result(mode="rebuild", digest="bbb", fragments_patched=0),
+        ]
+        proc = run_check("check_ingest_delta.py", write_ingest_report(tmp_path, results))
+        assert proc.returncode == 1
+        assert "diverged" in proc.stderr
+
+    def test_fails_on_identity_proof_failure(self, tmp_path):
+        results = self.good_results()
+        results[0] = ingest_result(mode="delta", identity_ok=False)
+        proc = run_check("check_ingest_delta.py", write_ingest_report(tmp_path, results))
+        assert proc.returncode == 1
+        assert "identity proof failed" in proc.stderr
+
+    def test_fails_on_stale_cache_reads(self, tmp_path):
+        results = self.good_results()
+        results[0] = ingest_result(mode="delta", stale_reads=2)
+        proc = run_check("check_ingest_delta.py", write_ingest_report(tmp_path, results))
+        assert proc.returncode == 1
+        assert "stale" in proc.stderr
+
+    def test_fails_when_no_fragment_was_patched(self, tmp_path):
+        results = self.good_results()
+        results[0] = ingest_result(mode="delta", fragments_patched=0)
+        proc = run_check("check_ingest_delta.py", write_ingest_report(tmp_path, results))
+        assert proc.returncode == 1
+        assert "patched no fragments" in proc.stderr
+
+    def test_fails_when_a_mode_is_missing(self, tmp_path):
+        report = write_ingest_report(tmp_path, [ingest_result(mode="delta")])
+        proc = run_check("check_ingest_delta.py", report)
+        assert proc.returncode == 1
+        assert "both delta and rebuild" in proc.stderr
+
+    def test_fails_on_empty_report(self, tmp_path):
+        proc = run_check("check_ingest_delta.py", write_ingest_report(tmp_path, []))
+        assert proc.returncode == 1
+        assert "no scenario results" in proc.stderr

@@ -380,6 +380,80 @@ class TestSharedTierRollback:
         finally:
             self._teardown(server, prior_server, prior_client)
 
+    def test_ingest_abort_restores_catalog_and_strands_aborted_version(self):
+        """A crashed mid-ingest batch rolls the catalog back exactly, and
+        any shared-tier publish stamped with the aborted catalog version
+        is stranded: the version was drawn from a counter the rollback
+        never rewinds, so neither the restored state nor any future
+        successful ingest can ever validate against it."""
+        import numpy as np
+
+        from repro.core.deepsea import DeepSea
+        from repro.engine.catalog import Catalog
+        from repro.engine.schema import Column as C, Schema as S
+        from repro.engine.table import Table as T
+        from repro.parallel import shared_cache
+        from repro.query.builder import Q
+
+        rng = np.random.default_rng(1)
+        n = 3000
+        catalog = Catalog()
+        catalog.register(
+            "t",
+            T.from_dict(
+                S.of(C("id"), C("k")),
+                {"id": np.arange(n), "k": rng.integers(0, 1001, n)},
+                scale=1000.0,
+            ),
+        )
+        system = DeepSea(
+            catalog, smax_bytes=1e12, domains={"k": Interval.closed(0, 1000)}
+        )
+        server, prior_server, prior_client = self._tier(system.pool)
+        try:
+            for i in range(8):
+                system.execute(
+                    Q("t").select("id", "k").where_between("k", 10 + 7 * i, 500 + 3 * i).plan
+                )
+            pre_version = catalog.version
+            pre_rows = catalog.get("t").nrows
+            pre_covers = system.pool.cover_versions_snapshot()
+
+            def crash_and_publish(entry, payload_table):
+                # A concurrent worker publishes an entry stamped with the
+                # mid-transaction catalog version, then the step crashes.
+                key = shared_cache.stable_key("result", ("ingest-abort",))
+                shared_cache.client().put("result", key, catalog.version, b"r" * 64)
+                raise RuntimeError("simulated crash mid-ingest")
+
+            system.maintenance._patch = crash_and_publish
+            batch = {"id": np.arange(n, n + 50), "k": rng.integers(0, 1001, 50)}
+            with pytest.raises(RuntimeError):
+                system.ingest("t", dict(batch))
+            aborted_version = pre_version + 1
+
+            # Catalog, base table, and cover versions restored exactly.
+            assert catalog.version == pre_version
+            assert catalog.get("t").nrows == pre_rows
+            assert system.pool.cover_versions_snapshot() == pre_covers
+
+            # The mid-ingest publish is stranded at the aborted version:
+            # the restored catalog can only miss on it ...
+            key = shared_cache.stable_key("result", ("ingest-abort",))
+            assert shared_cache.client().get("result", key, catalog.version) is None
+            # ... and a successful retry draws a version PAST the aborted
+            # one, so the stranded entry stays dead forever.
+            system.maintenance._patch = type(system.maintenance)._patch.__get__(
+                system.maintenance
+            )
+            system.ingest("t", dict(batch))
+            assert catalog.version == pre_version + 2
+            assert catalog.version != aborted_version
+            assert shared_cache.client().get("result", key, catalog.version) is None
+            assert server.stats()["stale_served"] == 0
+        finally:
+            self._teardown(server, prior_server, prior_client)
+
 
 class TestFilterTreeResidency:
     """§8.3 registry counters ride the same delta stream as the memo."""

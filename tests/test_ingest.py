@@ -1,0 +1,446 @@
+"""Incremental ingest: catalog appends, delta maintenance, upkeep, serving.
+
+The contract under test (DESIGN.md §16): a micro-batch append brings
+every resident materialized view back in sync — delta-patched fragments
+byte-identical to a from-scratch recompute over the grown base table —
+without ever changing an answer, while charging all upkeep to
+``CostLedger.maint_s``; a crash mid-batch rolls the catalog, the pool,
+and the cover versions back exactly, stranding the aborted catalog
+version forever.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.deepsea import DeepSea
+from repro.engine.catalog import Catalog
+from repro.engine.cost import CostLedger
+from repro.engine.executor import ExecutionContext, Executor
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.engine.types import ColumnKind
+from repro.errors import CatalogError
+from repro.partitioning.intervals import Interval
+from repro.query.builder import Q
+from repro.storage.ingest import delta_source
+from repro.workloads.bigbench import TEMPLATES
+
+DOMAIN = Interval.closed(0, 1000)
+SCHEMA = Schema.of(Column("id"), Column("k"), Column("v", ColumnKind.FLOAT64))
+
+
+def make_table(n=4000, seed=1, scale=1000.0):
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        SCHEMA,
+        {"id": np.arange(n), "k": rng.integers(0, 1001, n), "v": rng.random(n)},
+        scale=scale,
+    )
+
+
+def make_system(n=4000, seed=1, smax=1e12):
+    catalog = Catalog()
+    catalog.register("t", make_table(n, seed))
+    return DeepSea(catalog, smax_bytes=smax, domains={"k": DOMAIN})
+
+
+def plan(lo, hi):
+    return Q("t").select("id", "k", "v").where_between("k", lo, hi).plan
+
+
+def batch_rows(rng, n, lo=0, hi=1000, id0=100_000):
+    return {
+        "id": np.arange(id0, id0 + n),
+        "k": rng.integers(lo, hi + 1, n),
+        "v": rng.random(n),
+    }
+
+
+def warm(system, queries=10):
+    for i in range(queries):
+        system.execute(plan(10 + 7 * i, 500 + 3 * i))
+    assert system.pool.resident_view_ids(), "fixture failed to materialize a view"
+
+
+def recompute(p, catalog, cluster):
+    return Executor(ExecutionContext(catalog, None, cluster)).execute(
+        p, None, use_cache=False
+    ).table
+
+
+def assert_tables_equal(a: Table, b: Table):
+    assert a.schema.names == b.schema.names
+    assert a.nrows == b.nrows
+    for name in a.schema.names:
+        np.testing.assert_array_equal(a.column(name), b.column(name))
+
+
+def assert_pool_identity(system):
+    """Every resident payload equals its slice of a fresh recompute."""
+    pool = system.pool
+    for view_id in pool.resident_view_ids():
+        expected = recompute(pool.definition(view_id).plan, system.catalog, system.cluster)
+        whole = pool.whole_view_entry(view_id)
+        if whole is not None:
+            assert_tables_equal(pool.hdfs.peek(whole.path), expected)
+        for attr in pool.partition_attrs(view_id):
+            for entry in pool.fragments_of(view_id, attr):
+                want = expected.filter(entry.key.interval.mask(expected.column(attr)))
+                assert_tables_equal(pool.hdfs.peek(entry.path), want)
+
+
+class TestCatalogIngest:
+    def test_append_bumps_version_and_grows_table(self):
+        catalog = Catalog()
+        catalog.register("t", make_table(100))
+        v0 = catalog.version
+        batch = catalog.ingest("t", batch_rows(np.random.default_rng(0), 7))
+        assert batch.nrows == 7
+        assert catalog.get("t").nrows == 107
+        assert catalog.version == v0 + 1
+
+    def test_append_is_copy_on_write(self):
+        catalog = Catalog()
+        catalog.register("t", make_table(50))
+        before = catalog.get("t")
+        catalog.ingest("t", batch_rows(np.random.default_rng(0), 5))
+        assert before.nrows == 50  # old readers keep their rows
+
+    def test_batch_inherits_base_scale(self):
+        catalog = Catalog()
+        catalog.register("t", make_table(50, scale=1000.0))
+        batch = catalog.ingest("t", batch_rows(np.random.default_rng(0), 5))
+        assert batch.scale == 1000.0
+        assert catalog.get("t").scale == 1000.0
+
+    def test_schema_mismatch_rejected(self):
+        catalog = Catalog()
+        catalog.register("t", make_table(10))
+        other = Table.from_dict(Schema.of(Column("x")), {"x": np.arange(3)})
+        with pytest.raises(CatalogError):
+            catalog.ingest("t", other)
+
+    def test_rollback_restores_version_but_strands_counter(self):
+        catalog = Catalog()
+        catalog.register("t", make_table(10))
+        base, v0 = catalog.get("t"), catalog.version
+        catalog.ingest("t", batch_rows(np.random.default_rng(0), 3))
+        catalog.rollback_ingest("t", base, v0)
+        assert catalog.version == v0
+        assert catalog.get("t") is base
+        catalog.ingest("t", batch_rows(np.random.default_rng(0), 3))
+        # The aborted transaction's version (v0 + 1) is never re-issued.
+        assert catalog.version == v0 + 2
+
+    def test_fork_is_independent(self):
+        catalog = Catalog()
+        catalog.register("t", make_table(10))
+        fork = catalog.fork(("test-fork",))
+        assert fork.uid != catalog.uid
+        assert fork.shared_ident == ("test-fork",)
+        fork.ingest("t", batch_rows(np.random.default_rng(0), 4))
+        assert fork.get("t").nrows == 14
+        assert catalog.get("t").nrows == 10
+        assert catalog.version != fork.version
+
+
+class TestDeltaSource:
+    def test_select_project_chain_is_delta_able(self):
+        assert delta_source(plan(10, 20)) == "t"
+
+    def test_join_template_takes_rebuild_path(self):
+        assert delta_source(TEMPLATES["q01"](0, 100)) is None
+
+
+class TestDeltaMaintenance:
+    def test_patched_fragments_equal_recompute(self):
+        system = make_system()
+        warm(system)
+        report = system.ingest("t", batch_rows(np.random.default_rng(7), 200))
+        assert report.fragments_patched >= 1
+        assert report.fragments_rebuilt == 0
+        assert report.maint_s > 0.0
+        assert report.ledger.delta_rows_routed == 200
+        assert_pool_identity(system)
+
+    def test_answers_match_direct_evaluation_after_ingest(self):
+        system = make_system()
+        warm(system)
+        system.ingest("t", batch_rows(np.random.default_rng(7), 200))
+        p = plan(100, 600)
+        answer = system.execute(p).result
+        truth = recompute(p, system.catalog, system.cluster)
+        order = np.lexsort((answer.column("k"), answer.column("id")))
+        torder = np.lexsort((truth.column("k"), truth.column("id")))
+        for name in truth.schema.names:
+            np.testing.assert_array_equal(
+                answer.column(name)[order], truth.column(name)[torder]
+            )
+
+    def test_force_rebuild_produces_identical_payloads(self):
+        rows = batch_rows(np.random.default_rng(7), 200)
+        delta_sys = make_system()
+        warm(delta_sys)
+        delta_sys.ingest("t", dict(rows))
+        rebuild_sys = make_system()
+        warm(rebuild_sys)
+        rebuild_sys.maintenance.force_rebuild = True
+        rebuild_report = rebuild_sys.ingest("t", dict(rows))
+        assert rebuild_report.fragments_rebuilt >= 1
+        assert rebuild_report.fragments_patched == 0
+        assert_pool_identity(rebuild_sys)
+        a = sorted(delta_sys.pool.configuration().items())
+        b = sorted(rebuild_sys.pool.configuration().items())
+        assert a == b
+
+    def test_maintenance_cost_folds_into_next_query_ledger(self):
+        system = make_system()
+        warm(system)
+        report = system.ingest("t", batch_rows(np.random.default_rng(7), 100))
+        next_report = system.execute(plan(100, 600))
+        assert next_report.creation_ledger.maint_s == pytest.approx(report.maint_s)
+        assert (
+            next_report.creation_ledger.fragments_patched == report.fragments_patched
+        )
+        after = system.execute(plan(100, 600))
+        assert after.creation_ledger.maint_s == 0.0  # folded exactly once
+
+    def test_oversized_patch_evicts_instead_of_overflowing(self):
+        system = make_system()
+        warm(system)
+        used = system.pool.used_bytes
+        system.smax_bytes = system.pool.smax_bytes = used + 1.0  # no headroom
+        report = system.ingest("t", batch_rows(np.random.default_rng(7), 500))
+        assert report.fragments_dropped >= 1
+        assert system.pool.used_bytes <= used + 1.0
+        assert_pool_identity(system)  # survivors still exact
+
+
+class TestCrashRollback:
+    def test_mid_maintenance_crash_rolls_everything_back(self):
+        system = make_system()
+        warm(system)
+        catalog = system.catalog
+        pre_version = catalog.version
+        pre_rows = catalog.get("t").nrows
+        pre_config = repr(system.pool.configuration())
+        pre_covers = system.pool.cover_versions_snapshot()
+
+        original = system.maintenance._patch
+        system.maintenance._patch = lambda entry, payload: (_ for _ in ()).throw(
+            RuntimeError("simulated crash mid-maintenance")
+        )
+        with pytest.raises(RuntimeError):
+            system.ingest("t", batch_rows(np.random.default_rng(7), 100))
+        assert catalog.version == pre_version
+        assert catalog.get("t").nrows == pre_rows
+        assert repr(system.pool.configuration()) == pre_config
+        assert system.pool.cover_versions_snapshot() == pre_covers
+        assert not system.pool.journal.journaling
+
+        system.maintenance._patch = original
+        report = system.ingest("t", batch_rows(np.random.default_rng(7), 100))
+        # The aborted attempt's version is stranded, never re-issued.
+        assert catalog.version == pre_version + 2
+        assert report.fragments_patched >= 1
+        assert_pool_identity(system)
+
+    def test_observed_rates_not_double_counted_on_controller_retry(self):
+        system = make_system()
+        warm(system)
+        system.ingest("t", batch_rows(np.random.default_rng(7), 100))
+        rows_pq, batches_pq = system.maintenance.per_query_rates(
+            "t", float(system.clock)
+        )
+        assert batches_pq > 0.0
+        total_rows = system.maintenance._observed["t"][0]
+        assert total_rows == 100.0
+
+
+class TestUpkeepGate:
+    def test_upkeep_is_exactly_zero_without_ingest(self):
+        system = make_system()
+        warm(system)
+        assert system.maintenance.predicted_upkeep_s("v", plan(0, 100)) == 0.0
+
+    def test_upkeep_positive_after_observed_batches(self):
+        system = make_system()
+        warm(system)
+        system.ingest("t", batch_rows(np.random.default_rng(7), 200))
+        upkeep = system.maintenance.predicted_upkeep_s("v", plan(0, 100))
+        assert upkeep > 0.0
+
+    def test_rebuild_upkeep_dominates_delta_upkeep(self):
+        system = make_system()
+        warm(system)
+        system.ingest("t", batch_rows(np.random.default_rng(7), 200))
+        delta = system.maintenance.predicted_upkeep_s("v", plan(0, 100))
+        system.maintenance.force_rebuild = True
+        rebuild = system.maintenance.predicted_upkeep_s("v", plan(0, 100))
+        assert rebuild > delta
+
+
+class TestScenarioSchedules:
+    def test_schedules_are_deterministic(self):
+        from repro.bench.ingest_bench import scenario_schedule
+
+        a = scenario_schedule("drift", 30, DOMAIN, seed=5)
+        b = scenario_schedule("drift", 30, DOMAIN, seed=5)
+        assert a == b
+
+    def test_batch_offsets_are_contiguous(self):
+        from repro.bench.ingest_bench import scenario_schedule
+
+        _, batches = scenario_schedule("drip", 30, DOMAIN, seed=5)
+        offset = 0
+        for spec in batches:
+            assert spec.offset == offset
+            offset += spec.nrows
+
+    def test_unknown_scenario_rejected(self):
+        from repro.bench.ingest_bench import scenario_schedule
+
+        with pytest.raises(ValueError):
+            scenario_schedule("flood", 10, DOMAIN)
+
+    def test_gate_flags_mode_divergence(self):
+        from repro.bench.ingest_bench import gate_problems
+
+        def result(mode, digest):
+            return {
+                "scenario": "drip",
+                "mode": mode,
+                "batches": 2,
+                "identity_ok": True,
+                "identity_problems": [],
+                "stale_reads": 0,
+                "maint_s": 1.0,
+                "fragments_patched": 3,
+                "answer_digest": digest,
+            }
+
+        assert gate_problems([result("delta", "aa"), result("rebuild", "aa")]) == []
+        problems = gate_problems([result("delta", "aa"), result("rebuild", "bb")])
+        assert any("diverged" in p for p in problems)
+
+
+class TestBitIdentityProperty:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        batches=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=60),  # rows
+                st.integers(min_value=0, max_value=900),  # range lo
+                st.integers(min_value=1, max_value=100),  # range width
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_random_append_batches_keep_fragments_bit_identical(self, batches):
+        system = make_system(n=2000)
+        warm(system, queries=6)
+        id0 = 200_000
+        for i, (n, lo, width) in enumerate(batches):
+            rng = np.random.default_rng([i, n, lo, width])
+            rows = batch_rows(rng, n, lo, min(1000, lo + width), id0)
+            id0 += n
+            system.ingest("t", rows)
+            assert_pool_identity(system)
+
+
+class TestSchedulerFingerprints:
+    def test_ingest_task_fingerprints_identical_across_schedulers(self):
+        from repro.bench.harness import clear_caches
+        from repro.parallel.determinism import fingerprint
+        from repro.parallel.pool import fan_out, steal_map
+        from repro.parallel.tasks import FixtureSpec, RunTask, SystemSpec, WorkloadSpec
+
+        tasks = [
+            RunTask(
+                "DS+ingest",
+                SystemSpec.of("deepsea"),
+                FixtureSpec("sdss", 2.0),
+                WorkloadSpec(10, seed=2),
+                ingest="drip",
+            )
+        ]
+        clear_caches()
+        serial = fingerprint({"DS+ingest": tasks[0].run()})
+        static = fingerprint({"DS+ingest": fan_out(tasks, 2)[0]})
+        steal = fingerprint({"DS+ingest": steal_map(tasks, 2, chunk_size=1)[0]})
+        assert serial == static == steal
+
+    def test_ingest_tasks_are_never_sliced(self):
+        from repro.parallel.tasks import FixtureSpec, RunTask, SystemSpec, WorkloadSpec
+
+        task = RunTask(
+            "DS+ingest",
+            SystemSpec.of("deepsea"),
+            FixtureSpec("sdss", 2.0),
+            WorkloadSpec(40, seed=2),
+            ingest="drip",
+        )
+        assert task.slices(4) == [task]
+
+
+class TestServeFeedBatch:
+    def test_writer_applies_batches_atomically_under_plan_lock(self):
+        from repro.serve import QueryService
+
+        system = make_system()
+        service = QueryService(system, workers=2).start()
+        try:
+            tickets = []
+            fed = 0
+            rng = np.random.default_rng(3)
+            id0 = 300_000
+            for i in range(12):
+                if i % 3 == 1:
+                    assert service.feed_batch("t", batch_rows(rng, 40, id0=id0))
+                    fed += 1
+                    id0 += 40
+                tickets.append(service.submit(plan(10 + 7 * i, 500 + 3 * i)))
+            outcomes = [t.result(timeout=30) for t in tickets]
+        finally:
+            service.stop()
+        metrics = service.metrics()
+        assert metrics["writer"]["batches"] == fed
+        assert metrics["writer"]["errors"] == 0
+        assert all(o is not None and o.status == "answered" for o in outcomes)
+        assert system.catalog.get("t").nrows == 4000 + 40 * fed
+        assert_pool_identity(system)
+
+    def test_feed_batch_without_writer_sheds(self):
+        from repro.serve import QueryService
+
+        system = make_system()
+        service = QueryService(system, workers=1, adapt=False)
+        assert service.feed_batch("t", batch_rows(np.random.default_rng(0), 5)) is False
+
+
+class TestLedgerFields:
+    def test_charge_maintenance_accumulates_and_merges(self):
+        ledger = CostLedger(make_system().cluster)
+        ledger.charge_maintenance(2.5, routed=10, applied=8, patched=3, rebuilt=1)
+        assert ledger.maint_s == 2.5
+        assert ledger.delta_rows_routed == 10
+        assert ledger.delta_rows_applied == 8
+        assert ledger.fragments_patched == 3
+        assert ledger.fragments_rebuilt == 1
+        assert ledger.total_seconds >= 2.5
+        other = CostLedger(ledger.cluster)
+        other.merge(ledger)
+        assert other.maint_s == 2.5
+        assert other.fragments_patched == 3
+
+    def test_pristine_ledger_has_no_maintenance(self):
+        ledger = CostLedger(make_system().cluster)
+        assert ledger.is_pristine
+        ledger.charge_maintenance(0.1, patched=1)
+        assert not ledger.is_pristine
